@@ -1,0 +1,45 @@
+// Command stc is the standalone Swift-to-Turbine compiler: it reads a
+// Swift source file and prints the generated Turbine code (Tcl), the
+// artefact the paper's STC produces for execution by the runtime.
+//
+// Usage:
+//
+//	stc program.swift        # print Turbine code to stdout
+//	stc -o out.tic program.swift
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stc"
+)
+
+func main() {
+	outPath := flag.String("o", "", "write Turbine code to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stc [-o out.tic] program.swift")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stc:", err)
+		os.Exit(1)
+	}
+	compiled, err := stc.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stc:", err)
+		os.Exit(1)
+	}
+	text := compiled.Program + "\n# seed: " + compiled.Main + "\n"
+	if *outPath == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(text), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stc:", err)
+		os.Exit(1)
+	}
+}

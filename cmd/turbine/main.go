@@ -1,0 +1,58 @@
+// Command turbine runs a pre-compiled Turbine code file (Tcl, as emitted
+// by cmd/stc) on the simulated runtime, mirroring the paper's separation
+// between compilation and parallel launch.
+//
+// Usage:
+//
+//	turbine [-e engines] [-w workers] [-s servers] [-main proc] out.tic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nativelib"
+	"repro/internal/stc"
+)
+
+func main() {
+	engines := flag.Int("e", 1, "engine ranks")
+	workers := flag.Int("w", 4, "worker ranks")
+	servers := flag.Int("s", 1, "ADLB server ranks")
+	mainProc := flag.String("main", "", "seed proc (defaults to the '# seed:' comment or u:main)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: turbine [-e N] [-w N] [-s N] [-main proc] out.tic")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbine:", err)
+		os.Exit(1)
+	}
+	program := string(src)
+	seed := *mainProc
+	if seed == "" {
+		seed = "u:main"
+		for _, line := range strings.Split(program, "\n") {
+			if strings.HasPrefix(line, "# seed: ") {
+				seed = strings.TrimSpace(strings.TrimPrefix(line, "# seed: "))
+			}
+		}
+	}
+	res, err := core.RunCompiled(&stc.Output{Program: program, Main: seed}, core.Config{
+		Engines:    *engines,
+		Workers:    *workers,
+		Servers:    *servers,
+		Out:        os.Stdout,
+		NativeLibs: []*nativelib.Library{nativelib.NewSimLibrary()},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbine:", err)
+		os.Exit(1)
+	}
+	_ = res
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Toward
+// Interlanguage Parallel Scripting for Distributed-Memory Scientific
+// Computing" (Wozniak et al., CLUSTER 2015): the Swift/T system — the
+// Swift dataflow language, the STC compiler, the Turbine engine, and the
+// ADLB load balancer — together with the paper's interlanguage layer:
+// embedded Python and R interpreters, SWIG/FortWrap native-code bindings
+// with blob bulk data, Tcl extension functions, and the shell interface.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduction of the paper's figures and claims.
+// The root-level bench_test.go regenerates every experiment.
+package repro

@@ -1,0 +1,384 @@
+package adlb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// ErrStoreTwice is reported when a single-assignment datum is stored twice.
+var ErrStoreTwice = errors.New("adlb: double store on single-assignment datum")
+
+// Client is one ADLB client rank (a Turbine engine or worker). A Client is
+// bound to its home server for work operations; data operations are routed
+// to the owning server of each id. All calls are synchronous RPCs, which
+// is essential to the termination-detection protocol: a client that is
+// parked in Get has no in-flight requests.
+type Client struct {
+	c        *mpi.Comm
+	cfg      Config
+	l        Layout
+	myServer int
+
+	idNext   int64
+	idStride int64
+	idRemain int64
+}
+
+// NewClient wraps the calling rank as an ADLB client.
+func NewClient(c *mpi.Comm, cfg Config) (*Client, error) {
+	if err := cfg.Validate(c.Size()); err != nil {
+		return nil, err
+	}
+	l := NewLayout(c.Size(), cfg.Servers)
+	if l.IsServer(c.Rank()) {
+		return nil, fmt.Errorf("adlb: NewClient called on server rank %d", c.Rank())
+	}
+	return &Client{c: c, cfg: cfg, l: l, myServer: l.ServerOf(c.Rank())}, nil
+}
+
+// Rank returns the client's world rank.
+func (cl *Client) Rank() int { return cl.c.Rank() }
+
+// Layout returns the rank layout of the deployment.
+func (cl *Client) Layout() Layout { return cl.l }
+
+// Comm exposes the underlying communicator (used by higher layers for
+// barriers around the run).
+func (cl *Client) Comm() *mpi.Comm { return cl.c }
+
+func (cl *Client) rpc(server int, build func(*encoder)) (*decoder, error) {
+	e := &encoder{}
+	build(e)
+	if err := cl.c.Send(server, tagRequest, e.buf); err != nil {
+		return nil, err
+	}
+	data, _, err := cl.c.Recv(server, tagResponse)
+	if err != nil {
+		return nil, err
+	}
+	return &decoder{buf: data}, nil
+}
+
+// checkStatus consumes the status byte and translates errors.
+func checkStatus(d *decoder, what string) (uint8, error) {
+	st := d.u8()
+	if d.err != nil {
+		return st, d.err
+	}
+	if st == stError {
+		msg := d.str()
+		if d.err != nil {
+			return st, d.err
+		}
+		return st, fmt.Errorf("adlb: %s: %s", what, msg)
+	}
+	return st, nil
+}
+
+// Put submits a work item. target is AnyRank for load-balanced dispatch or
+// a specific client rank for targeted delivery (used for notifications and
+// location-pinned tasks). Higher priority items are delivered first.
+func (cl *Client) Put(workType, priority, target int, payload []byte) error {
+	d, err := cl.rpc(cl.myServer, func(e *encoder) {
+		e.u8(opPut)
+		encodeWorkItem(e, workItem{Type: workType, Priority: priority, Target: target, Payload: payload})
+	})
+	if err != nil {
+		return err
+	}
+	_, err = checkStatus(d, "put")
+	return err
+}
+
+// Get blocks until a work item of the requested type is available, and
+// returns its payload. ok is false when the runtime has terminated and no
+// more work will ever arrive.
+func (cl *Client) Get(workType int) (payload []byte, ok bool, err error) {
+	d, err := cl.rpc(cl.myServer, func(e *encoder) {
+		e.u8(opGet)
+		e.i32(int32(workType))
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := checkStatus(d, "get")
+	if err != nil {
+		return nil, false, err
+	}
+	if st == stNoMoreWork {
+		return nil, false, nil
+	}
+	w := decodeWorkItem(d)
+	if d.err != nil {
+		return nil, false, d.err
+	}
+	return w.Payload, true, nil
+}
+
+// Unique returns a fresh data id. Ids are allocated in blocks from the
+// client's home server so the owner of each id is that same server.
+func (cl *Client) Unique() (int64, error) {
+	const block = 64
+	if cl.idRemain == 0 {
+		d, err := cl.rpc(cl.myServer, func(e *encoder) {
+			e.u8(opUnique)
+			e.i32(block)
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := checkStatus(d, "unique"); err != nil {
+			return 0, err
+		}
+		cl.idNext = d.i64()
+		cl.idStride = int64(d.i32())
+		if d.err != nil {
+			return 0, d.err
+		}
+		cl.idRemain = block
+	}
+	id := cl.idNext
+	cl.idNext += cl.idStride
+	cl.idRemain--
+	return id, nil
+}
+
+// Create allocates a datum of the given type under id (id must come from
+// Unique so that ownership routes correctly).
+func (cl *Client) Create(id int64, typ DataType) error {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opCreate)
+		e.i64(id)
+		e.u8(uint8(typ))
+	})
+	if err != nil {
+		return err
+	}
+	_, err = checkStatus(d, "create")
+	return err
+}
+
+// Store writes the value of a single-assignment datum, closing it and
+// triggering any subscriptions.
+func (cl *Client) Store(id int64, v Value) error {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opStore)
+		e.i64(id)
+		encodeValue(e, v)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = checkStatus(d, "store")
+	return err
+}
+
+// Retrieve fetches a datum's value. found is false if the id is unknown.
+func (cl *Client) Retrieve(id int64) (v Value, found bool, err error) {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opRetrieve)
+		e.i64(id)
+	})
+	if err != nil {
+		return Value{}, false, err
+	}
+	st, err := checkStatus(d, "retrieve")
+	if err != nil {
+		return Value{}, false, err
+	}
+	if st == stNotFound {
+		return Value{}, false, nil
+	}
+	v = decodeValue(d)
+	return v, true, d.err
+}
+
+// Subscribe registers rank for a close notification on id. If the datum is
+// already closed, closed=true is returned and no notification will be sent.
+func (cl *Client) Subscribe(id int64, rank int) (closed bool, err error) {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opSubscribe)
+		e.i64(id)
+		e.i32(int32(rank))
+	})
+	if err != nil {
+		return false, err
+	}
+	if _, err := checkStatus(d, "subscribe"); err != nil {
+		return false, err
+	}
+	return d.boolean(), d.err
+}
+
+// Insert adds an existing datum as a member of a container.
+func (cl *Client) Insert(container int64, subscript string, member int64) error {
+	d, err := cl.rpc(cl.l.OwnerOf(container), func(e *encoder) {
+		e.u8(opInsert)
+		e.i64(container)
+		e.str(subscript)
+		e.i64(member)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = checkStatus(d, "insert")
+	return err
+}
+
+// Lookup finds the member id at a subscript. If createType is non-zero and
+// the subscript is absent, an unset placeholder datum of that type is
+// created, inserted, and returned with created=true; this gives readers
+// and writers a single canonical datum per container slot.
+func (cl *Client) Lookup(container int64, subscript string, createType DataType) (member int64, exists bool, created bool, err error) {
+	d, err := cl.rpc(cl.l.OwnerOf(container), func(e *encoder) {
+		e.u8(opLookup)
+		e.i64(container)
+		e.str(subscript)
+		e.u8(uint8(createType))
+	})
+	if err != nil {
+		return 0, false, false, err
+	}
+	st, err := checkStatus(d, "lookup")
+	if err != nil {
+		return 0, false, false, err
+	}
+	if st == stNotFound {
+		return 0, false, false, nil
+	}
+	member = d.i64()
+	created = d.boolean()
+	return member, true, created, d.err
+}
+
+// Enumerate lists a container's members in insertion order.
+func (cl *Client) Enumerate(container int64) ([]Pair, error) {
+	d, err := cl.rpc(cl.l.OwnerOf(container), func(e *encoder) {
+		e.u8(opEnumerate)
+		e.i64(container)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := checkStatus(d, "enumerate"); err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	pairs := make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		sub := d.str()
+		id := d.i64()
+		pairs = append(pairs, Pair{Subscript: sub, Member: id})
+	}
+	return pairs, d.err
+}
+
+// WriteRefcount adjusts a container's write refcount. The container closes
+// (and notifies subscribers) when the count reaches zero.
+func (cl *Client) WriteRefcount(id int64, delta int) error {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opWriteRefcount)
+		e.i64(id)
+		e.i32(int32(delta))
+	})
+	if err != nil {
+		return err
+	}
+	_, err = checkStatus(d, "refcount")
+	return err
+}
+
+// Exists reports whether id is allocated and closed.
+func (cl *Client) Exists(id int64) (bool, error) {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opExists)
+		e.i64(id)
+	})
+	if err != nil {
+		return false, err
+	}
+	if _, err := checkStatus(d, "exists"); err != nil {
+		return false, err
+	}
+	return d.boolean(), d.err
+}
+
+// TypeOf returns the declared type of id.
+func (cl *Client) TypeOf(id int64) (DataType, bool, error) {
+	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
+		e.u8(opTypeOf)
+		e.i64(id)
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	st, err := checkStatus(d, "typeof")
+	if err != nil {
+		return 0, false, err
+	}
+	if st == stNotFound {
+		return 0, false, nil
+	}
+	return DataType(d.u8()), true, d.err
+}
+
+// ---- typed value helpers ----
+
+// IntValue encodes an int64 as a store value.
+func IntValue(v int64) Value {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return Value{Type: TypeInteger, Bytes: b[:]}
+}
+
+// FloatValue encodes a float64 as a store value.
+func FloatValue(v float64) Value {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return Value{Type: TypeFloat, Bytes: b[:]}
+}
+
+// StringValue encodes a string as a store value.
+func StringValue(v string) Value { return Value{Type: TypeString, Bytes: []byte(v)} }
+
+// BlobValue wraps raw bytes as a blob store value.
+func BlobValue(v []byte) Value { return Value{Type: TypeBlob, Bytes: v} }
+
+// VoidValue is the value stored into void (signal-only) data.
+func VoidValue() Value { return Value{Type: TypeVoid} }
+
+// AsInt decodes an integer value.
+func AsInt(v Value) (int64, error) {
+	if v.Type != TypeInteger || len(v.Bytes) != 8 {
+		return 0, fmt.Errorf("adlb: value is %v (len %d), not integer", v.Type, len(v.Bytes))
+	}
+	return int64(binary.LittleEndian.Uint64(v.Bytes)), nil
+}
+
+// AsFloat decodes a float value.
+func AsFloat(v Value) (float64, error) {
+	if v.Type != TypeFloat || len(v.Bytes) != 8 {
+		return 0, fmt.Errorf("adlb: value is %v (len %d), not float", v.Type, len(v.Bytes))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.Bytes)), nil
+}
+
+// AsString decodes a string value.
+func AsString(v Value) (string, error) {
+	if v.Type != TypeString {
+		return "", fmt.Errorf("adlb: value is %v, not string", v.Type)
+	}
+	return string(v.Bytes), nil
+}
+
+// AsBlob decodes a blob value.
+func AsBlob(v Value) ([]byte, error) {
+	if v.Type != TypeBlob {
+		return nil, fmt.Errorf("adlb: value is %v, not blob", v.Type)
+	}
+	return v.Bytes, nil
+}

@@ -1,0 +1,168 @@
+package adlb
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Config describes an ADLB deployment inside an MPI world. Following the
+// real library (and paper Fig. 2), the last Servers ranks act as ADLB
+// servers; every other rank is a client (a Turbine engine or worker).
+type Config struct {
+	// Servers is the number of server ranks (the last Servers ranks of
+	// the world). Must be >= 1 and < world size.
+	Servers int
+	// Types is the number of distinct work types (e.g. CONTROL and WORK).
+	Types int
+	// NotifyType is the work type used to wrap data-store notifications
+	// so they are delivered through the normal Get path of the
+	// subscribing rank (Turbine sets this to its control type).
+	NotifyType int
+	// Tick is the server housekeeping interval (steal retries,
+	// termination-token initiation). Zero selects a default of 200µs.
+	Tick time.Duration
+	// Stats, if non-nil, accumulates runtime counters across all servers.
+	Stats *Stats
+	// DisableSteal turns off inter-server work stealing (for ablation
+	// benchmarks). The paper's architecture relies on stealing to
+	// load-balance across servers.
+	DisableSteal bool
+}
+
+func (c *Config) tick() time.Duration {
+	if c.Tick <= 0 {
+		return 200 * time.Microsecond
+	}
+	return c.Tick
+}
+
+// Validate checks the configuration against a world of the given size.
+func (c *Config) Validate(worldSize int) error {
+	if c.Servers < 1 {
+		return fmt.Errorf("adlb: config needs at least 1 server, got %d", c.Servers)
+	}
+	if c.Servers >= worldSize {
+		return fmt.Errorf("adlb: %d servers leaves no clients in world of %d", c.Servers, worldSize)
+	}
+	if c.Types < 1 {
+		return fmt.Errorf("adlb: config needs at least 1 work type, got %d", c.Types)
+	}
+	if c.NotifyType < 0 || c.NotifyType >= c.Types {
+		return fmt.Errorf("adlb: notify type %d out of range [0,%d)", c.NotifyType, c.Types)
+	}
+	return nil
+}
+
+// Layout answers rank-role questions for a world of the given size.
+type Layout struct {
+	WorldSize int
+	Servers   int
+}
+
+// NewLayout builds a Layout. Callers should have validated the config.
+func NewLayout(worldSize, servers int) Layout {
+	return Layout{WorldSize: worldSize, Servers: servers}
+}
+
+// Clients returns the number of client ranks.
+func (l Layout) Clients() int { return l.WorldSize - l.Servers }
+
+// IsServer reports whether rank is a server rank.
+func (l Layout) IsServer(rank int) bool { return rank >= l.Clients() }
+
+// ServerIndex returns the server index (0-based) of a server rank.
+func (l Layout) ServerIndex(rank int) int { return rank - l.Clients() }
+
+// ServerRank returns the world rank of server index i.
+func (l Layout) ServerRank(i int) int { return l.Clients() + i }
+
+// ServerOf returns the server rank responsible for the given client rank.
+// Clients are assigned to servers in contiguous balanced blocks, as in ADLB.
+func (l Layout) ServerOf(client int) int {
+	idx := client * l.Servers / l.Clients()
+	return l.ServerRank(idx)
+}
+
+// OwnerOf returns the server rank owning data id, by the id-stride scheme:
+// ids allocated by server i satisfy id % Servers == i, so allocation is
+// always owner-local.
+func (l Layout) OwnerOf(id int64) int {
+	if id < 0 {
+		id = -id
+	}
+	return l.ServerRank(int(id % int64(l.Servers)))
+}
+
+// clientsOfServer returns how many clients are assigned to server index i.
+func (l Layout) clientsOfServer(i int) int {
+	n := 0
+	for c := 0; c < l.Clients(); c++ {
+		if l.ServerOf(c) == l.ServerRank(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates counters across all servers of a run. All fields are
+// updated atomically and may be read concurrently.
+type Stats struct {
+	PutsLocal     atomic.Int64 // puts enqueued/delivered at the receiving server
+	PutsForwarded atomic.Int64 // targeted puts forwarded to the target's server
+	GetsServed    atomic.Int64 // work items delivered to clients
+	GetsParked    atomic.Int64 // Get requests that had to park
+	StealReqs     atomic.Int64 // steal requests sent
+	StealHits     atomic.Int64 // steal responses that contained work
+	ItemsStolen   atomic.Int64 // total items moved by stealing
+	Notifications atomic.Int64 // data-store notifications generated
+	DataOps       atomic.Int64 // create/store/retrieve/container operations
+	TokenRounds   atomic.Int64 // Safra termination-detection rounds begun
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		PutsLocal:     s.PutsLocal.Load(),
+		PutsForwarded: s.PutsForwarded.Load(),
+		GetsServed:    s.GetsServed.Load(),
+		GetsParked:    s.GetsParked.Load(),
+		StealReqs:     s.StealReqs.Load(),
+		StealHits:     s.StealHits.Load(),
+		ItemsStolen:   s.ItemsStolen.Load(),
+		Notifications: s.Notifications.Load(),
+		DataOps:       s.DataOps.Load(),
+		TokenRounds:   s.TokenRounds.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	PutsLocal     int64
+	PutsForwarded int64
+	GetsServed    int64
+	GetsParked    int64
+	StealReqs     int64
+	StealHits     int64
+	ItemsStolen   int64
+	Notifications int64
+	DataOps       int64
+	TokenRounds   int64
+}
+
+// Serve runs the ADLB server protocol on the calling rank until global
+// termination is detected and drain completes. It must be called exactly
+// by the server ranks of the layout.
+func Serve(c *mpi.Comm, cfg Config) error {
+	if err := cfg.Validate(c.Size()); err != nil {
+		return err
+	}
+	l := NewLayout(c.Size(), cfg.Servers)
+	if !l.IsServer(c.Rank()) {
+		return fmt.Errorf("adlb: Serve called on non-server rank %d", c.Rank())
+	}
+	s := newServer(c, cfg, l)
+	return s.run()
+}

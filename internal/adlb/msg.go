@@ -1,0 +1,136 @@
+package adlb
+
+import "fmt"
+
+// Message tags used on the simulated MPI transport. Client requests all
+// travel on tagRequest and carry an opcode; each client has at most one
+// outstanding request, so a single tagResponse suffices for replies.
+// Server-to-server traffic uses dedicated tags so that a server's main
+// loop can receive with wildcards and dispatch on the tag.
+const (
+	tagRequest  = 1 // client -> server RPC request
+	tagResponse = 2 // server -> client RPC response
+	tagServer   = 3 // server -> server control (steal, forward, token)
+)
+
+// Request opcodes.
+const (
+	opPut uint8 = iota + 1
+	opGet
+	opCreate
+	opStore
+	opRetrieve
+	opSubscribe
+	opInsert
+	opLookup
+	opEnumerate
+	opWriteRefcount
+	opUnique
+	opExists
+	opTypeOf
+)
+
+// Server-to-server opcodes.
+const (
+	sopStealReq uint8 = iota + 64
+	sopStealResp
+	sopPutForward
+	sopToken
+	sopShutdown
+)
+
+// Response status codes.
+const (
+	stOK uint8 = iota
+	stError
+	stNoMoreWork
+	stNotFound
+)
+
+// Target sentinel: work item may run on any rank.
+const AnyRank = -1
+
+// workItem is one unit of work in a server queue.
+type workItem struct {
+	Type     int
+	Priority int
+	Target   int // AnyRank or a specific worker rank
+	Payload  []byte
+}
+
+func encodeWorkItem(e *encoder, w workItem) {
+	e.i32(int32(w.Type))
+	e.i32(int32(w.Priority))
+	e.i32(int32(w.Target))
+	e.bytes(w.Payload)
+}
+
+func decodeWorkItem(d *decoder) workItem {
+	var w workItem
+	w.Type = int(d.i32())
+	w.Priority = int(d.i32())
+	w.Target = int(d.i32())
+	w.Payload = append([]byte(nil), d.bytes()...)
+	return w
+}
+
+// DataType enumerates the value types held by the ADLB data store. These
+// mirror Turbine's typed data (TD) universe.
+type DataType uint8
+
+// Data store value types.
+const (
+	TypeVoid DataType = iota + 1
+	TypeInteger
+	TypeFloat
+	TypeString
+	TypeBlob
+	TypeContainer
+	TypeRef
+)
+
+func (t DataType) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInteger:
+		return "integer"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBlob:
+		return "blob"
+	case TypeContainer:
+		return "container"
+	case TypeRef:
+		return "ref"
+	}
+	return fmt.Sprintf("DataType(%d)", uint8(t))
+}
+
+// Value is a typed datum in the data store. The Bytes field carries the
+// canonical encoding: 8-byte little-endian for integers and floats (IEEE
+// bits), UTF-8 for strings, raw bytes for blobs.
+type Value struct {
+	Type  DataType
+	Bytes []byte
+}
+
+func encodeValue(e *encoder, v Value) {
+	e.u8(uint8(v.Type))
+	e.bytes(v.Bytes)
+}
+
+func decodeValue(d *decoder) Value {
+	var v Value
+	v.Type = DataType(d.u8())
+	v.Bytes = append([]byte(nil), d.bytes()...)
+	return v
+}
+
+// Pair is one (subscript, member id) entry of a container enumeration.
+type Pair struct {
+	Subscript string
+	Member    int64
+}

@@ -1,0 +1,826 @@
+package adlb
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// datum is one entry of the distributed data store. Scalars close when
+// stored; containers close when their write refcount drops to zero.
+// Subscribers are client ranks to be notified (via targeted notification
+// work items) when the datum closes.
+type datum struct {
+	typ         DataType
+	set         bool
+	val         Value
+	subscribers []int
+	// container state
+	members   map[string]int64
+	order     []string
+	writeRefs int
+}
+
+func (d *datum) closed() bool {
+	if d.typ == TypeContainer {
+		return d.writeRefs <= 0
+	}
+	return d.set
+}
+
+type targetKey struct {
+	typ    int
+	target int
+}
+
+// server implements the ADLB server role: work queues, parked client
+// requests, inter-server work stealing, the distributed data store, and
+// Safra's termination-detection algorithm over the server ring.
+type server struct {
+	c   *mpi.Comm
+	cfg Config
+	l   Layout
+	idx int // server index in [0, Servers)
+
+	nClients int // clients assigned to this server
+
+	untargeted map[int]*workQueue
+	targeted   map[targetKey]*workQueue
+	parked     map[int]int // client rank -> requested work type
+	parkOrder  []int       // FIFO of parked client ranks
+
+	store  map[int64]*datum
+	nextID int64
+
+	// Safra termination detection state.
+	black      bool  // this server's colour
+	mcount     int64 // counted messages sent minus received
+	haveToken  bool
+	tokenQ     int64
+	tokenBlack bool
+	roundOpen  bool // master only: a token is circulating
+
+	stealOut     bool // a steal request is outstanding
+	stealRR      int  // round-robin victim cursor
+	stealBackoff int  // ticks to wait between steals after empty responses
+	stealWait    int  // remaining ticks before the next steal attempt
+	draining     bool
+	doneCount    int // clients that have received NO_MORE_WORK
+	selfHalted   bool
+}
+
+func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
+	idx := l.ServerIndex(c.Rank())
+	s := &server{
+		c:          c,
+		cfg:        cfg,
+		l:          l,
+		idx:        idx,
+		nClients:   l.clientsOfServer(idx),
+		untargeted: make(map[int]*workQueue),
+		targeted:   make(map[targetKey]*workQueue),
+		parked:     make(map[int]int),
+		store:      make(map[int64]*datum),
+		nextID:     int64(l.Servers + idx), // ids ≡ idx (mod Servers), skipping id 0
+		stealRR:    (idx + 1) % l.Servers,
+	}
+	return s
+}
+
+func (s *server) stats() *Stats { return s.cfg.Stats }
+
+func (s *server) run() error {
+	tick := s.cfg.tick()
+	for {
+		data, st, ok, err := s.c.RecvTimeout(mpi.AnySource, mpi.AnyTag, tick)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := s.dispatch(data, st); err != nil {
+				s.c.World().Abort(err)
+				return err
+			}
+		}
+		if s.selfHalted && s.doneCount >= s.nClients {
+			return nil
+		}
+		if !s.draining {
+			s.housekeeping()
+		}
+	}
+}
+
+// housekeeping runs between messages: retries steals, forwards or
+// initiates termination tokens.
+func (s *server) housekeeping() {
+	if len(s.parked) > 0 && !s.stealOut {
+		if s.stealWait > 0 {
+			s.stealWait--
+		} else {
+			s.maybeSteal()
+		}
+	}
+	if s.haveToken && s.quiet() {
+		s.forwardToken()
+	}
+	if s.idx == 0 && !s.roundOpen && s.quiet() {
+		s.startTokenRound()
+	}
+}
+
+// quiet reports whether this server is locally passive: every assigned
+// client is parked in Get, all queues are empty, and no steal is pending.
+func (s *server) quiet() bool {
+	if len(s.parked) != s.nClients || s.stealOut {
+		return false
+	}
+	for _, q := range s.untargeted {
+		if q.len() > 0 {
+			return false
+		}
+	}
+	for _, q := range s.targeted {
+		if q.len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *server) dispatch(data []byte, st mpi.Status) error {
+	d := &decoder{buf: data}
+	op := d.u8()
+	switch st.Tag {
+	case tagRequest:
+		return s.handleRequest(op, d, st.Source)
+	case tagServer:
+		return s.handleServer(op, d, st.Source)
+	}
+	return fmt.Errorf("adlb: server %d: unexpected tag %d from %d", s.idx, st.Tag, st.Source)
+}
+
+// ---------- client RPCs ----------
+
+func (s *server) respond(client int, build func(*encoder)) error {
+	e := &encoder{}
+	build(e)
+	return s.c.Send(client, tagResponse, e.buf)
+}
+
+func (s *server) respondError(client int, msg string) error {
+	return s.respond(client, func(e *encoder) {
+		e.u8(stError)
+		e.str(msg)
+	})
+}
+
+func (s *server) handleRequest(op uint8, d *decoder, client int) error {
+	switch op {
+	case opPut:
+		return s.handlePut(d, client)
+	case opGet:
+		return s.handleGet(d, client)
+	case opUnique:
+		return s.handleUnique(d, client)
+	case opCreate, opStore, opRetrieve, opSubscribe, opInsert, opLookup,
+		opEnumerate, opWriteRefcount, opExists, opTypeOf:
+		if s.stats() != nil {
+			s.stats().DataOps.Add(1)
+		}
+		return s.handleData(op, d, client)
+	}
+	return fmt.Errorf("adlb: server %d: unknown opcode %d from client %d", s.idx, op, client)
+}
+
+func (s *server) handlePut(d *decoder, client int) error {
+	w := decodeWorkItem(d)
+	if d.err != nil {
+		return d.err
+	}
+	if w.Type < 0 || w.Type >= s.cfg.Types {
+		return s.respondError(client, fmt.Sprintf("put: invalid work type %d", w.Type))
+	}
+	if w.Target != AnyRank {
+		if w.Target < 0 || w.Target >= s.l.Clients() {
+			return s.respondError(client, fmt.Sprintf("put: invalid target rank %d", w.Target))
+		}
+		owner := s.l.ServerOf(w.Target)
+		if owner != s.c.Rank() {
+			// Forward to the target's server; counted for Safra.
+			if err := s.sendServer(owner, sopPutForward, true, func(e *encoder) {
+				encodeWorkItem(e, w)
+			}); err != nil {
+				return err
+			}
+			if s.stats() != nil {
+				s.stats().PutsForwarded.Add(1)
+			}
+			return s.respond(client, func(e *encoder) { e.u8(stOK) })
+		}
+	}
+	s.acceptWork(w)
+	if s.stats() != nil {
+		s.stats().PutsLocal.Add(1)
+	}
+	return s.respond(client, func(e *encoder) { e.u8(stOK) })
+}
+
+// acceptWork delivers w to a parked client if one matches, else enqueues.
+func (s *server) acceptWork(w workItem) {
+	if w.Target != AnyRank {
+		if t, ok := s.parked[w.Target]; ok && t == w.Type {
+			s.deliver(w.Target, w)
+			return
+		}
+		k := targetKey{typ: w.Type, target: w.Target}
+		q := s.targeted[k]
+		if q == nil {
+			q = &workQueue{}
+			s.targeted[k] = q
+		}
+		q.push(w)
+		return
+	}
+	// Untargeted: first parked client (FIFO) wanting this type wins.
+	for i, r := range s.parkOrder {
+		if t, ok := s.parked[r]; ok && t == w.Type {
+			s.parkOrder = append(s.parkOrder[:i], s.parkOrder[i+1:]...)
+			s.deliver(r, w)
+			return
+		}
+	}
+	q := s.untargeted[w.Type]
+	if q == nil {
+		q = &workQueue{}
+		s.untargeted[w.Type] = q
+	}
+	q.push(w)
+}
+
+// deliver answers a parked (or newly parked) client's Get with work.
+func (s *server) deliver(client int, w workItem) {
+	delete(s.parked, client)
+	if s.stats() != nil {
+		s.stats().GetsServed.Add(1)
+	}
+	err := s.respond(client, func(e *encoder) {
+		e.u8(stOK)
+		encodeWorkItem(e, w)
+	})
+	if err != nil {
+		s.c.World().Abort(err)
+	}
+}
+
+func (s *server) handleGet(d *decoder, client int) error {
+	typ := int(d.i32())
+	if d.err != nil {
+		return d.err
+	}
+	if s.draining {
+		s.doneCount++
+		return s.respond(client, func(e *encoder) { e.u8(stNoMoreWork) })
+	}
+	// Targeted work for this client first.
+	if q, ok := s.targeted[targetKey{typ: typ, target: client}]; ok {
+		if w, ok := q.pop(); ok {
+			if s.stats() != nil {
+				s.stats().GetsServed.Add(1)
+			}
+			return s.respond(client, func(e *encoder) {
+				e.u8(stOK)
+				encodeWorkItem(e, w)
+			})
+		}
+	}
+	if q, ok := s.untargeted[typ]; ok {
+		if w, ok := q.pop(); ok {
+			if s.stats() != nil {
+				s.stats().GetsServed.Add(1)
+			}
+			return s.respond(client, func(e *encoder) {
+				e.u8(stOK)
+				encodeWorkItem(e, w)
+			})
+		}
+	}
+	// No work: park the request; the response is deferred.
+	s.parked[client] = typ
+	s.parkOrder = append(s.parkOrder, client)
+	if s.stats() != nil {
+		s.stats().GetsParked.Add(1)
+	}
+	if !s.stealOut {
+		s.maybeSteal()
+	}
+	return nil
+}
+
+func (s *server) handleUnique(d *decoder, client int) error {
+	count := int64(d.i32())
+	if d.err != nil {
+		return d.err
+	}
+	if count < 1 {
+		count = 1
+	}
+	start := s.nextID
+	s.nextID += count * int64(s.l.Servers)
+	return s.respond(client, func(e *encoder) {
+		e.u8(stOK)
+		e.i64(start)
+		e.i32(int32(s.l.Servers)) // stride
+	})
+}
+
+// ---------- data store ----------
+
+func (s *server) handleData(op uint8, d *decoder, client int) error {
+	switch op {
+	case opCreate:
+		id := d.i64()
+		typ := DataType(d.u8())
+		if d.err != nil {
+			return d.err
+		}
+		if _, exists := s.store[id]; exists {
+			return s.respondError(client, fmt.Sprintf("create: id %d already exists", id))
+		}
+		dm := &datum{typ: typ}
+		if typ == TypeContainer {
+			dm.members = make(map[string]int64)
+			dm.writeRefs = 1
+		}
+		s.store[id] = dm
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
+
+	case opStore:
+		id := d.i64()
+		v := decodeValue(d)
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		if !ok {
+			return s.respondError(client, fmt.Sprintf("store: no such id %d", id))
+		}
+		if dm.set {
+			return s.respondError(client, fmt.Sprintf("store: id %d already set (single-assignment violation)", id))
+		}
+		if dm.typ == TypeContainer {
+			return s.respondError(client, fmt.Sprintf("store: id %d is a container", id))
+		}
+		if v.Type != dm.typ && dm.typ != TypeVoid {
+			return s.respondError(client, fmt.Sprintf("store: id %d is %v, value is %v", id, dm.typ, v.Type))
+		}
+		dm.val = v
+		dm.set = true
+		s.notifyAll(dm, id)
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
+
+	case opRetrieve:
+		id := d.i64()
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		if !ok {
+			return s.respond(client, func(e *encoder) { e.u8(stNotFound) })
+		}
+		if !dm.set && dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("retrieve: id %d is unset", id))
+		}
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			encodeValue(e, dm.val)
+		})
+
+	case opSubscribe:
+		id := d.i64()
+		rank := int(d.i32())
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		if !ok {
+			return s.respondError(client, fmt.Sprintf("subscribe: no such id %d", id))
+		}
+		if dm.closed() {
+			return s.respond(client, func(e *encoder) {
+				e.u8(stOK)
+				e.boolean(true) // already closed
+			})
+		}
+		dm.subscribers = append(dm.subscribers, rank)
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.boolean(false)
+		})
+
+	case opInsert:
+		cid := d.i64()
+		sub := d.str()
+		member := d.i64()
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[cid]
+		if !ok || dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("insert: id %d is not a container", cid))
+		}
+		if dm.closed() {
+			return s.respondError(client, fmt.Sprintf("insert: container %d is closed", cid))
+		}
+		if _, dup := dm.members[sub]; dup {
+			return s.respondError(client, fmt.Sprintf("insert: container %d already has subscript %q", cid, sub))
+		}
+		dm.members[sub] = member
+		dm.order = append(dm.order, sub)
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
+
+	case opLookup:
+		cid := d.i64()
+		sub := d.str()
+		createType := DataType(d.u8()) // 0 = do not create
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[cid]
+		if !ok || dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("lookup: id %d is not a container", cid))
+		}
+		if m, ok := dm.members[sub]; ok {
+			return s.respond(client, func(e *encoder) {
+				e.u8(stOK)
+				e.i64(m)
+				e.boolean(false)
+			})
+		}
+		if createType == 0 {
+			return s.respond(client, func(e *encoder) { e.u8(stNotFound) })
+		}
+		if dm.closed() {
+			return s.respondError(client, fmt.Sprintf("lookup: container %d closed without subscript %q", cid, sub))
+		}
+		// Create an owner-local placeholder TD for the member.
+		id := s.nextID
+		s.nextID += int64(s.l.Servers)
+		pdm := &datum{typ: createType}
+		if createType == TypeContainer {
+			pdm.members = make(map[string]int64)
+			pdm.writeRefs = 1
+		}
+		s.store[id] = pdm
+		dm.members[sub] = id
+		dm.order = append(dm.order, sub)
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.i64(id)
+			e.boolean(true)
+		})
+
+	case opEnumerate:
+		cid := d.i64()
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[cid]
+		if !ok || dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("enumerate: id %d is not a container", cid))
+		}
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.u32(uint32(len(dm.order)))
+			for _, sub := range dm.order {
+				e.str(sub)
+				e.i64(dm.members[sub])
+			}
+		})
+
+	case opWriteRefcount:
+		id := d.i64()
+		delta := int(d.i32())
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		if !ok {
+			return s.respondError(client, fmt.Sprintf("refcount: no such id %d", id))
+		}
+		if dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("refcount: id %d is not a container", id))
+		}
+		wasClosed := dm.closed()
+		dm.writeRefs += delta
+		if dm.writeRefs < 0 {
+			return s.respondError(client, fmt.Sprintf("refcount: id %d dropped below zero", id))
+		}
+		if !wasClosed && dm.closed() {
+			s.notifyAll(dm, id)
+		}
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
+
+	case opExists:
+		id := d.i64()
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.boolean(ok && dm.closed())
+		})
+
+	case opTypeOf:
+		id := d.i64()
+		if d.err != nil {
+			return d.err
+		}
+		dm, ok := s.store[id]
+		if !ok {
+			return s.respond(client, func(e *encoder) { e.u8(stNotFound) })
+		}
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.u8(uint8(dm.typ))
+		})
+	}
+	return fmt.Errorf("adlb: unhandled data op %d", op)
+}
+
+// notifyAll wraps a close notification for each subscriber into a
+// high-priority targeted work item and routes it to the subscriber's
+// server. This is how a Store on one rank wakes dataflow rules on another.
+func (s *server) notifyAll(dm *datum, id int64) {
+	for _, rank := range dm.subscribers {
+		w := workItem{
+			Type:     s.cfg.NotifyType,
+			Priority: notifyPriority,
+			Target:   rank,
+			Payload:  EncodeNotification(id),
+		}
+		if s.stats() != nil {
+			s.stats().Notifications.Add(1)
+		}
+		owner := s.l.ServerOf(rank)
+		if owner == s.c.Rank() {
+			s.acceptWork(w)
+			continue
+		}
+		if err := s.sendServer(owner, sopPutForward, true, func(e *encoder) {
+			encodeWorkItem(e, w)
+		}); err != nil {
+			s.c.World().Abort(err)
+			return
+		}
+	}
+	dm.subscribers = nil
+}
+
+// notifyPriority outranks ordinary work so dataflow wake-ups preempt
+// queued leaf tasks, keeping engines busy generating work.
+const notifyPriority = 1 << 20
+
+// ---------- server-to-server ----------
+
+// sendServer sends a server-to-server message. counted marks messages that
+// transfer work and therefore participate in Safra's message counting.
+// Empty steal traffic is deliberately uncounted: an outstanding steal
+// request already makes the requesting server non-quiet (it holds the
+// token and blocks the detection round), so only work-bearing messages can
+// race with a completing round. Counting empty steal chatter would instead
+// livelock detection — retries would keep blackening servers forever.
+func (s *server) sendServer(dest int, op uint8, counted bool, build func(*encoder)) error {
+	e := &encoder{}
+	e.u8(op)
+	build(e)
+	if counted {
+		s.mcount++
+	}
+	return s.c.Send(dest, tagServer, e.buf)
+}
+
+func (s *server) handleServer(op uint8, d *decoder, source int) error {
+	switch op {
+	case sopPutForward:
+		s.mcount--
+		s.black = true
+		w := decodeWorkItem(d)
+		if d.err != nil {
+			return d.err
+		}
+		s.acceptWork(w)
+		if s.stats() != nil {
+			s.stats().PutsLocal.Add(1)
+		}
+		return nil
+
+	case sopStealReq:
+		typ := int(d.i32())
+		requester := int(d.i32())
+		if d.err != nil {
+			return d.err
+		}
+		var items []workItem
+		if q, ok := s.untargeted[typ]; ok {
+			items = q.drainHalf()
+		}
+		return s.sendServer(s.l.ServerRank(requester), sopStealResp, len(items) > 0, func(e *encoder) {
+			e.u32(uint32(len(items)))
+			for _, w := range items {
+				encodeWorkItem(e, w)
+			}
+		})
+
+	case sopStealResp:
+		n := int(d.u32())
+		s.stealOut = false
+		if n > 0 {
+			s.mcount--
+			s.black = true
+			s.stealBackoff = 0
+			if s.stats() != nil {
+				s.stats().StealHits.Add(1)
+				s.stats().ItemsStolen.Add(int64(n))
+			}
+		} else if s.stealBackoff < 64 {
+			// Empty response: back off exponentially so idle servers stop
+			// hammering each other while termination detection proceeds.
+			if s.stealBackoff == 0 {
+				s.stealBackoff = 1
+			} else {
+				s.stealBackoff *= 2
+			}
+		}
+		s.stealWait = s.stealBackoff
+		for i := 0; i < n; i++ {
+			w := decodeWorkItem(d)
+			if d.err != nil {
+				return d.err
+			}
+			s.acceptWork(w)
+		}
+		return nil
+
+	case sopToken:
+		s.tokenQ = d.i64()
+		s.tokenBlack = d.boolean()
+		if d.err != nil {
+			return d.err
+		}
+		s.haveToken = true
+		if s.quiet() {
+			s.forwardToken()
+		}
+		return nil
+
+	case sopShutdown:
+		s.beginDrain()
+		return nil
+	}
+	return fmt.Errorf("adlb: unhandled server op %d from %d", op, source)
+}
+
+// maybeSteal issues one steal request on behalf of parked clients. Victims
+// rotate round-robin over the other servers.
+func (s *server) maybeSteal() {
+	if s.cfg.DisableSteal || s.l.Servers < 2 || len(s.parked) == 0 || s.stealOut {
+		return
+	}
+	// Steal for the type of the longest-parked client.
+	typ, ok := -1, false
+	for _, r := range s.parkOrder {
+		if t, p := s.parked[r]; p {
+			typ, ok = t, true
+			break
+		}
+	}
+	if !ok {
+		return
+	}
+	victim := s.stealRR
+	if victim == s.idx {
+		victim = (victim + 1) % s.l.Servers
+	}
+	s.stealRR = (victim + 1) % s.l.Servers
+	s.stealOut = true
+	if s.stats() != nil {
+		s.stats().StealReqs.Add(1)
+	}
+	err := s.sendServer(s.l.ServerRank(victim), sopStealReq, false, func(e *encoder) {
+		e.i32(int32(typ))
+		e.i32(int32(s.idx))
+	})
+	if err != nil {
+		s.c.World().Abort(err)
+	}
+}
+
+// ---------- Safra termination detection ----------
+
+func (s *server) startTokenRound() {
+	if s.l.Servers == 1 {
+		// Single server: local quiescence is global (all client RPCs are
+		// synchronous, so no in-flight messages can exist).
+		s.terminate()
+		return
+	}
+	s.roundOpen = true
+	s.black = false
+	if s.stats() != nil {
+		s.stats().TokenRounds.Add(1)
+	}
+	err := s.sendServer(s.l.ServerRank(1), sopToken, false, func(e *encoder) {
+		e.i64(0)
+		e.boolean(false)
+	})
+	if err != nil {
+		s.c.World().Abort(err)
+	}
+}
+
+func (s *server) forwardToken() {
+	if !s.haveToken {
+		return
+	}
+	s.haveToken = false
+	if s.idx == 0 {
+		// Token completed the ring.
+		s.roundOpen = false
+		if !s.tokenBlack && !s.black && s.tokenQ+s.mcount == 0 {
+			s.terminate()
+		}
+		// Otherwise a new round starts from housekeeping when quiet.
+		return
+	}
+	q := s.tokenQ + s.mcount
+	black := s.tokenBlack || s.black
+	s.black = false
+	next := (s.idx + 1) % s.l.Servers
+	err := s.sendServer(s.l.ServerRank(next), sopToken, false, func(e *encoder) {
+		e.i64(q)
+		e.boolean(black)
+	})
+	if err != nil {
+		s.c.World().Abort(err)
+	}
+}
+
+// terminate broadcasts shutdown to all servers (master only) and begins
+// the local drain.
+func (s *server) terminate() {
+	for i := 1; i < s.l.Servers; i++ {
+		e := &encoder{}
+		e.u8(sopShutdown)
+		if err := s.c.Send(s.l.ServerRank(i), tagServer, e.buf); err != nil {
+			s.c.World().Abort(err)
+			return
+		}
+	}
+	s.beginDrain()
+}
+
+// beginDrain answers every parked client with NO_MORE_WORK and arranges
+// for the server loop to exit once all assigned clients have been told.
+func (s *server) beginDrain() {
+	s.draining = true
+	for _, r := range s.parkOrder {
+		if _, ok := s.parked[r]; !ok {
+			continue
+		}
+		delete(s.parked, r)
+		s.doneCount++
+		if err := s.respond(r, func(e *encoder) { e.u8(stNoMoreWork) }); err != nil {
+			s.c.World().Abort(err)
+			return
+		}
+	}
+	s.parkOrder = nil
+	s.selfHalted = true
+}
+
+const notifyMagic = 0xD7
+
+// EncodeNotification builds the payload of a data-close notification work
+// item. Turbine engines decode these in their Get loop.
+func EncodeNotification(id int64) []byte {
+	e := &encoder{}
+	e.u8(notifyMagic)
+	e.i64(id)
+	return e.buf
+}
+
+// DecodeNotification reports whether payload is a data-close notification
+// and, if so, the id that closed.
+func DecodeNotification(payload []byte) (int64, bool) {
+	if len(payload) != 9 || payload[0] != notifyMagic {
+		return 0, false
+	}
+	d := &decoder{buf: payload, off: 1}
+	id := d.i64()
+	if d.err != nil {
+		return 0, false
+	}
+	return id, true
+}

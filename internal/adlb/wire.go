@@ -1,0 +1,100 @@
+package adlb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The ADLB wire format is a compact, hand-rolled binary encoding: the real
+// library ships C structs over MPI; we ship length-prefixed fields over the
+// simulated transport. All integers are little-endian.
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+func (e *encoder) i32(v int32) { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+func (e *encoder) str(v string) { e.bytes([]byte(v)) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("adlb: wire decode: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail("bytes")
+		return nil
+	}
+	v := d.buf[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *decoder) str() string { return string(d.bytes()) }
+
+func (d *decoder) boolean() bool { return d.u8() != 0 }

@@ -1,0 +1,222 @@
+// Package baseline implements the "traditional techniques" the paper's
+// introduction contrasts with the Swift/T approach (§I): (a) a
+// hand-written MPI master/worker program in which the developer manages
+// task dispatch, data marshalling, and load balancing manually, and (b) a
+// scripting-language-specific MPI binding (mpi4py-style) exposing message
+// passing directly to the embedded Python interpreter. Benchmarks compare
+// these against the Swift/T model for throughput and programming effort.
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/pylite"
+)
+
+// Task is one unit of master/worker work: an opaque input producing an
+// opaque output.
+type Task struct {
+	ID      int
+	Payload []byte
+}
+
+// WorkFn executes one task on a worker.
+type WorkFn func(t Task) ([]byte, error)
+
+// Message tags for the hand-rolled protocol — exactly the bookkeeping
+// Swift/T hides from the user.
+const (
+	tagReady  = 10
+	tagTask   = 11
+	tagResult = 12
+	tagStop   = 13
+)
+
+// MasterWorker runs tasks over the world using the classic on-demand
+// master/worker protocol: rank 0 is the master; workers send READY,
+// receive a TASK or STOP, and return RESULTs. Returns outputs by task id
+// on rank 0 (nil elsewhere).
+func MasterWorker(c *mpi.Comm, tasks []Task, work WorkFn) (map[int][]byte, error) {
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("baseline: master/worker needs at least 2 ranks")
+	}
+	if c.Rank() == 0 {
+		return runMaster(c, tasks)
+	}
+	return nil, runWorker(c, work)
+}
+
+func runMaster(c *mpi.Comm, tasks []Task) (map[int][]byte, error) {
+	results := make(map[int][]byte, len(tasks))
+	next := 0
+	outstanding := 0
+	stopped := 0
+	workers := c.Size() - 1
+	for stopped < workers {
+		data, st, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Tag {
+		case tagReady:
+			if next < len(tasks) {
+				t := tasks[next]
+				next++
+				outstanding++
+				hdr := make([]byte, 8)
+				putU32(hdr, uint32(t.ID))
+				putU32(hdr[4:], uint32(len(t.Payload)))
+				if err := c.Send(st.Source, tagTask, append(hdr, t.Payload...)); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := c.Send(st.Source, tagStop, nil); err != nil {
+					return nil, err
+				}
+				stopped++
+			}
+		case tagResult:
+			if len(data) < 4 {
+				return nil, fmt.Errorf("baseline: short result")
+			}
+			id := int(getU32(data))
+			results[id] = append([]byte(nil), data[4:]...)
+			outstanding--
+		default:
+			return nil, fmt.Errorf("baseline: master got unexpected tag %d", st.Tag)
+		}
+	}
+	if outstanding != 0 {
+		return nil, fmt.Errorf("baseline: %d results missing", outstanding)
+	}
+	return results, nil
+}
+
+func runWorker(c *mpi.Comm, work WorkFn) error {
+	for {
+		if err := c.Send(0, tagReady, nil); err != nil {
+			return err
+		}
+		data, st, err := c.Recv(0, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Tag == tagStop {
+			return nil
+		}
+		if st.Tag != tagTask || len(data) < 8 {
+			return fmt.Errorf("baseline: worker got bad message tag %d", st.Tag)
+		}
+		id := getU32(data)
+		n := int(getU32(data[4:]))
+		if 8+n > len(data) {
+			return fmt.Errorf("baseline: truncated task payload")
+		}
+		out, err := work(Task{ID: int(id), Payload: data[8 : 8+n]})
+		if err != nil {
+			return err
+		}
+		msg := make([]byte, 4+len(out))
+		putU32(msg, id)
+		copy(msg[4:], out)
+		if err := c.Send(0, tagResult, msg); err != nil {
+			return err
+		}
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// ---- pympi: the scripting-language MPI alternative (§I) ----
+
+// PyMPIStats counts what a pympi run did.
+type PyMPIStats struct {
+	Sends atomic.Int64
+	Recvs atomic.Int64
+}
+
+// RunPyMPI executes the same Python script on every rank with mpi_rank(),
+// mpi_size(), mpi_send(dest, s), and mpi_recv(src) bound to the
+// simulated MPI communicator — the mpi4py-style approach the paper notes
+// "would limit the number of languages that could be used".
+func RunPyMPI(world *mpi.World, script string, stats *PyMPIStats) ([]string, error) {
+	results := make([]string, world.Size())
+	err := world.Run(func(c *mpi.Comm) error {
+		py := pylite.New()
+		bindMPI(py, c, stats)
+		if err := py.Exec(script); err != nil {
+			return fmt.Errorf("pympi rank %d: %w", c.Rank(), err)
+		}
+		v, err := py.EvalExpr("result")
+		if err != nil {
+			// A script need not define `result`.
+			results[c.Rank()] = ""
+			return nil
+		}
+		results[c.Rank()] = pylite.Str(v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+const pympiTag = 20
+
+func bindMPI(py *pylite.Interp, c *mpi.Comm, stats *PyMPIStats) {
+	set := func(name string, fn pylite.Builtin) {
+		py.SetGlobal(name, fn)
+	}
+	set("mpi_rank", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
+		return int64(c.Rank()), nil
+	})
+	set("mpi_size", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
+		return int64(c.Size()), nil
+	})
+	set("mpi_send", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("mpi_send(dest, str) takes 2 arguments")
+		}
+		dest, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("mpi_send: dest must be an int")
+		}
+		if stats != nil {
+			stats.Sends.Add(1)
+		}
+		return nil, c.Send(int(dest), pympiTag, []byte(pylite.Str(args[1])))
+	})
+	set("mpi_recv", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
+		src := mpi.AnySource
+		if len(args) == 1 {
+			s, ok := args[0].(int64)
+			if !ok {
+				return nil, fmt.Errorf("mpi_recv: source must be an int")
+			}
+			src = int(s)
+		}
+		data, _, err := c.Recv(src, pympiTag)
+		if err != nil {
+			return nil, err
+		}
+		if stats != nil {
+			stats.Recvs.Add(1)
+		}
+		return string(data), nil
+	})
+	set("mpi_barrier", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
+		return nil, c.Barrier()
+	})
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestMasterWorkerAllTasksOnce(t *testing.T) {
+	const n = 57
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Payload: []byte(strconv.Itoa(i))}
+	}
+	w, _ := mpi.NewWorld(5)
+	var results map[int][]byte
+	err := w.Run(func(c *mpi.Comm) error {
+		r, err := MasterWorker(c, tasks, func(task Task) ([]byte, error) {
+			v, _ := strconv.Atoi(string(task.Payload))
+			return []byte(strconv.Itoa(v * v)), nil
+		})
+		if c.Rank() == 0 {
+			results = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i := 0; i < n; i++ {
+		if string(results[i]) != strconv.Itoa(i*i) {
+			t.Fatalf("task %d = %q", i, results[i])
+		}
+	}
+}
+
+func TestMasterWorkerZeroTasks(t *testing.T) {
+	w, _ := mpi.NewWorld(3)
+	err := w.Run(func(c *mpi.Comm) error {
+		_, err := MasterWorker(c, nil, func(task Task) ([]byte, error) {
+			return nil, fmt.Errorf("should never run")
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMasterWorkerNeedsTwoRanks(t *testing.T) {
+	w, _ := mpi.NewWorld(1)
+	err := w.Run(func(c *mpi.Comm) error {
+		_, err := MasterWorker(c, nil, nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected error for 1-rank world")
+	}
+}
+
+func TestMasterWorkerTaskError(t *testing.T) {
+	tasks := []Task{{ID: 0, Payload: []byte("x")}}
+	w, _ := mpi.NewWorld(2)
+	err := w.Run(func(c *mpi.Comm) error {
+		_, err := MasterWorker(c, tasks, func(task Task) ([]byte, error) {
+			return nil, fmt.Errorf("deliberate failure")
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPyMPIRingExchange(t *testing.T) {
+	// Each rank sends its rank to the next rank; result is what it got.
+	script := `
+rank = mpi_rank()
+size = mpi_size()
+dest = (rank + 1) % size
+mpi_send(dest, str(rank))
+got = mpi_recv()
+result = str(rank) + "<-" + got
+`
+	w, _ := mpi.NewWorld(4)
+	stats := &PyMPIStats{}
+	results, err := RunPyMPI(w, script, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("%d<-%d", r, (r+3)%4)
+		if results[r] != want {
+			t.Fatalf("rank %d: %q, want %q", r, results[r], want)
+		}
+	}
+	if stats.Sends.Load() != 4 || stats.Recvs.Load() != 4 {
+		t.Fatalf("sends=%d recvs=%d", stats.Sends.Load(), stats.Recvs.Load())
+	}
+}
+
+func TestPyMPIMasterWorkerPattern(t *testing.T) {
+	// The paper's point: this works, but the user writes the protocol by
+	// hand inside Python and it only speaks to other Python ranks.
+	script := `
+rank = mpi_rank()
+size = mpi_size()
+if rank == 0:
+    total = 0
+    for w in range(1, size):
+        total = total + int(mpi_recv())
+    result = str(total)
+else:
+    mpi_send(0, str(rank * 100))
+    result = "sent"
+`
+	w, _ := mpi.NewWorld(4)
+	results, err := RunPyMPI(w, script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] != "600" {
+		t.Fatalf("master got %q", results[0])
+	}
+}
+
+func TestPyMPIErrorPropagates(t *testing.T) {
+	w, _ := mpi.NewWorld(2)
+	_, err := RunPyMPI(w, "mpi_send('notanint', 'x')", nil)
+	if err == nil || !strings.Contains(err.Error(), "dest must be an int") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPyMPIBarrier(t *testing.T) {
+	w, _ := mpi.NewWorld(3)
+	results, err := RunPyMPI(w, "mpi_barrier()\nresult = 'past'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r != "past" {
+			t.Fatalf("results = %v", results)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package blob implements the Swift/T blob type and the blobutils helper
+// library (paper §III-B): binary large objects that carry bulk scientific
+// data — C-style arrays, strings, and multidimensional Fortran arrays —
+// between Swift, Tcl, and native kernels without copying through textual
+// representations.
+//
+// Where real blobutils converts between void* and typed pointers for SWIG,
+// this package converts between raw byte slices and typed Go slices with
+// explicit little-endian layout, which is the same contract (a pointer +
+// length pair reinterpreted at a given element type).
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Blob is a binary large object: raw bytes plus an optional logical shape
+// for multidimensional array data. A nil Dims means a flat buffer.
+type Blob struct {
+	Data []byte
+	Dims []int // logical extents; Fortran (column-major) order when set
+}
+
+// New wraps raw bytes as a flat blob.
+func New(data []byte) Blob { return Blob{Data: data} }
+
+// Len returns the byte length.
+func (b Blob) Len() int { return len(b.Data) }
+
+// String renders a short diagnostic description, not the contents.
+func (b Blob) String() string {
+	if b.Dims == nil {
+		return fmt.Sprintf("blob[%d bytes]", len(b.Data))
+	}
+	return fmt.Sprintf("blob[%d bytes, dims %v]", len(b.Data), b.Dims)
+}
+
+// FromFloat64s packs a float64 slice into a blob (little-endian IEEE 754),
+// the equivalent of blobutils' double* view.
+func FromFloat64s(v []float64) Blob {
+	data := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(data[8*i:], math.Float64bits(f))
+	}
+	return Blob{Data: data}
+}
+
+// ToFloat64s reinterprets a blob as a float64 slice.
+func ToFloat64s(b Blob) ([]float64, error) {
+	if len(b.Data)%8 != 0 {
+		return nil, fmt.Errorf("blob: %d bytes is not a whole number of float64s", len(b.Data))
+	}
+	out := make([]float64, len(b.Data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b.Data[8*i:]))
+	}
+	return out, nil
+}
+
+// FromInt32s packs an int32 slice into a blob (the C int view).
+func FromInt32s(v []int32) Blob {
+	data := make([]byte, 4*len(v))
+	for i, n := range v {
+		binary.LittleEndian.PutUint32(data[4*i:], uint32(n))
+	}
+	return Blob{Data: data}
+}
+
+// ToInt32s reinterprets a blob as an int32 slice.
+func ToInt32s(b Blob) ([]int32, error) {
+	if len(b.Data)%4 != 0 {
+		return nil, fmt.Errorf("blob: %d bytes is not a whole number of int32s", len(b.Data))
+	}
+	out := make([]int32, len(b.Data)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b.Data[4*i:]))
+	}
+	return out, nil
+}
+
+// FromInt64s packs an int64 slice into a blob (the C long long view).
+func FromInt64s(v []int64) Blob {
+	data := make([]byte, 8*len(v))
+	for i, n := range v {
+		binary.LittleEndian.PutUint64(data[8*i:], uint64(n))
+	}
+	return Blob{Data: data}
+}
+
+// ToInt64s reinterprets a blob as an int64 slice.
+func ToInt64s(b Blob) ([]int64, error) {
+	if len(b.Data)%8 != 0 {
+		return nil, fmt.Errorf("blob: %d bytes is not a whole number of int64s", len(b.Data))
+	}
+	out := make([]int64, len(b.Data)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b.Data[8*i:]))
+	}
+	return out, nil
+}
+
+// FromString packs a NUL-terminated C string into a blob, as blobutils
+// does for char* interchange.
+func FromString(s string) Blob {
+	data := make([]byte, len(s)+1)
+	copy(data, s)
+	return Blob{Data: data}
+}
+
+// ToString unpacks a C-string blob, stopping at the first NUL.
+func ToString(b Blob) string {
+	for i, c := range b.Data {
+		if c == 0 {
+			return string(b.Data[:i])
+		}
+	}
+	return string(b.Data)
+}
+
+// Matrix is a dense 2-D float64 array in Fortran (column-major) layout,
+// the shape FortWrap-wrapped kernels expect.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64 // column-major
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("blob: invalid matrix shape %dx%d", rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}, nil
+}
+
+// At returns element (i, j) using 0-based row/column indices.
+func (m *Matrix) At(i, j int) float64 { return m.data[j*m.Rows+i] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[j*m.Rows+i] = v }
+
+// ColumnMajor exposes the underlying column-major buffer.
+func (m *Matrix) ColumnMajor() []float64 { return m.data }
+
+// MatrixToBlob serialises a matrix to a blob with Fortran dims metadata.
+func MatrixToBlob(m *Matrix) Blob {
+	b := FromFloat64s(m.data)
+	b.Dims = []int{m.Rows, m.Cols}
+	return b
+}
+
+// MatrixFromBlob reconstructs a matrix from a dims-tagged blob, or from a
+// flat blob with explicit extents.
+func MatrixFromBlob(b Blob, rows, cols int) (*Matrix, error) {
+	if b.Dims != nil {
+		if len(b.Dims) != 2 {
+			return nil, fmt.Errorf("blob: expected 2-D dims, got %v", b.Dims)
+		}
+		rows, cols = b.Dims[0], b.Dims[1]
+	}
+	vals, err := ToFloat64s(Blob{Data: b.Data})
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != rows*cols {
+		return nil, fmt.Errorf("blob: %d values do not fill a %dx%d matrix", len(vals), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: vals}, nil
+}
+
+// Envelope is the wire form of a blob including its dims, used when a blob
+// travels through the ADLB data store (which carries flat bytes).
+// Layout: u32 ndims, ndims × i64 extents, payload.
+func (b Blob) Envelope() []byte {
+	out := make([]byte, 4+8*len(b.Dims)+len(b.Data))
+	binary.LittleEndian.PutUint32(out, uint32(len(b.Dims)))
+	for i, d := range b.Dims {
+		binary.LittleEndian.PutUint64(out[4+8*i:], uint64(d))
+	}
+	copy(out[4+8*len(b.Dims):], b.Data)
+	return out
+}
+
+// FromEnvelope parses the Envelope layout back into a Blob.
+func FromEnvelope(data []byte) (Blob, error) {
+	if len(data) < 4 {
+		return Blob{}, fmt.Errorf("blob: envelope too short (%d bytes)", len(data))
+	}
+	nd := int(binary.LittleEndian.Uint32(data))
+	if nd < 0 || nd > 16 {
+		return Blob{}, fmt.Errorf("blob: implausible ndims %d", nd)
+	}
+	if len(data) < 4+8*nd {
+		return Blob{}, fmt.Errorf("blob: envelope truncated (ndims=%d, %d bytes)", nd, len(data))
+	}
+	var dims []int
+	if nd > 0 {
+		dims = make([]int, nd)
+		for i := range dims {
+			dims[i] = int(binary.LittleEndian.Uint64(data[4+8*i:]))
+		}
+	}
+	return Blob{Data: data[4+8*nd:], Dims: dims}, nil
+}

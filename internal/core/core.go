@@ -1,0 +1,317 @@
+// Package core is the public entry point of the reproduction: it wires
+// the Swift compiler (internal/stc), the Turbine/ADLB runtime
+// (internal/turbine, internal/adlb) over the simulated MPI substrate
+// (internal/mpi), and the interlanguage extensions that are the paper's
+// contribution — embedded Python and R interpreters, SWIG-bound native
+// libraries, Tcl packages, and the shell interface.
+//
+// A typical use:
+//
+//	res, err := core.Run(`
+//	    (int o) f(int i) { o = i * 2; }
+//	    foreach i in [0:9] { printf("%i", f(i)); }
+//	`, core.Config{Engines: 1, Workers: 4, Servers: 1})
+//
+// The program runs as a simulated MPI job: engines evaluate dataflow,
+// workers execute leaf tasks (including python(...), r(...), sh(...),
+// and SWIG-wrapped native calls), ADLB servers load-balance and hold the
+// distributed data store, and the run terminates when global quiescence
+// is detected.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adlb"
+	"repro/internal/mpi"
+	"repro/internal/nativelib"
+	"repro/internal/pfs"
+	"repro/internal/pkgs"
+	"repro/internal/pylite"
+	"repro/internal/rlite"
+	"repro/internal/shell"
+	"repro/internal/stc"
+	"repro/internal/swig"
+	"repro/internal/tcl"
+	"repro/internal/turbine"
+)
+
+// InterpPolicy selects what happens to embedded interpreter state between
+// leaf tasks (paper §III-C): retain it — fast, but tasks can observe
+// previous tasks' globals — or reinitialise for a clean slate.
+type InterpPolicy int
+
+// Interpreter state policies.
+const (
+	// PolicyRetain keeps interpreter state across tasks (the default;
+	// "old interpreter state can also be used to store useful data if
+	// the programmer is careful").
+	PolicyRetain InterpPolicy = iota
+	// PolicyReinit finalises and reinitialises the interpreter after
+	// every task, clearing any state.
+	PolicyReinit
+)
+
+// Config describes one run.
+type Config struct {
+	// Engines, Workers, Servers partition the simulated MPI world
+	// (paper Fig. 2). All default to 1 if zero.
+	Engines int
+	Workers int
+	Servers int
+
+	// Out receives program output (printf/trace/puts/print from any
+	// language on any rank). Defaults to io.Discard; use Result.Stdout
+	// for the captured text.
+	Out io.Writer
+
+	// Policy is the embedded-interpreter state policy (§III-C).
+	Policy InterpPolicy
+
+	// ShellMode selects the simulated machine's launch policy for app
+	// functions and sh(...) (§III-C: BG/Q forbids process launches).
+	ShellMode shell.Mode
+	// SpawnCost overrides the simulated process-launch cost.
+	SpawnCost time.Duration
+	// SleepOnSpawn makes SpawnCost a real delay (see shell.System).
+	SleepOnSpawn bool
+	// Programs adds executables to the simulated process table beyond
+	// the standard utilities (e.g. a one-shot external interpreter).
+	Programs map[string]shell.Program
+
+	// FS is an optional shared parallel filesystem for app functions,
+	// source, and package loading.
+	FS *pfs.FS
+	// Bundle is an optional static package (paper §IV) consulted before
+	// FS for source and package require.
+	Bundle *pkgs.Bundle
+	// PkgPath is the TCLLIBPATH-style search path for package require.
+	PkgPath []string
+
+	// NativeLibs are SWIG-bound on every rank (paper §III-B, Fig. 3).
+	NativeLibs []*nativelib.Library
+
+	// TclSetup, if non-nil, runs on every rank's interpreter before the
+	// program loads (user Tcl packages, extra commands).
+	TclSetup func(in *tcl.Interp) error
+
+	// Stats / TurbineStats collect runtime counters when non-nil.
+	Stats        *adlb.Stats
+	TurbineStats *turbine.Stats
+	// DisableSteal turns off inter-server work stealing (ablation).
+	DisableSteal bool
+	// Tick overrides the ADLB server housekeeping interval.
+	Tick time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Engines <= 0 {
+		out.Engines = 1
+	}
+	if out.Workers <= 0 {
+		out.Workers = 1
+	}
+	if out.Servers <= 0 {
+		out.Servers = 1
+	}
+	return out
+}
+
+// Result reports what a run did.
+type Result struct {
+	// Stdout is everything the program printed, in arrival order.
+	Stdout string
+	// Elapsed is the wall-clock duration of the simulated job.
+	Elapsed time.Duration
+	// ADLB is a snapshot of load-balancer counters (if Stats was set or
+	// defaulted).
+	ADLB adlb.StatsSnapshot
+	// LeafTasks and ControlTasks count executed tasks.
+	LeafTasks    int64
+	ControlTasks int64
+	// PythonEvals and REvals count embedded-interpreter invocations.
+	PythonEvals int64
+	REvals      int64
+	// Spawns counts simulated process launches by app functions.
+	Spawns int64
+}
+
+// lockedWriter serialises concurrent rank output and captures it.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf strings.Builder
+	tee io.Writer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.WriteString(string(p))
+	if w.tee != nil {
+		w.tee.Write(p)
+	}
+	return len(p), nil
+}
+
+// Run compiles and executes Swift source under cfg.
+func Run(source string, cfg Config) (*Result, error) {
+	compiled, err := stc.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(compiled, cfg)
+}
+
+// RunCompiled executes already-compiled Turbine code under cfg.
+func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Stats == nil {
+		cfg.Stats = &adlb.Stats{}
+	}
+	if cfg.TurbineStats == nil {
+		cfg.TurbineStats = &turbine.Stats{}
+	}
+	sink := &lockedWriter{tee: cfg.Out}
+
+	sys := shell.NewSystem(cfg.ShellMode, cfg.FS)
+	if cfg.SpawnCost > 0 {
+		sys.SpawnCost = cfg.SpawnCost
+	}
+	sys.SleepOnSpawn = cfg.SleepOnSpawn
+	for name, prog := range cfg.Programs {
+		sys.RegisterProgram(name, prog)
+	}
+
+	var pyEvals, rEvals atomic.Int64
+
+	tcfg := &turbine.Config{
+		Engines:      cfg.Engines,
+		Servers:      cfg.Servers,
+		Tick:         cfg.Tick,
+		Stats:        cfg.Stats,
+		TurbineStats: cfg.TurbineStats,
+		DisableSteal: cfg.DisableSteal,
+		Program:      compiled.Program,
+		Main:         compiled.Main,
+		Setup: func(in *tcl.Interp, env *turbine.Env) error {
+			in.Out = sink
+			in.PkgPath = cfg.PkgPath
+			in.SourceFS = func(path string) (string, error) {
+				if cfg.Bundle != nil {
+					if content, err := cfg.Bundle.SourceFS(path); err == nil {
+						return content, nil
+					}
+				}
+				if cfg.FS != nil {
+					return cfg.FS.SourceFS(path)
+				}
+				return "", fmt.Errorf("core: no filesystem mounted for %q", path)
+			}
+			registerPython(in, cfg.Policy, sink, &pyEvals)
+			registerR(in, cfg.Policy, sink, &rEvals)
+			registerShell(in, sys)
+			for _, lib := range cfg.NativeLibs {
+				if _, err := swig.Bind(in, lib); err != nil {
+					return err
+				}
+				in.Eval("package provide " + lib.Name)
+			}
+			if cfg.TclSetup != nil {
+				return cfg.TclSetup(in)
+			}
+			return nil
+		},
+	}
+
+	size := cfg.Engines + cfg.Workers + cfg.Servers
+	world, err := mpi.NewWorld(size)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	err = world.Run(func(c *mpi.Comm) error { return turbine.Run(c, tcfg) })
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Stdout:       sink.buf.String(),
+		Elapsed:      time.Since(start),
+		ADLB:         cfg.Stats.Snapshot(),
+		LeafTasks:    cfg.TurbineStats.LeafTasks.Load(),
+		ControlTasks: cfg.TurbineStats.ControlTasks.Load(),
+		PythonEvals:  pyEvals.Load(),
+		REvals:       rEvals.Load(),
+		Spawns:       sys.Spawns(),
+	}, nil
+}
+
+// registerPython installs the python::eval command backed by a per-rank
+// embedded pylite interpreter, created lazily on first use — exactly the
+// paper's "external interpreter as a native code library" design.
+func registerPython(in *tcl.Interp, policy InterpPolicy, out io.Writer, evals *atomic.Int64) {
+	in.RegisterCommand("python::eval", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: python::eval <code> <expr>")
+		}
+		h, ok := in.ClientData["python"].(*pylite.Interp)
+		if !ok {
+			h = pylite.New()
+			h.Out = out
+			in.ClientData["python"] = h
+		}
+		evals.Add(1)
+		res, err := h.EvalFragment(args[1], args[2])
+		if policy == PolicyReinit {
+			h.Reset()
+		}
+		if err != nil {
+			return "", fmt.Errorf("python: %w", err)
+		}
+		return res, nil
+	})
+}
+
+// registerR installs r::eval backed by a per-rank embedded rlite
+// interpreter.
+func registerR(in *tcl.Interp, policy InterpPolicy, out io.Writer, evals *atomic.Int64) {
+	in.RegisterCommand("r::eval", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: r::eval <code> <expr>")
+		}
+		h, ok := in.ClientData["r"].(*rlite.Interp)
+		if !ok {
+			h = rlite.New()
+			h.Out = out
+			in.ClientData["r"] = h
+		}
+		evals.Add(1)
+		res, err := h.EvalFragment(args[1], args[2])
+		if policy == PolicyReinit {
+			h.Reset()
+		}
+		if err != nil {
+			return "", fmt.Errorf("r: %w", err)
+		}
+		return res, nil
+	})
+}
+
+// registerShell installs sh::exec over the simulated process table.
+func registerShell(in *tcl.Interp, sys *shell.System) {
+	in.RegisterCommand("sh::exec", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: sh::exec <prog> ?args...?")
+		}
+		out, err := sys.Exec(args[1:], "")
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(out, "\n"), nil
+	})
+}

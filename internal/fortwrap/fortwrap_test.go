@@ -1,0 +1,109 @@
+package fortwrap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/swig"
+)
+
+const sampleFortran = `
+! Fortran numerics exposed to Swift via FortWrap + SWIG
+subroutine scale(data, n, factor)
+  real(8), intent(inout) :: data(*)
+  integer, intent(in) :: n
+  real(8), intent(in) :: factor
+end subroutine
+
+function energy(data, n) result(e)
+  real(8) :: data(*)
+  integer :: n
+  real(8) :: e
+end function
+
+function count_items(n) result(c)
+  integer :: n, c
+end function
+`
+
+func TestTranslate(t *testing.T) {
+	header, err := Translate(sampleFortran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"void scale(double* data, int n, double factor);",
+		"double energy(double* data, int n);",
+		"int count_items(int n);",
+	}
+	for _, w := range want {
+		if !strings.Contains(header, w) {
+			t.Errorf("missing %q in:\n%s", w, header)
+		}
+	}
+}
+
+func TestTranslateFeedsSwig(t *testing.T) {
+	// The full paper pipeline: Fortran -> (fortwrap) -> C header ->
+	// (swig) -> declarations.
+	header, err := Translate(sampleFortran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, err := swig.ParseHeader(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) != 3 {
+		t.Fatalf("got %d decls", len(decls))
+	}
+	if decls[1].Name != "energy" || decls[1].Ret != swig.CDouble {
+		t.Fatalf("energy decl: %+v", decls[1])
+	}
+}
+
+func TestFunctionDefaultResultName(t *testing.T) {
+	src := `
+function half(x)
+  real(8) :: x, half
+end function
+`
+	header, err := Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(header, "double half(double x);") {
+		t.Fatalf("header:\n%s", header)
+	}
+}
+
+func TestCharacterAndLogical(t *testing.T) {
+	src := `
+function describe(flag) result(msg)
+  logical :: flag
+  character(len=64) :: msg
+end function
+`
+	header, err := Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(header, "char* describe(int flag);") {
+		t.Fatalf("header:\n%s", header)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	cases := []string{
+		"integer :: stray_declaration",                          // outside unit
+		"subroutine broken\nend subroutine",                     // malformed header
+		"subroutine f(x)\nend subroutine",                       // undeclared parameter
+		"subroutine f(x)\n  weird :: x\nend",                    // unsupported type
+		"function f(x) result(y)\n  real(8) :: x\nend function", // missing result decl
+	}
+	for _, src := range cases {
+		if _, err := Translate(src); err == nil {
+			t.Errorf("Translate(%q) should fail", src)
+		}
+	}
+}

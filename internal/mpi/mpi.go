@@ -1,0 +1,461 @@
+// Package mpi provides a simulated message-passing substrate with MPI-like
+// semantics: a fixed set of ranks, tagged point-to-point messages with
+// FIFO matching per (source, tag) pair, wildcard receives, probes, and a
+// small set of collectives.
+//
+// The package substitutes for a real MPI library (the paper's runtime is
+// an MPI program on Blue Gene/Q and Cray XE6 systems). Each rank runs as a
+// goroutine inside one OS process; message payloads are byte slices, as
+// they would be on the wire. The matching semantics relevant to the ADLB
+// and Turbine protocols — non-overtaking delivery between a fixed
+// (source, destination, tag) triple, ANY_SOURCE/ANY_TAG wildcards, and
+// eager buffered sends — are preserved exactly.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcard values for Recv and Probe.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -1
+)
+
+// ErrAborted is returned from blocking calls after the world is aborted,
+// either explicitly via World.Abort or by the deadlock watchdog.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// Status describes a matched message, mirroring MPI_Status.
+type Status struct {
+	Source int // rank that sent the message
+	Tag    int // tag the message was sent with
+	Count  int // payload length in bytes
+}
+
+type envelope struct {
+	source int
+	tag    int
+	seq    uint64 // global send order, for deterministic wildcard tie-breaking
+	data   []byte
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []envelope
+	aborted bool
+	// recvWaits counts goroutines blocked in a matching wait; used by the
+	// watchdog to distinguish idle from deadlocked worlds.
+	recvWaits int
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// World is a set of communicating ranks. Create one with NewWorld, then
+// either call Run to execute an SPMD function on every rank, or obtain
+// individual Comm handles with Comm for manual goroutine management.
+type World struct {
+	size    int
+	boxes   []*mailbox
+	seq     uint64
+	seqMu   sync.Mutex
+	start   time.Time
+	barrier *barrierState
+
+	abortOnce sync.Once
+	abortErr  error
+}
+
+type barrierState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	gen   int
+	count int
+	abort bool
+}
+
+// NewWorld creates a world with size ranks, numbered 0..size-1.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	w := &World{
+		size:  size,
+		boxes: make([]*mailbox, size),
+		start: time.Now(),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	bs := &barrierState{}
+	bs.cond = sync.NewCond(&bs.mu)
+	w.barrier = bs
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle for the given rank.
+func (w *World) Comm(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, w.size)
+	}
+	return &Comm{world: w, rank: rank}, nil
+}
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all ranks to return. The first non-nil error aborts the world, unblocking
+// any ranks parked in Recv or Barrier, and is returned.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.Abort(errs[rank])
+				}
+			}()
+			c, _ := w.Comm(rank)
+			if err := fn(c); err != nil {
+				errs[rank] = err
+				w.Abort(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort unblocks every rank parked in a blocking call; those calls return
+// ErrAborted. Abort is idempotent; the first cause wins.
+func (w *World) Abort(cause error) {
+	w.abortOnce.Do(func() {
+		if cause == nil {
+			cause = ErrAborted
+		}
+		w.abortErr = cause
+		for _, mb := range w.boxes {
+			mb.mu.Lock()
+			mb.aborted = true
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		}
+		w.barrier.mu.Lock()
+		w.barrier.abort = true
+		w.barrier.cond.Broadcast()
+		w.barrier.mu.Unlock()
+	})
+}
+
+// AbortErr returns the cause passed to Abort, or nil if the world is live.
+func (w *World) AbortErr() error { return w.abortErr }
+
+// Wtime returns seconds since the world was created, like MPI_Wtime.
+func (w *World) Wtime() float64 { return time.Since(w.start).Seconds() }
+
+func (w *World) nextSeq() uint64 {
+	w.seqMu.Lock()
+	w.seq++
+	s := w.seq
+	w.seqMu.Unlock()
+	return s
+}
+
+// Comm is one rank's handle on the world. All methods are safe for use by
+// the single goroutine executing that rank; a Comm must not be shared
+// between goroutines (matching MPI's one-thread-per-rank usage here).
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// Send delivers data to rank dest with the given tag. The send is eager
+// and buffered: it never blocks. The payload is copied, so the caller may
+// reuse the slice immediately.
+func (c *Comm) Send(dest, tag int, data []byte) error {
+	if dest < 0 || dest >= c.world.size {
+		return fmt.Errorf("mpi: send from rank %d to invalid rank %d", c.rank, dest)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: send with negative tag %d (tags must be >= 0)", tag)
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	env := envelope{source: c.rank, tag: tag, seq: c.world.nextSeq(), data: buf}
+	mb := c.world.boxes[dest]
+	mb.mu.Lock()
+	if mb.aborted {
+		mb.mu.Unlock()
+		return ErrAborted
+	}
+	mb.queue = append(mb.queue, env)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	return nil
+}
+
+// match returns the index in q of the first message matching (source, tag)
+// in arrival order, or -1.
+func match(q []envelope, source, tag int) int {
+	for i := range q {
+		if (source == AnySource || q[i].source == source) &&
+			(tag == AnyTag || q[i].tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Recv blocks until a message matching (source, tag) arrives, then returns
+// its payload and status. source may be AnySource and tag may be AnyTag.
+// Matching is FIFO in arrival order among eligible messages, which
+// guarantees MPI's non-overtaking property per (source, tag).
+func (c *Comm) Recv(source, tag int) ([]byte, Status, error) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.aborted {
+			return nil, Status{}, ErrAborted
+		}
+		if i := match(mb.queue, source, tag); i >= 0 {
+			env := mb.queue[i]
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)}, nil
+		}
+		mb.recvWaits++
+		mb.cond.Wait()
+		mb.recvWaits--
+	}
+}
+
+// RecvTimeout behaves like Recv but gives up after d, returning ok=false
+// with no error. It is used by server loops that multiplex message
+// handling with periodic housekeeping (steal retries, termination tokens).
+func (c *Comm) RecvTimeout(source, tag int, d time.Duration) ([]byte, Status, bool, error) {
+	deadline := time.Now().Add(d)
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.aborted {
+			return nil, Status{}, false, ErrAborted
+		}
+		if i := match(mb.queue, source, tag); i >= 0 {
+			env := mb.queue[i]
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)}, true, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, Status{}, false, nil
+		}
+		// sync.Cond has no timed wait; emulate with a timer that wakes
+		// all waiters. Spurious wakeups are absorbed by the loop.
+		t := time.AfterFunc(remain, func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		mb.recvWaits++
+		mb.cond.Wait()
+		mb.recvWaits--
+		t.Stop()
+	}
+}
+
+// Iprobe reports whether a message matching (source, tag) is available,
+// without consuming it.
+func (c *Comm) Iprobe(source, tag int) (Status, bool) {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if i := match(mb.queue, source, tag); i >= 0 {
+		env := mb.queue[i]
+		return Status{Source: env.source, Tag: env.tag, Count: len(env.data)}, true
+	}
+	return Status{}, false
+}
+
+// Pending returns the number of undelivered messages queued at this rank.
+func (c *Comm) Pending() int {
+	mb := c.world.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+// Barrier blocks until every rank in the world has entered the barrier.
+func (c *Comm) Barrier() error {
+	b := c.world.barrier
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.abort {
+		return ErrAborted
+	}
+	gen := b.gen
+	b.count++
+	if b.count == c.world.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen && !b.abort {
+		b.cond.Wait()
+	}
+	if b.abort {
+		return ErrAborted
+	}
+	return nil
+}
+
+// Bcast broadcasts data from root to all ranks. On the root it returns the
+// input unchanged; on other ranks it returns the received payload. All
+// ranks must call Bcast with the same root and internal tag ordering.
+func (c *Comm) Bcast(root, tag int, data []byte) ([]byte, error) {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	buf, _, err := c.Recv(root, tag)
+	return buf, err
+}
+
+// Gather collects one payload from every rank at root. On root it returns
+// a slice indexed by rank; on other ranks it returns nil.
+func (c *Comm) Gather(root, tag int, data []byte) ([][]byte, error) {
+	if c.rank != root {
+		return nil, c.Send(root, tag, data)
+	}
+	out := make([][]byte, c.world.size)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	out[root] = buf
+	for i := 0; i < c.world.size-1; i++ {
+		b, st, err := c.Recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source] = b
+	}
+	return out, nil
+}
+
+// ReduceOp names a reduction operator for ReduceInt64 and friends.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func applyOp(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	return a
+}
+
+// ReduceInt64 reduces one int64 per rank at root with the given operator.
+// Non-root ranks receive 0.
+func (c *Comm) ReduceInt64(root, tag int, op ReduceOp, v int64) (int64, error) {
+	parts, err := c.Gather(root, tag, encodeInt64(v))
+	if err != nil {
+		return 0, err
+	}
+	if c.rank != root {
+		return 0, nil
+	}
+	acc := decodeInt64(parts[0])
+	for _, p := range parts[1:] {
+		acc = applyOp(op, acc, decodeInt64(p))
+	}
+	return acc, nil
+}
+
+// AllreduceInt64 reduces one int64 per rank with the given operator and
+// returns the result on every rank. Root for the internal gather is rank 0.
+func (c *Comm) AllreduceInt64(tag int, op ReduceOp, v int64) (int64, error) {
+	acc, err := c.ReduceInt64(0, tag, op, v)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, tag, encodeInt64(acc))
+	if err != nil {
+		return 0, err
+	}
+	return decodeInt64(out), nil
+}
+
+func encodeInt64(v int64) []byte {
+	var b [8]byte
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b[:]
+}
+
+func decodeInt64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}

@@ -1,0 +1,441 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+	if _, err := NewWorld(-3); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 4 {
+		t.Fatalf("size = %d, want 4", w.Size())
+	}
+	if _, err := w.Comm(4); err == nil {
+		t.Fatal("expected error for out-of-range rank")
+	}
+	if _, err := w.Comm(-1); err == nil {
+		t.Fatal("expected error for negative rank")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			return c.Send(1, 7, []byte("hello"))
+		case 1:
+			data, st, err := c.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if string(data) != "hello" {
+				return fmt.Errorf("payload = %q", data)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Count != 5 {
+				return fmt.Errorf("status = %+v", st)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	w, _ := NewWorld(2)
+	c, _ := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Fatal("expected error for invalid dest")
+	}
+	if err := c.Send(1, -2, nil); err == nil {
+		t.Fatal("expected error for negative tag")
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	buf := []byte("abc")
+	if err := c0.Send(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // mutate after send; receiver must see original
+	got, _, err := c1.Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("got %q, want abc", got)
+	}
+}
+
+func TestFIFOPerSourceTag(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	for i := 0; i < 100; i++ {
+		if err := c0.Send(1, 3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		data, _, err := c1.Recv(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, data[0])
+		}
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	c0.Send(1, 1, []byte("one"))
+	c0.Send(1, 2, []byte("two"))
+	// Receive tag 2 first even though tag 1 arrived earlier.
+	data, _, err := c1.Recv(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("got %q, want two", data)
+	}
+	data, _, _ = c1.Recv(0, 1)
+	if string(data) != "one" {
+		t.Fatalf("got %q, want one", data)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w, _ := NewWorld(3)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	c2, _ := w.Comm(2)
+	c1.Send(0, 5, []byte("from1"))
+	c2.Send(0, 9, []byte("from2"))
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		data, st, err := c0.Recv(AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(data)] = true
+		if st.Source != 1 && st.Source != 2 {
+			t.Fatalf("bad source %d", st.Source)
+		}
+	}
+	if !seen["from1"] || !seen["from2"] {
+		t.Fatalf("missing messages: %v", seen)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	var delivered atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		data, _, err := c1.Recv(0, 0)
+		if err == nil && string(data) == "late" && delivered.Load() {
+			close(done)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	delivered.Store(true)
+	c0.Send(1, 0, []byte("late"))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv did not complete")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	w, _ := NewWorld(2)
+	c1, _ := w.Comm(1)
+	start := time.Now()
+	_, _, ok, err := c1.RecvTimeout(0, 0, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+	// And that it does deliver when a message is already present.
+	c0, _ := w.Comm(0)
+	c0.Send(1, 0, []byte("x"))
+	data, st, ok, err := c1.RecvTimeout(AnySource, AnyTag, time.Second)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if string(data) != "x" || st.Source != 0 {
+		t.Fatalf("data=%q st=%+v", data, st)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	w, _ := NewWorld(2)
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	if _, ok := c1.Iprobe(AnySource, AnyTag); ok {
+		t.Fatal("probe should fail on empty mailbox")
+	}
+	c0.Send(1, 4, []byte("abc"))
+	st, ok := c1.Iprobe(0, 4)
+	if !ok || st.Count != 3 || st.Tag != 4 {
+		t.Fatalf("probe: ok=%v st=%+v", ok, st)
+	}
+	// Probe must not consume.
+	if c1.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c1.Pending())
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	w, _ := NewWorld(n)
+	var phase atomic.Int32
+	err := w.Run(func(c *Comm) error {
+		phase.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// After the barrier, every rank must have incremented.
+		if got := phase.Load(); got != n {
+			return fmt.Errorf("rank %d saw phase %d before barrier release", c.Rank(), got)
+		}
+		return c.Barrier() // reusable across generations
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastGatherReduce(t *testing.T) {
+	const n = 5
+	w, _ := NewWorld(n)
+	err := w.Run(func(c *Comm) error {
+		var payload []byte
+		if c.Rank() == 2 {
+			payload = []byte("root-data")
+		}
+		got, err := c.Bcast(2, 100, payload)
+		if err != nil {
+			return err
+		}
+		if string(got) != "root-data" {
+			return fmt.Errorf("rank %d bcast got %q", c.Rank(), got)
+		}
+		parts, err := c.Gather(0, 101, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != byte(r*10) {
+					return fmt.Errorf("gather slot %d = %v", r, p)
+				}
+			}
+		}
+		sum, err := c.ReduceInt64(0, 102, OpSum, int64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && sum != 0+1+2+3+4 {
+			return fmt.Errorf("reduce sum = %d", sum)
+		}
+		all, err := c.AllreduceInt64(103, OpMax, int64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if all != n-1 {
+			return fmt.Errorf("allreduce max = %d", all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		a, b int64
+		want int64
+	}{
+		{OpSum, 3, 4, 7},
+		{OpMax, 3, 4, 4},
+		{OpMax, 9, 4, 9},
+		{OpMin, 3, 4, 3},
+		{OpMin, 9, 4, 4},
+	}
+	for _, tc := range cases {
+		if got := applyOp(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("applyOp(%v,%d,%d) = %d, want %d", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	w, _ := NewWorld(2)
+	c1, _ := w.Comm(1)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c1.Recv(0, 0)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	w.Abort(errors.New("test abort"))
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not unblock recv")
+	}
+	if w.AbortErr() == nil {
+		t.Fatal("AbortErr should report cause")
+	}
+	// Sends into an aborted world fail.
+	c0, _ := w.Comm(0)
+	if err := c0.Send(1, 0, nil); !errors.Is(err, ErrAborted) {
+		t.Fatalf("send after abort: %v", err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	w, _ := NewWorld(3)
+	sentinel := errors.New("rank failure")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		// Other ranks block; abort must release them.
+		_, _, err := c.Recv(AnySource, AnyTag)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		_, _, err := c.Recv(AnySource, AnyTag)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	f := func(v int64) bool { return decodeInt64(encodeInt64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMessageMatchingProperty checks that for a random interleaving of
+// tagged sends, per-(source,tag) order is always preserved at the receiver.
+func TestMessageMatchingProperty(t *testing.T) {
+	f := func(tagsRaw []uint8) bool {
+		if len(tagsRaw) == 0 || len(tagsRaw) > 200 {
+			return true
+		}
+		w, _ := NewWorld(2)
+		c0, _ := w.Comm(0)
+		c1, _ := w.Comm(1)
+		perTag := map[int][]int{}
+		for i, tr := range tagsRaw {
+			tag := int(tr % 4)
+			c0.Send(1, tag, []byte{byte(i)})
+			perTag[tag] = append(perTag[tag], i)
+		}
+		// Drain one tag at a time; order within tag must match send order.
+		for tag, want := range perTag {
+			for _, wi := range want {
+				data, _, err := c1.Recv(0, tag)
+				if err != nil || int(data[0]) != wi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWtimeAdvances(t *testing.T) {
+	w, _ := NewWorld(1)
+	t0 := w.Wtime()
+	time.Sleep(2 * time.Millisecond)
+	if w.Wtime() <= t0 {
+		t.Fatal("Wtime did not advance")
+	}
+}
+
+func TestManyToOneStress(t *testing.T) {
+	const senders = 8
+	const per = 200
+	w, _ := NewWorld(senders + 1)
+	var total atomic.Int64
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			var buf bytes.Buffer
+			for i := 0; i < senders*per; i++ {
+				data, _, err := c.Recv(AnySource, 1)
+				if err != nil {
+					return err
+				}
+				buf.Write(data)
+				total.Add(1)
+			}
+			return nil
+		}
+		for i := 0; i < per; i++ {
+			if err := c.Send(0, 1, []byte{byte(c.Rank())}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != senders*per {
+		t.Fatalf("received %d, want %d", total.Load(), senders*per)
+	}
+}

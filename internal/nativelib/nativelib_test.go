@@ -1,0 +1,163 @@
+package nativelib
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blob"
+)
+
+func TestLibraryDefineResolve(t *testing.T) {
+	l := NewLibrary("libtest", "int f(int x);")
+	l.Define("f", func(args []any) (any, error) { return args[0], nil })
+	k, err := l.Resolve("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := k([]any{int64(7)})
+	if err != nil || out.(int64) != 7 {
+		t.Fatalf("%v %v", out, err)
+	}
+	if _, err := l.Resolve("g"); err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimEnergy(t *testing.T) {
+	l := NewSimLibrary()
+	k, _ := l.Resolve("sim_energy")
+	// Equally spaced chain at the LJ minimum r=2^(1/6) has energy -1 per
+	// pair; 3 points -> 2 pairs.
+	r := math.Pow(2, 1.0/6)
+	b := blob.FromFloat64s([]float64{0, r, 2 * r})
+	out, err := k([]any{b, int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out.(float64)
+	if math.Abs(e-(-2)) > 1e-6 {
+		t.Fatalf("energy = %v, want -2", e)
+	}
+	// Bad arguments.
+	if _, err := k([]any{b}); err == nil {
+		t.Fatal("missing length accepted")
+	}
+	if _, err := k([]any{b, int64(99)}); err == nil {
+		t.Fatal("oversized n accepted")
+	}
+	if _, err := k([]any{"not a blob", int64(1)}); err == nil {
+		t.Fatal("non-blob accepted")
+	}
+}
+
+func TestSimLattice(t *testing.T) {
+	l := NewSimLibrary()
+	k, _ := l.Resolve("sim_lattice")
+	out, err := k([]any{int64(32), int64(5), 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := out.(float64)
+	if e1 <= 0 {
+		t.Fatalf("energy = %v", e1)
+	}
+	// Relaxation is dissipative: more steps, less energy.
+	out2, _ := k([]any{int64(32), int64(50), 0.1})
+	if out2.(float64) >= e1 {
+		t.Fatalf("relaxation did not dissipate: %v -> %v", e1, out2)
+	}
+	// Deterministic.
+	out3, _ := k([]any{int64(32), int64(5), 0.1})
+	if out3.(float64) != e1 {
+		t.Fatal("kernel is nondeterministic")
+	}
+	if _, err := k([]any{int64(0), int64(1), 0.1}); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+}
+
+func TestSimScaleAndDot(t *testing.T) {
+	l := NewSimLibrary()
+	scale, _ := l.Resolve("sim_scale")
+	dot, _ := l.Resolve("sim_dot")
+	a := blob.FromFloat64s([]float64{1, 2, 3})
+	out, err := scale([]any{a, int64(3), 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := out.(blob.Blob)
+	v, _ := blob.ToFloat64s(scaled)
+	if v[2] != 6 {
+		t.Fatalf("scaled = %v", v)
+	}
+	d, err := dot([]any{a, scaled, int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.(float64) != 1*2+2*4+3*6 {
+		t.Fatalf("dot = %v", d)
+	}
+}
+
+func TestSimDotProperty(t *testing.T) {
+	l := NewSimLibrary()
+	dot, _ := l.Resolve("sim_dot")
+	f := func(xs []float64) bool {
+		if len(xs) == 0 || len(xs) > 64 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		b := blob.FromFloat64s(xs)
+		out, err := dot([]any{b, b, int64(len(xs))})
+		if err != nil {
+			return false
+		}
+		want := 0.0
+		for _, x := range xs {
+			want += x * x
+		}
+		got := out.(float64)
+		return got == want || math.Abs(got-want) < 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimCountAboveAndWaveform(t *testing.T) {
+	l := NewSimLibrary()
+	count, _ := l.Resolve("sim_count_above")
+	b := blob.FromFloat64s([]float64{-1, 0.5, 2, 3})
+	out, err := count([]any{b, int64(4), 1.0})
+	if err != nil || out.(int64) != 2 {
+		t.Fatalf("%v %v", out, err)
+	}
+	wave, _ := l.Resolve("sim_waveform")
+	w0, _ := wave([]any{int64(0), 0.25})
+	if w0.(float64) != math.Sin(0)+0.25*math.Sin(0) {
+		t.Fatalf("waveform(0) = %v", w0)
+	}
+	// Periodic: t=1.0 equals t=0 within float error.
+	w4, _ := wave([]any{int64(4), 0.25})
+	if math.Abs(w4.(float64)) > 1e-12 {
+		t.Fatalf("waveform(period) = %v", w4)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	l := NewSimLibrary()
+	k, _ := l.Resolve("sim_version")
+	out, err := k(nil)
+	if err != nil || !strings.Contains(out.(string), "libsim") {
+		t.Fatalf("%v %v", out, err)
+	}
+	if _, err := k([]any{int64(1)}); err == nil {
+		t.Fatal("extra args accepted")
+	}
+}

@@ -1,0 +1,316 @@
+package rlite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalR(t *testing.T, in *Interp, code string) Value {
+	t.Helper()
+	v, err := in.Eval(code)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", code, err)
+	}
+	return v
+}
+
+func expectR(t *testing.T, in *Interp, code, want string) {
+	t.Helper()
+	v := evalR(t, in, code)
+	if got := Deparse(v); got != want {
+		t.Fatalf("Eval(%q) = %q, want %q", code, got, want)
+	}
+}
+
+func TestArithmeticVectorized(t *testing.T) {
+	in := New()
+	cases := [][2]string{
+		{"1 + 2", "3"},
+		{"10 - 4", "6"},
+		{"6 * 7", "42"},
+		{"7 / 2", "3.5"},
+		{"2 ^ 10", "1024"},
+		{"7 %% 3", "1"},
+		{"-7 %% 3", "2"},
+		{"7 %/% 2", "3"},
+		{"-5", "-5"},
+		{"1:5", "1 2 3 4 5"},
+		{"5:1", "5 4 3 2 1"},
+		{"c(1, 2, 3) + 10", "11 12 13"},
+		{"c(1, 2) * c(10, 20)", "10 40"},
+		{"c(1, 2, 3, 4) + c(10, 20)", "11 22 13 24"}, // recycling
+		{"(1:3) ^ 2", "1 4 9"},
+		{"1 + 2 * 3", "7"},
+		{"(1 + 2) * 3", "9"},
+	}
+	for _, c := range cases {
+		expectR(t, in, c[0], c[1])
+	}
+}
+
+func TestComparisonAndLogical(t *testing.T) {
+	in := New()
+	cases := [][2]string{
+		{"1 < 2", "TRUE"},
+		{"2 <= 1", "FALSE"},
+		{"3 == 3", "TRUE"},
+		{"1 != 2", "TRUE"},
+		{"c(1, 5, 3) > 2", "FALSE TRUE TRUE"},
+		{"TRUE && FALSE", "FALSE"},
+		{"TRUE || FALSE", "TRUE"},
+		{"!TRUE", "FALSE"},
+		{"c(TRUE, FALSE) & c(TRUE, TRUE)", "TRUE FALSE"},
+		{"'a' == 'a'", "TRUE"},
+		{"'a' < 'b'", "TRUE"},
+	}
+	for _, c := range cases {
+		expectR(t, in, c[0], c[1])
+	}
+}
+
+func TestAssignmentAndVariables(t *testing.T) {
+	in := New()
+	expectR(t, in, "x <- 42\nx", "42")
+	expectR(t, in, "y = x + 1\ny", "43")
+	expectR(t, in, "v <- c(1, 2, 3)\nv[2]", "2")
+	expectR(t, in, "v[2] <- 99\nv", "1 99 3")
+	expectR(t, in, "v[5] <- 7\nlength(v)", "5")
+	if _, err := in.Eval("zzz"); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	in := New()
+	expectR(t, in, "v <- c(10, 20, 30, 40)\nv[c(1, 3)]", "10 30")
+	expectR(t, in, "v[v > 15]", "20 30 40")
+	expectR(t, in, "v[2:3]", "20 30")
+	if _, err := in.Eval("v[10]"); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuiltinStats(t *testing.T) {
+	in := New()
+	cases := [][2]string{
+		{"sum(1:10)", "55"},
+		{"mean(c(1, 2, 3, 4))", "2.5"},
+		{"min(c(3, 1, 2))", "1"},
+		{"max(c(3, 1, 2))", "3"},
+		{"length(1:7)", "7"},
+		{"median(c(3, 1, 2))", "2"},
+		{"sort(c(3, 1, 2))", "1 2 3"},
+		{"rev(1:3)", "3 2 1"},
+		{"prod(1:5)", "120"},
+		{"sqrt(16)", "4"},
+		{"abs(-3)", "3"},
+		{"floor(3.7)", "3"},
+		{"ceiling(3.2)", "4"},
+		{"round(3.14159, 2)", "3.14"},
+		{"seq(1, 10, 3)", "1 4 7 10"},
+		{"seq(from = 0, to = 1, by = 0.5)", "0 0.5 1"},
+		{"rep(c(1, 2), 3)", "1 2 1 2 1 2"},
+		{"which(c(5, 1, 7) > 4)", "1 3"},
+		{"numeric(3)", "0 0 0"},
+	}
+	for _, c := range cases {
+		expectR(t, in, c[0], c[1])
+	}
+	// sd of a known sample.
+	v := evalR(t, in, "sd(c(2, 4, 4, 4, 5, 5, 7, 9))")
+	n, ok := v.(*NumVec)
+	if !ok || len(n.V) != 1 || n.V[0] < 2.13 || n.V[0] > 2.14 {
+		t.Fatalf("sd = %v", Deparse(v))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	in := New()
+	cases := [][2]string{
+		{"paste('a', 'b', 'c')", "a b c"},
+		{"paste0('x', 1:3)", "x1 x2 x3"},
+		{"paste('a', 'b', sep = '-')", "a-b"},
+		{"nchar('hello')", "5"},
+		{"toupper('abc')", "ABC"},
+		{"tolower('ABC')", "abc"},
+		{"as.character(42)", "42"},
+		{"as.numeric('2.5')", "2.5"},
+		{"c('a', 'b')", "a b"},
+		{"c('n', 1)", "n 1"}, // promotion to character
+	}
+	for _, c := range cases {
+		expectR(t, in, c[0], c[1])
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	in := New()
+	expectR(t, in, `
+		total <- 0
+		for (i in 1:10) {
+			total <- total + i
+		}
+		total`, "55")
+	expectR(t, in, `
+		n <- 0
+		while (n < 100) {
+			n <- n + 7
+			if (n > 50) break
+		}
+		n`, "56")
+	expectR(t, in, `
+		skipped <- 0
+		for (i in 1:10) {
+			if (i < 6) next
+			skipped <- skipped + 1
+		}
+		skipped`, "5")
+	expectR(t, in, "if (1 > 2) 'a' else 'b'", "b")
+	expectR(t, in, "x <- if (TRUE) 10 else 20\nx", "10")
+}
+
+func TestFunctions(t *testing.T) {
+	in := New()
+	expectR(t, in, `
+		add <- function(a, b) a + b
+		add(2, 3)`, "5")
+	expectR(t, in, `
+		fact <- function(n) {
+			if (n <= 1) return(1)
+			n * fact(n - 1)
+		}
+		fact(6)`, "720")
+	// Default arguments.
+	expectR(t, in, `
+		pow <- function(x, p = 2) x ^ p
+		pow(3)`, "9")
+	expectR(t, in, "pow(2, 10)", "1024")
+	expectR(t, in, "pow(p = 3, x = 2)", "8")
+	// Closures.
+	expectR(t, in, `
+		make_counter <- function() {
+			n <- 0
+			function() n + 1
+		}
+		cnt <- make_counter()
+		cnt()`, "1")
+	// sapply with lambda.
+	expectR(t, in, "sapply(1:4, function(x) x * x)", "1 4 9 16")
+	// Errors.
+	if _, err := in.Eval("add(1)"); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := in.Eval("add(1, 2, 3)"); err == nil || !strings.Contains(err.Error(), "too many") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := in.Eval("5(1)"); err == nil || !strings.Contains(err.Error(), "non-function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCatAndPrint(t *testing.T) {
+	in := New()
+	var buf strings.Builder
+	in.Out = &buf
+	evalR(t, in, `cat('hello', 42)`)
+	if buf.String() != "hello 42" {
+		t.Fatalf("cat output = %q", buf.String())
+	}
+	buf.Reset()
+	evalR(t, in, `print(c(1, 2))`)
+	if buf.String() != "[1] 1 2\n" {
+		t.Fatalf("print output = %q", buf.String())
+	}
+}
+
+func TestPersistentStateAndReset(t *testing.T) {
+	in := New()
+	evalR(t, in, "x <- 10")
+	expectR(t, in, "x + 5", "15")
+	in.Reset()
+	if _, err := in.Eval("x"); err == nil {
+		t.Fatal("x should be gone after Reset")
+	}
+}
+
+func TestEvalFragment(t *testing.T) {
+	in := New()
+	out, err := in.EvalFragment("m <- mean(c(2, 4, 6))", "m")
+	if err != nil || out != "4" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	out, err = in.EvalFragment("", "m * 2")
+	if err != nil || out != "8" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestStatisticalWorkload(t *testing.T) {
+	// The kind of fragment the paper's R integration serves: aggregate
+	// simulation outputs.
+	in := New()
+	out, err := in.EvalFragment(`
+		results <- sapply(1:50, function(i) sin(i * 0.1) + i * 0.01)
+		m <- mean(results)
+		s <- sd(results)
+	`, "round(m, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytically: mean(sin(0.1i)) + 0.01*mean(i) over i=1..50 ≈ 0.3886.
+	if out != "0.3886" {
+		t.Fatalf("mean = %q", out)
+	}
+}
+
+func TestDeparseForms(t *testing.T) {
+	if Deparse(Null{}) != "NULL" {
+		t.Fatal("NULL")
+	}
+	if Deparse(Num(2)) != "2" {
+		t.Fatal("2")
+	}
+	if Deparse(Num(2.5)) != "2.5" {
+		t.Fatal("2.5")
+	}
+	if Deparse(&BoolVec{V: []bool{true, false}}) != "TRUE FALSE" {
+		t.Fatal("logical vec")
+	}
+	if Deparse(Chr("s")) != "s" {
+		t.Fatal("chr")
+	}
+}
+
+func TestNumericVectorProperty(t *testing.T) {
+	in := New()
+	f := func(a, b int16) bool {
+		code := "pa <- " + fmtNum(float64(a)) + "\npb <- " + fmtNum(float64(b)) + "\npa + pb"
+		v, err := in.Eval(code)
+		if err != nil {
+			return false
+		}
+		n, ok := v.(*NumVec)
+		return ok && len(n.V) == 1 && n.V[0] == float64(a)+float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	in := New()
+	bad := []string{
+		"x <-",
+		"f(",
+		"c(1,",
+		"'unterminated",
+		"for (x in) {}",
+		"@",
+	}
+	for _, code := range bad {
+		if _, err := in.Eval(code); err == nil {
+			t.Errorf("Eval(%q) should fail", code)
+		}
+	}
+}

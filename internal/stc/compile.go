@@ -1,0 +1,903 @@
+package stc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/swift"
+	"repro/internal/tcl"
+)
+
+// Output is a compiled program: Turbine code to load on every rank plus
+// the seed fragment for engine rank 0.
+type Output struct {
+	Program string // prelude + generated procs
+	Main    string // seed invocation, e.g. "u:main"
+}
+
+// Compile parses, type-checks, and compiles Swift source to Turbine code.
+func Compile(src string) (*Output, error) {
+	prog, err := swift.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := swift.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return CompileChecked(prog, ck)
+}
+
+// CompileChecked compiles an already-checked program.
+func CompileChecked(prog *swift.Program, ck *swift.Checker) (*Output, error) {
+	c := &compiler{prog: prog, ck: ck}
+	var out strings.Builder
+	out.WriteString(Prelude)
+
+	// package requires for Tcl-template functions (paper §III-A: the
+	// package is loaded on the assumption the proc is found there).
+	pkgs := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if f.Kind == swift.FuncTclTemplate && f.Package != "" && !pkgs[f.Package] {
+			pkgs[f.Package] = true
+			fmt.Fprintf(&out, "catch {package require %s}\n", f.Package)
+		}
+	}
+
+	for _, f := range prog.Funcs {
+		body, err := c.compileFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		out.WriteString(body)
+	}
+	mainBody, err := c.compileProc("u:main", nil, prog.Main)
+	if err != nil {
+		return nil, err
+	}
+	out.WriteString(mainBody)
+	for _, p := range c.extraProcs {
+		out.WriteString(p)
+	}
+	return &Output{Program: out.String(), Main: "u:main"}, nil
+}
+
+type compiler struct {
+	prog       *swift.Program
+	ck         *swift.Checker
+	counter    int
+	extraProcs []string // procs generated for loop bodies and branches
+}
+
+func (c *compiler) gensym(prefix string) string {
+	c.counter++
+	return fmt.Sprintf("%s%d", prefix, c.counter)
+}
+
+// genScope tracks Swift variable -> (Tcl variable, type) bindings during
+// code generation.
+type genScope struct {
+	parent *genScope
+	vars   map[string]genVar
+}
+
+type genVar struct {
+	ref string // Tcl reference, e.g. "$v_x"
+	typ swift.Type
+}
+
+func (s *genScope) lookup(name string) (genVar, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return genVar{}, false
+}
+
+// emitter accumulates the body of one generated proc.
+type emitter struct {
+	b      strings.Builder
+	indent string
+}
+
+func (e *emitter) linef(format string, args ...any) {
+	e.b.WriteString(e.indent)
+	fmt.Fprintf(&e.b, format, args...)
+	e.b.WriteByte('\n')
+}
+
+// tdType maps a Swift type to its ADLB/turbine type name. Booleans are
+// carried as integers; arrays are containers.
+func tdType(t swift.Type) string {
+	if t.Array {
+		return "container"
+	}
+	switch t.Base {
+	case swift.TInt, swift.TBoolean:
+		return "integer"
+	case swift.TFloat:
+		return "float"
+	case swift.TString:
+		return "string"
+	case swift.TBlob:
+		return "blob"
+	case swift.TVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// compileFunc emits the proc(s) for one function definition.
+func (c *compiler) compileFunc(f *swift.FuncDef) (string, error) {
+	switch f.Kind {
+	case swift.FuncComposite:
+		var params []swift.Param
+		params = append(params, f.Outs...)
+		params = append(params, f.Ins...)
+		return c.compileProc("u:"+f.Name, params, f.Body)
+	case swift.FuncTclTemplate:
+		return c.compileTemplateFunc(f)
+	case swift.FuncApp:
+		return c.compileAppFunc(f)
+	}
+	return "", swift.Errorf(f.Tok.Pos(), "unknown function kind")
+}
+
+// compileProc generates one engine-side proc from a statement list.
+// Parameters are TD ids bound to v_<name> locals.
+func (c *compiler) compileProc(name string, params []swift.Param, body []swift.Stmt) (string, error) {
+	sc := &genScope{vars: map[string]genVar{}}
+	var names []string
+	for _, p := range params {
+		names = append(names, "v_"+p.Name)
+		sc.vars[p.Name] = genVar{ref: "$v_" + p.Name, typ: p.Type}
+	}
+	e := &emitter{indent: "    "}
+	if err := c.compileStmts(e, sc, body); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("proc %s {%s} {\n%s}\n", name, strings.Join(names, " "), e.b.String()), nil
+}
+
+// compileStmts compiles a block, closing uninitialised arrays declared in
+// it at the end (dropping the creation write reference once every writer
+// in the block has registered its own references).
+func (c *compiler) compileStmts(e *emitter, sc *genScope, stmts []swift.Stmt) error {
+	var openArrays []string
+	for _, s := range stmts {
+		refs, err := c.compileStmt(e, sc, s)
+		if err != nil {
+			return err
+		}
+		openArrays = append(openArrays, refs...)
+	}
+	for _, ref := range openArrays {
+		e.linef("turbine::write_refcount %s -1", ref)
+	}
+	return nil
+}
+
+// compileStmt compiles one statement. It returns Tcl refs of arrays whose
+// creation reference must be dropped at block end.
+func (c *compiler) compileStmt(e *emitter, sc *genScope, s swift.Stmt) ([]string, error) {
+	switch st := s.(type) {
+	case *swift.Decl:
+		tv := "t_" + st.Name + "_" + c.gensym("d")
+		typ := tdType(st.Type)
+		e.linef("set %s [turbine::allocate %s]", tv, typ)
+		ref := "$" + tv
+		sc.vars[st.Name] = genVar{ref: ref, typ: st.Type}
+		if st.Init == nil {
+			if st.Type.Array {
+				return []string{ref}, nil // close at block end
+			}
+			return nil, nil
+		}
+		if err := c.compileInto(e, sc, ref, st.Type, st.Init); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case *swift.Assign:
+		v, ok := sc.lookup(st.LName)
+		if !ok {
+			return nil, swift.Errorf(st.Pos(), "internal: unbound variable %q", st.LName)
+		}
+		if st.LSub == nil {
+			return nil, c.compileInto(e, sc, v.ref, v.typ, st.RHS)
+		}
+		// a[sub] = rhs
+		subRef, err := c.compileExpr(e, sc, st.LSub)
+		if err != nil {
+			return nil, err
+		}
+		elemT := swift.Type{Base: v.typ.Base}
+		elemRef, err := c.compileExprAs(e, sc, elemT, st.RHS)
+		if err != nil {
+			return nil, err
+		}
+		e.linef("turbine::write_refcount %s 1", v.ref)
+		e.linef(`turbine::rule [list %s] "sw:ainsert %s %s %s"`, subRef, v.ref, subRef, elemRef)
+		return nil, nil
+
+	case *swift.CallStmt:
+		return nil, c.compileCallStmt(e, sc, st.Call)
+
+	case *swift.If:
+		return nil, c.compileIf(e, sc, st)
+
+	case *swift.Foreach:
+		return nil, c.compileForeach(e, sc, st)
+	}
+	return nil, swift.Errorf(s.Pos(), "internal: unknown statement %T", s)
+}
+
+// compileExpr compiles an expression to a TD, returning its Tcl ref.
+func (c *compiler) compileExpr(e *emitter, sc *genScope, ex swift.Expr) (string, error) {
+	return c.compileExprAs(e, sc, c.ck.Types[ex], ex)
+}
+
+// compileExprAs compiles an expression into a TD of the given type
+// (handling int->float promotion at the storage level).
+func (c *compiler) compileExprAs(e *emitter, sc *genScope, want swift.Type, ex swift.Expr) (string, error) {
+	switch x := ex.(type) {
+	case *swift.Ident:
+		v, ok := sc.lookup(x.Name)
+		if !ok {
+			return "", swift.Errorf(x.Pos(), "internal: unbound variable %q", x.Name)
+		}
+		if tdType(v.typ) != tdType(want) {
+			// Promotion copy (e.g. int var assigned to float context).
+			t := c.gensym("t")
+			e.linef("set %s [turbine::allocate %s]", t, tdType(want))
+			e.linef(`turbine::rule [list %s] "sw:copy $%s %s %s %s"`,
+				v.ref, t, v.ref, tdType(v.typ), tdType(want))
+			return "$" + t, nil
+		}
+		return v.ref, nil
+	case *swift.IntLit:
+		t := c.gensym("t")
+		if tdType(want) == "float" {
+			e.linef("set %s [turbine::literal_float %d.0]", t, x.Value)
+		} else {
+			e.linef("set %s [turbine::literal_integer %d]", t, x.Value)
+		}
+		return "$" + t, nil
+	case *swift.FloatLit:
+		t := c.gensym("t")
+		e.linef("set %s [turbine::literal_float %s]", t, fmtFloatLit(x.Value))
+		return "$" + t, nil
+	case *swift.StringLit:
+		t := c.gensym("t")
+		e.linef("set %s [turbine::literal_string %s]", t, tcl.ListElement(x.Value))
+		return "$" + t, nil
+	case *swift.BoolLit:
+		t := c.gensym("t")
+		v := 0
+		if x.Value {
+			v = 1
+		}
+		e.linef("set %s [turbine::literal_integer %d]", t, v)
+		return "$" + t, nil
+	default:
+		t := c.gensym("t")
+		e.linef("set %s [turbine::allocate %s]", t, tdType(want))
+		if err := c.compileInto(e, sc, "$"+t, want, ex); err != nil {
+			return "", err
+		}
+		return "$" + t, nil
+	}
+}
+
+// compileInto compiles an expression so its result is stored into the
+// existing TD referenced by outRef.
+func (c *compiler) compileInto(e *emitter, sc *genScope, outRef string, outT swift.Type, ex swift.Expr) error {
+	outTD := tdType(outT)
+	switch x := ex.(type) {
+	case *swift.IntLit:
+		if outTD == "float" {
+			e.linef("turbine::store_float %s %d.0", outRef, x.Value)
+		} else {
+			e.linef("turbine::store_integer %s %d", outRef, x.Value)
+		}
+		return nil
+	case *swift.FloatLit:
+		e.linef("turbine::store_float %s %s", outRef, fmtFloatLit(x.Value))
+		return nil
+	case *swift.StringLit:
+		e.linef("turbine::store_string %s %s", outRef, tcl.ListElement(x.Value))
+		return nil
+	case *swift.BoolLit:
+		v := 0
+		if x.Value {
+			v = 1
+		}
+		e.linef("turbine::store_integer %s %d", outRef, v)
+		return nil
+	case *swift.Ident:
+		v, ok := sc.lookup(x.Name)
+		if !ok {
+			return swift.Errorf(x.Pos(), "internal: unbound variable %q", x.Name)
+		}
+		e.linef(`turbine::rule [list %s] "sw:copy %s %s %s %s"`,
+			v.ref, outRef, v.ref, tdType(v.typ), outTD)
+		return nil
+	case *swift.Unary:
+		xt := c.ck.Types[x.X]
+		xRef, err := c.compileExpr(e, sc, x.X)
+		if err != nil {
+			return err
+		}
+		e.linef(`turbine::rule [list %s] "sw:unop %s %s %s %s %s"`,
+			xRef, outRef, x.Op, outTD, tdType(xt), xRef)
+		return nil
+	case *swift.Binary:
+		lt, rt := c.ck.Types[x.L], c.ck.Types[x.R]
+		lRef, err := c.compileExpr(e, sc, x.L)
+		if err != nil {
+			return err
+		}
+		rRef, err := c.compileExpr(e, sc, x.R)
+		if err != nil {
+			return err
+		}
+		e.linef(`turbine::rule [list %s %s] "sw:binop %s %s %s %s %s %s %s"`,
+			lRef, rRef, outRef, tclOp(x.Op), outTD, tdType(lt), lRef, tdType(rt), rRef)
+		return nil
+	case *swift.Call:
+		return c.compileCallInto(e, sc, outRef, outT, x)
+	case *swift.Index:
+		at := c.ck.Types[x.Arr]
+		aRef, err := c.compileExpr(e, sc, x.Arr)
+		if err != nil {
+			return err
+		}
+		sRef, err := c.compileExpr(e, sc, x.Sub)
+		if err != nil {
+			return err
+		}
+		_ = at
+		e.linef(`turbine::rule [list %s %s] "sw:aread %s %s %s %s integer"`,
+			aRef, sRef, outRef, outTD, aRef, sRef)
+		return nil
+	case *swift.ArrayLit:
+		elemT := swift.Type{Base: outT.Base}
+		for i, el := range x.Elems {
+			eRef, err := c.compileExprAs(e, sc, elemT, el)
+			if err != nil {
+				return err
+			}
+			e.linef("turbine::container_insert %s %d %s", outRef, i, eRef)
+		}
+		e.linef("turbine::write_refcount %s -1", outRef)
+		return nil
+	case *swift.RangeLit:
+		loRef, err := c.compileExpr(e, sc, x.Lo)
+		if err != nil {
+			return err
+		}
+		hiRef, err := c.compileExpr(e, sc, x.Hi)
+		if err != nil {
+			return err
+		}
+		stepRef := ""
+		if x.Step != nil {
+			stepRef, err = c.compileExpr(e, sc, x.Step)
+			if err != nil {
+				return err
+			}
+		} else {
+			t := c.gensym("t")
+			e.linef("set %s [turbine::literal_integer 1]", t)
+			stepRef = "$" + t
+		}
+		e.linef(`turbine::rule [list %s %s %s] "sw:range_build %s %s %s %s"`,
+			loRef, hiRef, stepRef, outRef, loRef, hiRef, stepRef)
+		return nil
+	}
+	return swift.Errorf(ex.Pos(), "internal: unknown expression %T", ex)
+}
+
+// tclOp maps Swift operators to Tcl expr operators.
+func tclOp(op string) string { return op }
+
+func fmtFloatLit(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// compileCallInto compiles a single-output call storing into outRef.
+func (c *compiler) compileCallInto(e *emitter, sc *genScope, outRef string, outT swift.Type, call *swift.Call) error {
+	if b, ok := swift.Builtins[call.Name]; ok {
+		return c.compileBuiltin(e, sc, outRef, outT, call, b)
+	}
+	f := c.prog.FindFunc(call.Name)
+	if f == nil {
+		return swift.Errorf(call.Pos(), "internal: undefined function %q", call.Name)
+	}
+	argRefs, argTypes, err := c.compileArgs(e, sc, call, f)
+	if err != nil {
+		return err
+	}
+	switch f.Kind {
+	case swift.FuncComposite:
+		// Direct engine-side invocation: the callee registers its rules.
+		e.linef("u:%s %s %s", f.Name, outRef, strings.Join(argRefs, " "))
+		return nil
+	case swift.FuncTclTemplate, swift.FuncApp:
+		// Leaf task on a worker when all inputs are closed.
+		deps := strings.Join(argRefs, " ")
+		e.linef(`turbine::rule [list %s] "u:%s %s %s" type work`,
+			deps, f.Name, outRef, strings.Join(argRefs, " "))
+		return nil
+	}
+	_ = argTypes
+	return swift.Errorf(call.Pos(), "internal: bad function kind")
+}
+
+func (c *compiler) compileArgs(e *emitter, sc *genScope, call *swift.Call, f *swift.FuncDef) ([]string, []string, error) {
+	var refs, types []string
+	for i, a := range call.Args {
+		want := f.Ins[i].Type
+		r, err := c.compileExprAs(e, sc, want, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		refs = append(refs, r)
+		types = append(types, tdType(want))
+	}
+	return refs, types, nil
+}
+
+// compileBuiltin handles builtins in expression position.
+func (c *compiler) compileBuiltin(e *emitter, sc *genScope, outRef string, outT swift.Type, call *swift.Call, b *swift.Builtin) error {
+	if b.Name == "size" {
+		aRef, err := c.compileExpr(e, sc, call.Args[0])
+		if err != nil {
+			return err
+		}
+		e.linef(`turbine::rule [list %s] "sw:asize %s %s"`, aRef, outRef, aRef)
+		return nil
+	}
+	if b.Name == "join_array" {
+		aRef, err := c.compileExpr(e, sc, call.Args[0])
+		if err != nil {
+			return err
+		}
+		sepRef, err := c.compileExpr(e, sc, call.Args[1])
+		if err != nil {
+			return err
+		}
+		// Two-phase: wait for the container to close, then wait for all
+		// members, then join their values.
+		e.linef(`turbine::rule [list %s %s] "sw:ajoin %s %s %s"`, aRef, sepRef, outRef, aRef, sepRef)
+		return nil
+	}
+	var refs, types []string
+	for _, a := range call.Args {
+		r, err := c.compileExpr(e, sc, a)
+		if err != nil {
+			return err
+		}
+		refs = append(refs, r)
+		types = append(types, tdType(c.ck.Types[a]))
+	}
+	deps := strings.Join(refs, " ")
+	ids := strings.Join(refs, " ")
+	kind := "sw:builtin"
+	extra := ""
+	if b.Leaf {
+		kind = "sw:leaf"
+		extra = " type work"
+	}
+	e.linef(`turbine::rule [list %s] "%s %s %s %s {%s} [list [list %s]]"%s`,
+		deps, kind, b.Name, outRef, tdType(outT), strings.Join(types, " "), ids, extra)
+	return nil
+}
+
+// compileCallStmt compiles a call in statement position (printf, trace,
+// zero-output functions, or ignored single-output calls).
+func (c *compiler) compileCallStmt(e *emitter, sc *genScope, call *swift.Call) error {
+	if b, ok := swift.Builtins[call.Name]; ok {
+		switch b.Name {
+		case "printf", "trace":
+			var refs, types []string
+			for _, a := range call.Args {
+				r, err := c.compileExpr(e, sc, a)
+				if err != nil {
+					return err
+				}
+				refs = append(refs, r)
+				types = append(types, tdType(c.ck.Types[a]))
+			}
+			e.linef(`turbine::rule [list %s] "sw:%s {%s} [list [list %s]]"`,
+				strings.Join(refs, " "), b.Name, strings.Join(types, " "), strings.Join(refs, " "))
+			return nil
+		default:
+			// Single-output builtin whose value is discarded.
+			t := c.gensym("t")
+			e.linef("set %s [turbine::allocate %s]", t, tdType(b.Out))
+			return c.compileBuiltin(e, sc, "$"+t, b.Out, call, b)
+		}
+	}
+	f := c.prog.FindFunc(call.Name)
+	if f == nil {
+		return swift.Errorf(call.Pos(), "internal: undefined function %q", call.Name)
+	}
+	// Allocate TDs for every output (discarded).
+	var outRefs []string
+	for _, o := range f.Outs {
+		t := c.gensym("t")
+		e.linef("set %s [turbine::allocate %s]", t, tdType(o.Type))
+		outRefs = append(outRefs, "$"+t)
+	}
+	argRefs, _, err := c.compileArgs(e, sc, call, f)
+	if err != nil {
+		return err
+	}
+	all := strings.Join(append(append([]string{}, outRefs...), argRefs...), " ")
+	switch f.Kind {
+	case swift.FuncComposite:
+		e.linef("u:%s %s", f.Name, all)
+	case swift.FuncTclTemplate, swift.FuncApp:
+		e.linef(`turbine::rule [list %s] "u:%s %s" type work`,
+			strings.Join(argRefs, " "), f.Name, all)
+	}
+	return nil
+}
+
+// ---- control flow ----
+
+// freeRefs computes the ordered Tcl references and parameter bindings of
+// the Swift variables a nested block needs from its enclosing scope.
+func (c *compiler) freeRefs(sc *genScope, stmts []swift.Stmt, bound map[string]bool) ([]string, []string, []swift.Type) {
+	names := map[string]bool{}
+	var order []string
+	var walkExpr func(ex swift.Expr)
+	var walkStmts func(ss []swift.Stmt, local map[string]bool)
+	walkExpr = func(ex swift.Expr) {
+		switch x := ex.(type) {
+		case *swift.Ident:
+			order = append(order, x.Name)
+			names[x.Name] = true
+		case *swift.Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *swift.Unary:
+			walkExpr(x.X)
+		case *swift.Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *swift.Index:
+			walkExpr(x.Arr)
+			walkExpr(x.Sub)
+		case *swift.ArrayLit:
+			for _, el := range x.Elems {
+				walkExpr(el)
+			}
+		case *swift.RangeLit:
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+			if x.Step != nil {
+				walkExpr(x.Step)
+			}
+		}
+	}
+	walkStmts = func(ss []swift.Stmt, local map[string]bool) {
+		sub := map[string]bool{}
+		for k := range local {
+			sub[k] = true
+		}
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *swift.Decl:
+				if st.Init != nil {
+					walkExpr(st.Init)
+				}
+				sub[st.Name] = true
+			case *swift.Assign:
+				if !sub[st.LName] {
+					order = append(order, st.LName)
+					names[st.LName] = true
+				}
+				if st.LSub != nil {
+					walkExpr(st.LSub)
+				}
+				walkExpr(st.RHS)
+			case *swift.CallStmt:
+				for _, a := range st.Call.Args {
+					walkExpr(a)
+				}
+			case *swift.If:
+				walkExpr(st.Cond)
+				walkStmts(st.Then, sub)
+				walkStmts(st.Else, sub)
+			case *swift.Foreach:
+				walkExpr(st.Seq)
+				inner := map[string]bool{}
+				for k := range sub {
+					inner[k] = true
+				}
+				inner[st.Var] = true
+				if st.IdxVar != "" {
+					inner[st.IdxVar] = true
+				}
+				walkStmts(st.Body, inner)
+			}
+		}
+	}
+	walkStmts(stmts, bound)
+
+	// Keep only variables resolvable in the enclosing scope, deduped in
+	// first-reference order (deterministic codegen).
+	seen := map[string]bool{}
+	var frees, refs []string
+	var typs []swift.Type
+	for _, n := range order {
+		if seen[n] || bound[n] {
+			continue
+		}
+		v, ok := sc.lookup(n)
+		if !ok {
+			continue // declared inside the block itself
+		}
+		seen[n] = true
+		frees = append(frees, n)
+		refs = append(refs, v.ref)
+		typs = append(typs, v.typ)
+	}
+	return frees, refs, typs
+}
+
+// writtenArrays finds enclosing-scope arrays assigned by subscript inside
+// the block; their write refcounts must be managed across the async
+// boundary.
+func (c *compiler) writtenArrays(sc *genScope, stmts []swift.Stmt, bound map[string]bool) []string {
+	found := map[string]bool{}
+	var order []string
+	var walk func(ss []swift.Stmt, local map[string]bool)
+	walk = func(ss []swift.Stmt, local map[string]bool) {
+		sub := map[string]bool{}
+		for k := range local {
+			sub[k] = true
+		}
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *swift.Decl:
+				sub[st.Name] = true
+			case *swift.Assign:
+				if st.LSub != nil && !sub[st.LName] && !found[st.LName] {
+					if _, ok := sc.lookup(st.LName); ok {
+						found[st.LName] = true
+						order = append(order, st.LName)
+					}
+				}
+			case *swift.If:
+				walk(st.Then, sub)
+				walk(st.Else, sub)
+			case *swift.Foreach:
+				inner := map[string]bool{}
+				for k := range sub {
+					inner[k] = true
+				}
+				inner[st.Var] = true
+				if st.IdxVar != "" {
+					inner[st.IdxVar] = true
+				}
+				walk(st.Body, inner)
+			}
+		}
+	}
+	walk(stmts, bound)
+	var refs []string
+	for _, n := range order {
+		v, _ := sc.lookup(n)
+		refs = append(refs, v.ref)
+	}
+	return refs
+}
+
+func (c *compiler) compileIf(e *emitter, sc *genScope, st *swift.If) error {
+	condRef, err := c.compileExpr(e, sc, st.Cond)
+	if err != nil {
+		return err
+	}
+	bound := map[string]bool{}
+	all := append(append([]swift.Stmt{}, st.Then...), st.Else...)
+	frees, refs, typs := c.freeRefs(sc, all, bound)
+	warrs := c.writtenArrays(sc, all, bound)
+
+	thenName := c.gensym("u:br") + "_t"
+	if err := c.emitBlockProc(thenName, frees, typs, sc, st.Then); err != nil {
+		return err
+	}
+	elseName := "-"
+	if st.Else != nil {
+		elseName = c.gensym("u:br") + "_e"
+		if err := c.emitBlockProc(elseName, frees, typs, sc, st.Else); err != nil {
+			return err
+		}
+	}
+	for _, w := range warrs {
+		e.linef("turbine::write_refcount %s 1", w)
+	}
+	e.linef(`turbine::rule [list %s] "sw:if %s %s %s [list [list %s]] [list [list %s]]"`,
+		condRef, condRef, thenName, elseName,
+		strings.Join(refs, " "), strings.Join(warrs, " "))
+	return nil
+}
+
+// emitBlockProc generates a proc for a nested block whose parameters are
+// the block's free variables.
+func (c *compiler) emitBlockProc(name string, frees []string, typs []swift.Type, outer *genScope, body []swift.Stmt) error {
+	sc := &genScope{vars: map[string]genVar{}}
+	var params []string
+	for i, n := range frees {
+		params = append(params, "v_"+n)
+		sc.vars[n] = genVar{ref: "$v_" + n, typ: typs[i]}
+	}
+	e := &emitter{indent: "    "}
+	if err := c.compileStmts(e, sc, body); err != nil {
+		return err
+	}
+	c.extraProcs = append(c.extraProcs,
+		fmt.Sprintf("proc %s {%s} {\n%s}\n", name, strings.Join(params, " "), e.b.String()))
+	return nil
+}
+
+func (c *compiler) compileForeach(e *emitter, sc *genScope, st *swift.Foreach) error {
+	seqT := c.ck.Types[st.Seq]
+	elemT := swift.Type{Base: seqT.Base}
+
+	bound := map[string]bool{st.Var: true}
+	if st.IdxVar != "" {
+		bound[st.IdxVar] = true
+	}
+	frees, refs, typs := c.freeRefs(sc, st.Body, bound)
+	warrs := c.writtenArrays(sc, st.Body, bound)
+
+	// The body proc takes the element (and optional index) before frees.
+	bodyName := c.gensym("u:loop")
+	bodyFrees := append([]string{st.Var}, append(idxNames(st.IdxVar), frees...)...)
+	bodyTyps := append([]swift.Type{elemT}, append(idxTypes(st.IdxVar), typs...)...)
+	if err := c.emitBlockProc(bodyName, bodyFrees, bodyTyps, sc, st.Body); err != nil {
+		return err
+	}
+
+	for _, w := range warrs {
+		e.linef("turbine::write_refcount %s 1", w)
+	}
+	if r, ok := st.Seq.(*swift.RangeLit); ok {
+		// Range loop: split across engines without materialising an array.
+		loRef, err := c.compileExpr(e, sc, r.Lo)
+		if err != nil {
+			return err
+		}
+		hiRef, err := c.compileExpr(e, sc, r.Hi)
+		if err != nil {
+			return err
+		}
+		var stepRef string
+		if r.Step != nil {
+			stepRef, err = c.compileExpr(e, sc, r.Step)
+			if err != nil {
+				return err
+			}
+		} else {
+			t := c.gensym("t")
+			e.linef("set %s [turbine::literal_integer 1]", t)
+			stepRef = "$" + t
+		}
+		if st.IdxVar != "" {
+			return swift.Errorf(st.Pos(), "index variable over a range is not supported; iterate the range value directly")
+		}
+		e.linef(`turbine::rule [list %s %s %s] "sw:rsplit %s [list [list %s]] [list [list %s]] %s %s %s"`,
+			loRef, hiRef, stepRef, bodyName,
+			strings.Join(refs, " "), strings.Join(warrs, " "),
+			loRef, hiRef, stepRef)
+		return nil
+	}
+	// Array loop.
+	seqRef, err := c.compileExpr(e, sc, st.Seq)
+	if err != nil {
+		return err
+	}
+	hasIdx := "0"
+	if st.IdxVar != "" {
+		hasIdx = "1"
+	}
+	e.linef(`turbine::rule [list %s] "sw:asplit %s [list [list %s]] [list [list %s]] %s %s"`,
+		seqRef, bodyName,
+		strings.Join(refs, " "), strings.Join(warrs, " "),
+		seqRef, hasIdx)
+	return nil
+}
+
+func idxNames(idx string) []string {
+	if idx == "" {
+		return nil
+	}
+	return []string{idx}
+}
+
+func idxTypes(idx string) []swift.Type {
+	if idx == "" {
+		return nil
+	}
+	return []swift.Type{{Base: swift.TInt}}
+}
+
+// ---- Tcl template and app functions ----
+
+// compileTemplateFunc emits the worker proc for a Tcl-template extension
+// function (paper §III-A): inputs splice as $in_<name> values, outputs as
+// out_<name> variable names whose final values are stored to the TDs.
+func (c *compiler) compileTemplateFunc(f *swift.FuncDef) (string, error) {
+	var params []string
+	for _, o := range f.Outs {
+		params = append(params, "td_"+o.Name)
+	}
+	for _, i := range f.Ins {
+		params = append(params, "td_"+i.Name)
+	}
+	e := &emitter{indent: "    "}
+	for _, i := range f.Ins {
+		e.linef("set in_%s [turbine::retrieve_%s $td_%s]", i.Name, tdType(i.Type), i.Name)
+	}
+	tmpl := f.Template
+	for _, i := range f.Ins {
+		tmpl = strings.ReplaceAll(tmpl, "<<"+i.Name+">>", "$in_"+i.Name)
+	}
+	for _, o := range f.Outs {
+		tmpl = strings.ReplaceAll(tmpl, "<<"+o.Name+">>", "out_"+o.Name)
+	}
+	if strings.Contains(tmpl, "<<") {
+		return "", swift.Errorf(f.Tok.Pos(), "template for %q references unknown parameters: %s", f.Name, tmpl)
+	}
+	for _, line := range strings.Split(tmpl, "\n") {
+		e.linef("%s", line)
+	}
+	for _, o := range f.Outs {
+		e.linef("turbine::store_%s $td_%s $out_%s", tdType(o.Type), o.Name, o.Name)
+	}
+	return fmt.Sprintf("proc u:%s {%s} {\n%s}\n", f.Name, strings.Join(params, " "), e.b.String()), nil
+}
+
+// compileAppFunc emits the worker proc for an app (shell) function: the
+// command words are assembled and passed to sh::exec; stdout feeds the
+// single string output, if any.
+func (c *compiler) compileAppFunc(f *swift.FuncDef) (string, error) {
+	if len(f.Outs) > 1 || (len(f.Outs) == 1 && f.Outs[0].Type != (swift.Type{Base: swift.TString})) {
+		return "", swift.Errorf(f.Tok.Pos(), "app %q: output must be a single string (stdout)", f.Name)
+	}
+	var params []string
+	for _, o := range f.Outs {
+		params = append(params, "td_"+o.Name)
+	}
+	for _, i := range f.Ins {
+		params = append(params, "td_"+i.Name)
+	}
+	e := &emitter{indent: "    "}
+	for _, i := range f.Ins {
+		e.linef("set in_%s [turbine::retrieve_%s $td_%s]", i.Name, tdType(i.Type), i.Name)
+	}
+	var words []string
+	for _, w := range f.AppWords {
+		switch x := w.(type) {
+		case *swift.StringLit:
+			words = append(words, tcl.ListElement(x.Value))
+		case *swift.Ident:
+			words = append(words, "$in_"+x.Name)
+		}
+	}
+	e.linef("set stdout_val [sh::exec %s]", strings.Join(words, " "))
+	if len(f.Outs) == 1 {
+		e.linef("turbine::store_string $td_%s $stdout_val", f.Outs[0].Name)
+	}
+	return fmt.Sprintf("proc u:%s {%s} {\n%s}\n", f.Name, strings.Join(params, " "), e.b.String()), nil
+}

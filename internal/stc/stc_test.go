@@ -1,0 +1,480 @@
+package stc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/tcl"
+	"repro/internal/turbine"
+)
+
+// syncWriter is a goroutine-safe line sink shared by all ranks.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) lines() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, l := range strings.Split(w.b.String(), "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// runSwift compiles src and executes it on a simulated world, returning
+// the collected stdout lines (sorted, since rank interleaving is
+// nondeterministic).
+func runSwift(t *testing.T, src string, size, engines, servers int) []string {
+	t.Helper()
+	lines, err := tryRunSwift(src, size, engines, servers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func tryRunSwift(src string, size, engines, servers int, setup func(*tcl.Interp, *turbine.Env) error) ([]string, error) {
+	out, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	sink := &syncWriter{}
+	cfg := &turbine.Config{
+		Engines: engines,
+		Servers: servers,
+		Program: out.Program,
+		Main:    out.Main,
+		Setup: func(in *tcl.Interp, env *turbine.Env) error {
+			in.Out = sink
+			if setup != nil {
+				return setup(in, env)
+			}
+			return nil
+		},
+	}
+	w, err := mpi.NewWorld(size)
+	if err != nil {
+		return nil, err
+	}
+	watchdog := time.AfterFunc(30*time.Second, func() {
+		w.Abort(fmt.Errorf("stc test watchdog: run hung"))
+	})
+	defer watchdog.Stop()
+	if err := w.Run(func(c *mpi.Comm) error { return turbine.Run(c, cfg) }); err != nil {
+		return nil, err
+	}
+	lines := sink.lines()
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func expectLines(t *testing.T, got, want []string) {
+	t.Helper()
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: got %q want %q\nall: %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestCompileProducesProgram(t *testing.T) {
+	out, err := Compile(`printf("hello");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Main != "u:main" {
+		t.Fatalf("main = %q", out.Main)
+	}
+	if !strings.Contains(out.Program, "proc u:main") {
+		t.Fatal("missing main proc")
+	}
+	if !strings.Contains(out.Program, "proc sw:copy") {
+		t.Fatal("missing prelude")
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := Compile("int x = "); err == nil {
+		t.Fatal("parse error not propagated")
+	}
+	if _, err := Compile("int x = y;"); err == nil {
+		t.Fatal("check error not propagated")
+	}
+}
+
+func TestHelloWorld(t *testing.T) {
+	got := runSwift(t, `printf("hello world");`, 3, 1, 1)
+	expectLines(t, got, []string{"hello world"})
+}
+
+func TestArithmeticDataflow(t *testing.T) {
+	got := runSwift(t, `
+		int x = 2 + 3;
+		int y = x * 10;
+		printf("y=%i", y);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"y=50"})
+}
+
+func TestFloatsAndPromotion(t *testing.T) {
+	got := runSwift(t, `
+		float f = 1;       // int literal promoted
+		float g = f + 0.5;
+		printf("g=%f", g);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"g=1.500000"})
+}
+
+func TestStringOps(t *testing.T) {
+	got := runSwift(t, `
+		string a = "foo";
+		string b = a + "bar";
+		printf("%s %i", b, strlen(b));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"foobar 6"})
+}
+
+func TestBooleanAndComparison(t *testing.T) {
+	got := runSwift(t, `
+		boolean b = 3 < 5;
+		if (b) { printf("lt"); } else { printf("geq"); }
+		if (2 == 2 && !false) { printf("and"); }
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"and", "lt"})
+}
+
+func TestIfElseChain(t *testing.T) {
+	got := runSwift(t, `
+		int x = 7;
+		if (x < 5) { printf("small"); }
+		else if (x < 10) { printf("medium"); }
+		else { printf("large"); }
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"medium"})
+}
+
+func TestCompositeFunction(t *testing.T) {
+	got := runSwift(t, `
+		(int o) double_it(int i) {
+			o = i * 2;
+		}
+		int r = double_it(21);
+		printf("r=%i", r);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"r=42"})
+}
+
+func TestCompositeChained(t *testing.T) {
+	got := runSwift(t, `
+		(int o) f(int i) { o = i + 1; }
+		(int o) g(int i) { o = f(i) * 10; }
+		printf("%i", g(4));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"50"})
+}
+
+func TestFig1Program(t *testing.T) {
+	// The paper's Fig. 1 / §II-A example, with concrete f and g.
+	got := runSwift(t, `
+		(int o) f(int i) { o = i * 3; }
+		(int o) g(int t) { o = t % 2; }
+		foreach i in [0:9] {
+			int t = f(i);
+			if (g(t) == 0) { printf("g(%i)==0", t); }
+		}
+	`, 6, 1, 1)
+	want := []string{}
+	for i := 0; i <= 9; i++ {
+		if (i*3)%2 == 0 {
+			want = append(want, fmt.Sprintf("g(%d)==0", i*3))
+		}
+	}
+	expectLines(t, got, want)
+}
+
+func TestForeachRange(t *testing.T) {
+	got := runSwift(t, `
+		foreach i in [1:5] {
+			printf("i=%i", i);
+		}
+	`, 4, 1, 1)
+	expectLines(t, got, []string{"i=1", "i=2", "i=3", "i=4", "i=5"})
+}
+
+func TestForeachRangeWithStep(t *testing.T) {
+	got := runSwift(t, `
+		foreach i in [0:10:3] {
+			printf("i=%i", i);
+		}
+	`, 4, 1, 1)
+	expectLines(t, got, []string{"i=0", "i=3", "i=6", "i=9"})
+}
+
+func TestForeachEmptyRange(t *testing.T) {
+	got := runSwift(t, `
+		foreach i in [5:1] {
+			printf("never");
+		}
+		printf("done");
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"done"})
+}
+
+func TestArrayLiteralAndIndex(t *testing.T) {
+	got := runSwift(t, `
+		int a[] = [10, 20, 30];
+		printf("a1=%i", a[1]);
+		printf("n=%i", size(a));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"a1=20", "n=3"})
+}
+
+func TestForeachArrayWithIndex(t *testing.T) {
+	got := runSwift(t, `
+		int a[] = [7, 8];
+		foreach v, i in a {
+			printf("%i:%i", i, v);
+		}
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"0:7", "1:8"})
+}
+
+func TestRangeAsArray(t *testing.T) {
+	got := runSwift(t, `
+		int r[] = [2:4];
+		foreach v in r {
+			printf("v=%i", v);
+		}
+		printf("len=%i", size(r));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"len=3", "v=2", "v=3", "v=4"})
+}
+
+func TestArrayBuiltByLoop(t *testing.T) {
+	// The key write-refcount pattern: a[] filled inside a foreach, read
+	// by another foreach after the container closes.
+	got := runSwift(t, `
+		int a[];
+		foreach i in [0:4] {
+			a[i] = i * i;
+		}
+		foreach v, i in a {
+			printf("%i->%i", i, v);
+		}
+	`, 5, 1, 1)
+	expectLines(t, got, []string{"0->0", "1->1", "2->4", "3->9", "4->16"})
+}
+
+func TestNestedLoops(t *testing.T) {
+	got := runSwift(t, `
+		foreach i in [0:1] {
+			foreach j in [0:1] {
+				printf("%i%i", i, j);
+			}
+		}
+	`, 5, 1, 1)
+	expectLines(t, got, []string{"00", "01", "10", "11"})
+}
+
+func TestTclTemplateFunction(t *testing.T) {
+	// The paper's §III-A extension function example verbatim.
+	src := `
+		(int o) f(int i, int j)
+		"my_package" "1.0"
+		[ "set <<o>> [ f <<i>> <<j>> ]" ];
+		int x = f(2, 3);
+		printf("x=%i", x);
+	`
+	setup := func(in *tcl.Interp, env *turbine.Env) error {
+		// Provide the Tcl package with proc f, as a user package would.
+		_, err := in.Eval(`
+			package provide my_package 1.0
+			proc f {i j} { expr {$i * 10 + $j} }
+		`)
+		return err
+	}
+	lines, err := tryRunSwift(src, 4, 1, 1, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, []string{"x=23"})
+}
+
+func TestTemplateMultilineScript(t *testing.T) {
+	src := `
+		(string o) greet(string name)
+		"greeting" "1.0"
+		[ "set parts [list Hello <<name>>]\nset <<o>> [join $parts { }]" ];
+		string s = greet("World");
+		printf("%s", s);
+	`
+	lines, err := tryRunSwift(src, 4, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, []string{"Hello World"})
+}
+
+func TestTrace(t *testing.T) {
+	got := runSwift(t, `trace(1, 2.5, "three");`, 3, 1, 1)
+	expectLines(t, got, []string{"trace: 1,2.5,three"})
+}
+
+func TestConversions(t *testing.T) {
+	got := runSwift(t, `
+		printf("%s", toString(42));
+		printf("%i", toInt("17"));
+		printf("%f", toFloat("2.5"));
+		printf("%i", ftoi(3.9));
+		printf("%f", itof(2));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"42", "17", "2.500000", "3", "2.000000"})
+}
+
+func TestMathBuiltins(t *testing.T) {
+	got := runSwift(t, `
+		printf("%f", sqrt(16.0));
+		printf("%f", floor(3.7));
+		printf("%f", ceil(3.2));
+		printf("%f", abs(0.0 - 5.0));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"4.000000", "3.000000", "4.000000", "5.000000"})
+}
+
+func TestStrcat(t *testing.T) {
+	got := runSwift(t, `
+		string s = strcat("a", "b", "c");
+		printf("%s", s);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"abc"})
+}
+
+func TestMultiEngineMultiServer(t *testing.T) {
+	// A wider run: 2 engines, 2 servers, 4 workers; 40 tasks.
+	got := runSwift(t, `
+		(int o) sq(int i) { o = i * i; }
+		foreach i in [0:39] {
+			printf("%i", sq(i));
+		}
+	`, 8, 2, 2)
+	want := make([]string, 40)
+	for i := range want {
+		want[i] = fmt.Sprint(i * i)
+	}
+	expectLines(t, got, want)
+}
+
+func TestDeepDataflowChain(t *testing.T) {
+	// x0 -> x1 -> ... -> x9 sequential dependency chain.
+	var b strings.Builder
+	b.WriteString("int x0 = 1;\n")
+	for i := 1; i < 10; i++ {
+		fmt.Fprintf(&b, "int x%d = x%d + 1;\n", i, i-1)
+	}
+	b.WriteString(`printf("%i", x9);`)
+	got := runSwift(t, b.String(), 3, 1, 1)
+	expectLines(t, got, []string{"10"})
+}
+
+func TestZeroOutputComposite(t *testing.T) {
+	got := runSwift(t, `
+		report(int i) {
+			printf("report %i", i);
+		}
+		report(5);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"report 5"})
+}
+
+func TestIndexVarOverRangeRejected(t *testing.T) {
+	_, err := Compile(`foreach v, i in [0:3] { printf("%i", i); }`)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTemplateUnknownSpliceRejected(t *testing.T) {
+	_, err := Compile(`(int o) f(int i) "p" "1" [ "set <<o>> <<zzz>>" ]; int x = f(1);`)
+	if err == nil || !strings.Contains(err.Error(), "unknown parameters") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGeneratedCodeIsValidTcl(t *testing.T) {
+	// The generated program must at least parse and load into a bare
+	// interpreter (turbine commands stubbed out).
+	out, err := Compile(`
+		(int o) f(int i) { o = i; }
+		int a[] = [1, 2, 3];
+		foreach v in a {
+			if (v > 1) { printf("%i", f(v)); }
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tcl.New()
+	stub := func(in *tcl.Interp, args []string) (string, error) { return "0", nil }
+	for _, cmd := range []string{"allocate", "rule", "literal_integer", "literal_float",
+		"literal_string", "store_integer", "store_float", "store_string", "store_blob",
+		"store_void", "retrieve_integer", "container_insert", "write_refcount", "spawn",
+		"engines", "put"} {
+		in.RegisterCommand("turbine::"+cmd, stub)
+	}
+	if _, err := in.Eval(out.Program); err != nil {
+		t.Fatalf("generated program does not load: %v\n----\n%s", err, out.Program)
+	}
+	if _, err := in.Eval(out.Main); err != nil {
+		t.Fatalf("generated main does not run: %v", err)
+	}
+}
+
+func TestJoinArray(t *testing.T) {
+	got := runSwift(t, `
+		int a[] = [3, 1, 2];
+		string joined = join_array(a, ",");
+		printf("j=%s", joined);
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"j=3,1,2"})
+}
+
+func TestJoinArrayFromLoop(t *testing.T) {
+	// Elements written asynchronously by a foreach; join must wait for
+	// both container close and every member value.
+	got := runSwift(t, `
+		int a[];
+		foreach i in [0:3] {
+			a[i] = i * 10;
+		}
+		printf("j=%s", join_array(a, "+"));
+	`, 5, 1, 1)
+	expectLines(t, got, []string{"j=0+10+20+30"})
+}
+
+func TestJoinArrayFloats(t *testing.T) {
+	got := runSwift(t, `
+		float xs[] = [1.5, 2.5];
+		printf("%s", join_array(xs, " "));
+	`, 3, 1, 1)
+	expectLines(t, got, []string{"1.5 2.5"})
+}

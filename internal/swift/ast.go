@@ -1,0 +1,279 @@
+package swift
+
+import "fmt"
+
+// Type is a Swift type: a scalar base type or an array of a base type.
+type Type struct {
+	Base  BaseType
+	Array bool
+}
+
+// BaseType enumerates Swift's scalar types.
+type BaseType int
+
+// Scalar base types.
+const (
+	TInvalid BaseType = iota
+	TInt
+	TFloat
+	TString
+	TBoolean
+	TBlob
+	TVoid
+)
+
+var baseNames = map[string]BaseType{
+	"int":     TInt,
+	"float":   TFloat,
+	"string":  TString,
+	"boolean": TBoolean,
+	"blob":    TBlob,
+	"void":    TVoid,
+}
+
+func (b BaseType) String() string {
+	for n, v := range baseNames {
+		if v == b {
+			return n
+		}
+	}
+	return "invalid"
+}
+
+func (t Type) String() string {
+	if t.Array {
+		return t.Base.String() + "[]"
+	}
+	return t.Base.String()
+}
+
+// Scalar reports whether t is a non-array type.
+func (t Type) Scalar() bool { return !t.Array }
+
+// Equals compares types structurally.
+func (t Type) Equals(o Type) bool { return t.Base == o.Base && t.Array == o.Array }
+
+// ---- Expressions ----
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	Pos() string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Tok   Token
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	Tok   Token
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+	Tok   Token
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Tok   Token
+}
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+	Tok  Token
+}
+
+// Binary is a binary operation; Op is the token text ("+", "==", ...).
+type Binary struct {
+	Op   string
+	L, R Expr
+	Tok  Token
+}
+
+// Unary is negation or logical not.
+type Unary struct {
+	Op  string
+	X   Expr
+	Tok Token
+}
+
+// Call invokes a function in expression position (single output).
+type Call struct {
+	Name string
+	Args []Expr
+	Tok  Token
+}
+
+// Index reads an array element.
+type Index struct {
+	Arr Expr
+	Sub Expr
+	Tok Token
+}
+
+// ArrayLit is [e1, e2, ...].
+type ArrayLit struct {
+	Elems []Expr
+	Tok   Token
+}
+
+// RangeLit is [lo:hi] or [lo:hi:step].
+type RangeLit struct {
+	Lo, Hi Expr
+	Step   Expr // nil means 1
+	Tok    Token
+}
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*StringLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*Ident) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Call) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*ArrayLit) exprNode()  {}
+func (*RangeLit) exprNode()  {}
+
+// Pos implementations.
+func (e *IntLit) Pos() string    { return e.Tok.Pos() }
+func (e *FloatLit) Pos() string  { return e.Tok.Pos() }
+func (e *StringLit) Pos() string { return e.Tok.Pos() }
+func (e *BoolLit) Pos() string   { return e.Tok.Pos() }
+func (e *Ident) Pos() string     { return e.Tok.Pos() }
+func (e *Binary) Pos() string    { return e.Tok.Pos() }
+func (e *Unary) Pos() string     { return e.Tok.Pos() }
+func (e *Call) Pos() string      { return e.Tok.Pos() }
+func (e *Index) Pos() string     { return e.Tok.Pos() }
+func (e *ArrayLit) Pos() string  { return e.Tok.Pos() }
+func (e *RangeLit) Pos() string  { return e.Tok.Pos() }
+
+// ---- Statements ----
+
+// Stmt is any statement node.
+type Stmt interface {
+	stmtNode()
+	Pos() string
+}
+
+// Decl declares (and optionally initialises) one variable.
+type Decl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Tok  Token
+}
+
+// Assign stores into a variable or array element.
+type Assign struct {
+	LName string
+	LSub  Expr // non-nil for a[i] = ...
+	RHS   Expr
+	Tok   Token
+}
+
+// CallStmt invokes a function for effect; Outs names output variables for
+// multi-output calls (empty for pure effect calls like printf).
+type CallStmt struct {
+	Call *Call
+	Tok  Token
+}
+
+// If is a two-way conditional on a boolean future.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Tok  Token
+}
+
+// Foreach iterates a range or array with implicit parallelism.
+type Foreach struct {
+	Var    string // element variable
+	IdxVar string // optional subscript variable ("" if absent)
+	Seq    Expr
+	Body   []Stmt
+	Tok    Token
+}
+
+func (*Decl) stmtNode()     {}
+func (*Assign) stmtNode()   {}
+func (*CallStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*Foreach) stmtNode()  {}
+
+// Pos implementations.
+func (s *Decl) Pos() string     { return s.Tok.Pos() }
+func (s *Assign) Pos() string   { return s.Tok.Pos() }
+func (s *CallStmt) Pos() string { return s.Tok.Pos() }
+func (s *If) Pos() string       { return s.Tok.Pos() }
+func (s *Foreach) Pos() string  { return s.Tok.Pos() }
+
+// ---- Definitions ----
+
+// Param is one function parameter (input or output).
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncKind distinguishes how a function body executes.
+type FuncKind int
+
+// Function kinds.
+const (
+	// FuncComposite is a Swift-bodied function evaluated as dataflow on
+	// engines.
+	FuncComposite FuncKind = iota
+	// FuncTclTemplate is an extension function defined by a Tcl template
+	// (paper §III-A) executed as a worker leaf task.
+	FuncTclTemplate
+	// FuncApp is a shell app function (paper's Swift/K-inherited shell
+	// interface) executed as a worker leaf task.
+	FuncApp
+)
+
+// FuncDef is one function definition.
+type FuncDef struct {
+	Kind     FuncKind
+	Name     string
+	Outs     []Param
+	Ins      []Param
+	Body     []Stmt // composite
+	Package  string // tcl template: package name
+	Version  string // tcl template: package version
+	Template string // tcl template text with <<var>> splices
+	AppWords []Expr // app: command words (strings/idents)
+	Tok      Token
+}
+
+// Program is a parsed compilation unit: definitions plus top-level
+// statements (the implicit main).
+type Program struct {
+	Funcs []*FuncDef
+	Main  []Stmt
+}
+
+// FindFunc returns the definition of name, or nil.
+func (p *Program) FindFunc(name string) *FuncDef {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Errorf builds a positioned error.
+func Errorf(pos string, format string, args ...any) error {
+	return fmt.Errorf("swift: %s: %s", pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,221 @@
+package swift
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lex tokenizes Swift source, handling // and /* */ comments and #
+// line comments (Swift inherits all three styles from its shell-adjacent
+// heritage).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			advance(2)
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("swift: line %d: unterminated block comment", line)
+			}
+			advance(2)
+		case isIdentStart(c):
+			start := i
+			startCol := col
+			for i < n && isIdentPart(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if k, ok := keywords[text]; ok {
+				kind = k
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: startCol})
+		case c >= '0' && c <= '9':
+			start := i
+			startCol := col
+			isFloat := false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					advance(1)
+				} else if d == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+					isFloat = true
+					advance(1)
+				} else if (d == 'e' || d == 'E') && i+1 < n &&
+					(src[i+1] == '+' || src[i+1] == '-' || (src[i+1] >= '0' && src[i+1] <= '9')) {
+					isFloat = true
+					advance(1)
+					if src[i] == '+' || src[i] == '-' {
+						advance(1)
+					}
+				} else {
+					break
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[start:i], Line: line, Col: startCol})
+		case c == '"':
+			startCol := col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\\' && i+1 < n {
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					default:
+						b.WriteByte(src[i+1])
+					}
+					advance(2)
+					continue
+				}
+				if src[i] == '"' {
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\n' {
+					return nil, fmt.Errorf("swift: line %d: newline in string literal", line)
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("swift: line %d: unterminated string literal", line)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Line: line, Col: startCol})
+		default:
+			startCol := col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			emit2 := func(kind TokKind) {
+				toks = append(toks, Token{Kind: kind, Text: two, Line: line, Col: startCol})
+				advance(2)
+			}
+			emit1 := func(kind TokKind) {
+				toks = append(toks, Token{Kind: kind, Text: string(c), Line: line, Col: startCol})
+				advance(1)
+			}
+			switch two {
+			case "==":
+				emit2(TokEq)
+				continue
+			case "!=":
+				emit2(TokNeq)
+				continue
+			case "<=":
+				emit2(TokLeq)
+				continue
+			case ">=":
+				emit2(TokGeq)
+				continue
+			case "&&":
+				emit2(TokAnd)
+				continue
+			case "||":
+				emit2(TokOr)
+				continue
+			}
+			switch c {
+			case '(':
+				emit1(TokLParen)
+			case ')':
+				emit1(TokRParen)
+			case '{':
+				emit1(TokLBrace)
+			case '}':
+				emit1(TokRBrace)
+			case '[':
+				emit1(TokLBracket)
+			case ']':
+				emit1(TokRBracket)
+			case ',':
+				emit1(TokComma)
+			case ';':
+				emit1(TokSemi)
+			case ':':
+				emit1(TokColon)
+			case '=':
+				emit1(TokAssign)
+			case '+':
+				emit1(TokPlus)
+			case '-':
+				emit1(TokMinus)
+			case '*':
+				emit1(TokStar)
+			case '/':
+				emit1(TokSlash)
+			case '%':
+				emit1(TokPercent)
+			case '<':
+				emit1(TokLt)
+			case '>':
+				emit1(TokGt)
+			case '!':
+				emit1(TokNot)
+			case '@':
+				// Annotations like @par are tokenized as identifiers.
+				start := i
+				advance(1)
+				for i < n && isIdentPart(src[i]) {
+					advance(1)
+				}
+				toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Line: line, Col: startCol})
+			default:
+				return nil, fmt.Errorf("swift: line %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,704 @@
+package swift
+
+import "strconv"
+
+// Parser state over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a Swift compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind, what string) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, Errorf(p.cur().Pos(), "expected %s, found %q", what, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.cur().Kind == TokImport:
+			// import pkg; — accepted and recorded as a no-op (modules are
+			// provided by the runtime Setup hook in this implementation).
+			p.next()
+			if _, err := p.expect(TokIdent, "module name"); err != nil {
+				return nil, err
+			}
+			for p.accept(TokColon) || p.accept(TokSlash) {
+				if _, err := p.expect(TokIdent, "module path"); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(TokSemi, ";"); err != nil {
+				return nil, err
+			}
+		case p.cur().Kind == TokApp:
+			f, err := p.parseAppDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		case p.cur().Kind == TokLParen:
+			f, err := p.parseFuncDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		case p.cur().Kind == TokIdent && !isTypeName(p.cur().Text) && p.peek().Kind == TokLParen && p.looksLikeFuncDef():
+			f, err := p.parseFuncDef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = append(prog.Main, s)
+		}
+	}
+	return prog, nil
+}
+
+// looksLikeFuncDef scans ahead from an ident+lparen to see whether the
+// parenthesised list is a parameter list followed by a body/template
+// (definition) rather than an argument list followed by ';' (call).
+func (p *parser) looksLikeFuncDef() bool {
+	depth := 0
+	for i := p.pos + 1; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case TokLParen:
+			depth++
+		case TokRParen:
+			depth--
+			if depth == 0 {
+				if i+1 < len(p.toks) {
+					k := p.toks[i+1].Kind
+					return k == TokLBrace || k == TokString
+				}
+				return false
+			}
+		case TokEOF:
+			return false
+		}
+	}
+	return false
+}
+
+func isTypeName(s string) bool {
+	_, ok := baseNames[s]
+	return ok
+}
+
+// parseType parses "base" or "base[]" (the [] may also follow the name in
+// declarations; handled by callers).
+func (p *parser) parseType() (Type, error) {
+	t, err := p.expect(TokIdent, "type name")
+	if err != nil {
+		return Type{}, err
+	}
+	base, ok := baseNames[t.Text]
+	if !ok {
+		return Type{}, Errorf(t.Pos(), "unknown type %q", t.Text)
+	}
+	typ := Type{Base: base}
+	if p.cur().Kind == TokLBracket && p.peek().Kind == TokRBracket {
+		p.next()
+		p.next()
+		typ.Array = true
+	}
+	return typ, nil
+}
+
+func (p *parser) parseParams() ([]Param, error) {
+	var params []Param
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	if p.accept(TokRParen) {
+		return params, nil
+	}
+	for {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "parameter name")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == TokLBracket && p.peek().Kind == TokRBracket {
+			p.next()
+			p.next()
+			typ.Array = true
+		}
+		params = append(params, Param{Type: typ, Name: name.Text})
+		if p.accept(TokComma) {
+			continue
+		}
+		if _, err := p.expect(TokRParen, ") or ,"); err != nil {
+			return nil, err
+		}
+		return params, nil
+	}
+}
+
+// parseFuncDef parses composite and Tcl-template definitions:
+//
+//	(int o) f(int i, int j) { ... }
+//	(int o) f(int i, int j) "pkg" "1.0" [ "template" ];
+//	f(int i) { ... }               // no outputs
+func (p *parser) parseFuncDef() (*FuncDef, error) {
+	start := p.cur()
+	var outs []Param
+	var err error
+	if p.cur().Kind == TokLParen {
+		outs, err = p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(TokIdent, "function name")
+	if err != nil {
+		return nil, err
+	}
+	ins, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDef{Name: name.Text, Outs: outs, Ins: ins, Tok: start}
+	switch p.cur().Kind {
+	case TokLBrace:
+		f.Kind = FuncComposite
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		return f, nil
+	case TokString:
+		// Tcl template form: "pkg" "version" [ "template" ];
+		f.Kind = FuncTclTemplate
+		f.Package = p.next().Text
+		ver, err := p.expect(TokString, "package version string")
+		if err != nil {
+			return nil, err
+		}
+		f.Version = ver.Text
+		if _, err := p.expect(TokLBracket, "["); err != nil {
+			return nil, err
+		}
+		tmpl, err := p.expect(TokString, "Tcl template string")
+		if err != nil {
+			return nil, err
+		}
+		f.Template = tmpl.Text
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, ";"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return nil, Errorf(p.cur().Pos(), "expected function body or Tcl template, found %q", p.cur().Text)
+}
+
+// parseAppDef parses: app (outs) name (ins) { word word ... }
+// Words are string literals or identifiers referencing parameters.
+func (p *parser) parseAppDef() (*FuncDef, error) {
+	start, _ := p.expect(TokApp, "app")
+	var outs []Param
+	var err error
+	if p.cur().Kind == TokLParen {
+		outs, err = p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(TokIdent, "app function name")
+	if err != nil {
+		return nil, err
+	}
+	ins, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	f := &FuncDef{Kind: FuncApp, Name: name.Text, Outs: outs, Ins: ins, Tok: start}
+	for p.cur().Kind != TokRBrace {
+		switch p.cur().Kind {
+		case TokString:
+			t := p.next()
+			f.AppWords = append(f.AppWords, &StringLit{Value: t.Text, Tok: t})
+		case TokIdent:
+			t := p.next()
+			f.AppWords = append(f.AppWords, &Ident{Name: t.Text, Tok: t})
+		default:
+			return nil, Errorf(p.cur().Pos(), "app command words must be strings or parameters, found %q", p.cur().Text)
+		}
+	}
+	p.next() // }
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, Errorf(p.cur().Pos(), "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.cur().Kind == TokIf:
+		return p.parseIf()
+	case p.cur().Kind == TokForeach:
+		return p.parseForeach()
+	case p.cur().Kind == TokIdent && isTypeName(p.cur().Text):
+		return p.parseDecl()
+	case p.cur().Kind == TokIdent:
+		return p.parseAssignOrCall()
+	}
+	return nil, Errorf(p.cur().Pos(), "expected statement, found %q", p.cur().Text)
+}
+
+func (p *parser) parseDecl() (Stmt, error) {
+	start := p.cur()
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "variable name")
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokLBracket && p.peek().Kind == TokRBracket {
+		p.next()
+		p.next()
+		typ.Array = true
+	}
+	d := &Decl{Type: typ, Name: name.Text, Tok: start}
+	if p.accept(TokAssign) {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseAssignOrCall() (Stmt, error) {
+	name := p.next()
+	switch p.cur().Kind {
+	case TokAssign:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{LName: name.Text, RHS: rhs, Tok: name}, nil
+	case TokLBracket:
+		p.next()
+		sub, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{LName: name.Text, LSub: sub, RHS: rhs, Tok: name}, nil
+	case TokLParen:
+		call, err := p.parseCallFrom(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, ";"); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Call: call, Tok: name}, nil
+	}
+	return nil, Errorf(p.cur().Pos(), "expected =, [, or ( after %q", name.Text)
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	start := p.next() // if
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Tok: start}
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{elif}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseForeach() (Stmt, error) {
+	start := p.next() // foreach
+	v, err := p.expect(TokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	idxVar := ""
+	if p.accept(TokComma) {
+		iv, err := p.expect(TokIdent, "index variable")
+		if err != nil {
+			return nil, err
+		}
+		idxVar = iv.Text
+	}
+	if _, err := p.expect(TokIn, "in"); err != nil {
+		return nil, err
+	}
+	seq, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Foreach{Var: v.Text, IdxVar: idxVar, Seq: seq, Body: body, Tok: start}, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOr {
+		t := p.next()
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r, Tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAnd {
+		t := p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r, Tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case TokEq:
+			op = "=="
+		case TokNeq:
+			op = "!="
+		case TokLt:
+			op = "<"
+		case TokLeq:
+			op = "<="
+		case TokGt:
+			op = ">"
+		case TokGeq:
+			op = ">="
+		default:
+			return l, nil
+		}
+		t := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Tok: t}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokPlus || p.cur().Kind == TokMinus {
+		t := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Text, L: l, R: r, Tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokStar || p.cur().Kind == TokSlash || p.cur().Kind == TokPercent {
+		t := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Text, L: l, R: r, Tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Tok: t}, nil
+	case TokNot:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x, Tok: t}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokLBracket {
+		t := p.next()
+		sub, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		e = &Index{Arr: e, Sub: sub, Tok: t}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, Errorf(t.Pos(), "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Value: v, Tok: t}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, Errorf(t.Pos(), "bad float literal %q", t.Text)
+		}
+		return &FloatLit{Value: v, Tok: t}, nil
+	case TokString:
+		p.next()
+		return &StringLit{Value: t.Text, Tok: t}, nil
+	case TokIdent:
+		switch t.Text {
+		case "true", "false":
+			p.next()
+			return &BoolLit{Value: t.Text == "true", Tok: t}, nil
+		}
+		p.next()
+		if p.cur().Kind == TokLParen {
+			return p.parseCallFrom(t)
+		}
+		return &Ident{Name: t.Text, Tok: t}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBracket:
+		return p.parseBracketExpr()
+	}
+	return nil, Errorf(t.Pos(), "expected expression, found %q", t.Text)
+}
+
+// parseBracketExpr handles [lo:hi], [lo:hi:step], and [e1, e2, ...].
+func (p *parser) parseBracketExpr() (Expr, error) {
+	open := p.next() // [
+	if p.cur().Kind == TokRBracket {
+		p.next()
+		return &ArrayLit{Tok: open}, nil
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokColon) {
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r := &RangeLit{Lo: first, Hi: hi, Tok: open}
+		if p.accept(TokColon) {
+			r.Step, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	lit := &ArrayLit{Elems: []Expr{first}, Tok: open}
+	for p.accept(TokComma) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		lit.Elems = append(lit.Elems, e)
+	}
+	if _, err := p.expect(TokRBracket, "]"); err != nil {
+		return nil, err
+	}
+	return lit, nil
+}
+
+func (p *parser) parseCallFrom(name Token) (*Call, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	call := &Call{Name: name.Text, Tok: name}
+	if p.accept(TokRParen) {
+		return call, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+		if p.accept(TokComma) {
+			continue
+		}
+		if _, err := p.expect(TokRParen, ") or ,"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+}

@@ -1,0 +1,344 @@
+package swift
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func mustCheck(t *testing.T, src string) *Checker {
+	t.Helper()
+	p := mustParse(t, src)
+	c, err := Check(p)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return c
+}
+
+func checkFails(t *testing.T, src, fragment string) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		if strings.Contains(err.Error(), fragment) {
+			return
+		}
+		t.Fatalf("parse error %q does not contain %q", err, fragment)
+	}
+	_, err = Check(p)
+	if err == nil {
+		t.Fatalf("expected failure containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not contain %q", err, fragment)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 42; // comment
+	float y = 3.14; /* block
+	comment */ string s = "hi\n";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	// spot checks
+	if toks[0].Text != "int" || toks[1].Text != "x" || toks[2].Kind != TokAssign {
+		t.Fatalf("prefix tokens wrong: %v", toks[:4])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokString && tok.Text == "hi\n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("string literal with escape not lexed")
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("== != <= >= && || < > ! = + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNeq, TokLeq, TokGeq, TokAnd, TokOr, TokLt, TokGt,
+		TokNot, TokAssign, TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: kind %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("expected unterminated string error")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Fatal("expected unterminated comment error")
+	}
+	if _, err := Lex("`"); err == nil {
+		t.Fatal("expected bad character error")
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	p := mustParse(t, `
+		int x;
+		int y = 5;
+		float f = 2.5;
+		string s = "hello";
+		boolean b = true;
+		int a[];
+		int r[] = [0:9];
+		float vals[] = [1.0, 2.0, 3.0];
+	`)
+	if len(p.Main) != 8 {
+		t.Fatalf("got %d statements", len(p.Main))
+	}
+	d := p.Main[6].(*Decl)
+	if !d.Type.Array || d.Type.Base != TFloat && d.Name != "r" {
+		// statement 6 is r[] = [0:9]
+	}
+	r := p.Main[6].(*Decl)
+	if r.Name != "r" || !r.Type.Array {
+		t.Fatalf("range decl wrong: %+v", r)
+	}
+	if _, ok := r.Init.(*RangeLit); !ok {
+		t.Fatalf("expected RangeLit init, got %T", r.Init)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	p := mustParse(t, `
+		(int o) f(int i, int j) {
+			o = i + j;
+		}
+		g(int x) {
+			printf("%i", x);
+		}
+		(int o) h(int i) "my_package" "1.0" [ "set <<o>> [ h_impl <<i>> ]" ];
+		app (string out) listing(string dir) { "ls" dir }
+	`)
+	if len(p.Funcs) != 4 {
+		t.Fatalf("got %d funcs", len(p.Funcs))
+	}
+	f := p.FindFunc("f")
+	if f == nil || f.Kind != FuncComposite || len(f.Outs) != 1 || len(f.Ins) != 2 {
+		t.Fatalf("f wrong: %+v", f)
+	}
+	h := p.FindFunc("h")
+	if h == nil || h.Kind != FuncTclTemplate || h.Package != "my_package" || h.Version != "1.0" {
+		t.Fatalf("h wrong: %+v", h)
+	}
+	if !strings.Contains(h.Template, "<<o>>") {
+		t.Fatalf("template lost splices: %q", h.Template)
+	}
+	a := p.FindFunc("listing")
+	if a == nil || a.Kind != FuncApp || len(a.AppWords) != 2 {
+		t.Fatalf("app wrong: %+v", a)
+	}
+	if p.FindFunc("nosuch") != nil {
+		t.Fatal("FindFunc false positive")
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The exact fragment from paper §III-A.
+	p := mustParse(t, `
+		(int o) f(int i, int j)
+		"my_package" "1.0"
+		[ "set <<o>> [ f <<i>> <<j>> ]" ];
+		int x = f(2, 3);
+	`)
+	if len(p.Funcs) != 1 || len(p.Main) != 1 {
+		t.Fatalf("funcs=%d main=%d", len(p.Funcs), len(p.Main))
+	}
+}
+
+func TestParseFig1Example(t *testing.T) {
+	// Paper Fig. 1 loop (§II-A), adapted to defined fs.
+	p := mustParse(t, `
+		(int o) f(int i) { o = i; }
+		(int o) g(int t) { o = t; }
+		foreach i in [0:9] {
+			int t = f(i);
+			if (g(t) == 0) { printf("g(%i)==0", t); }
+		}
+	`)
+	fe := p.Main[0].(*Foreach)
+	if fe.Var != "i" {
+		t.Fatalf("loop var %q", fe.Var)
+	}
+	if _, ok := fe.Seq.(*RangeLit); !ok {
+		t.Fatalf("expected range, got %T", fe.Seq)
+	}
+	iff := fe.Body[1].(*If)
+	if iff.Else != nil {
+		t.Fatal("unexpected else")
+	}
+}
+
+func TestParseForeachWithIndex(t *testing.T) {
+	p := mustParse(t, `
+		int a[] = [5, 6, 7];
+		foreach v, i in a {
+			printf("%i %i", i, v);
+		}
+	`)
+	fe := p.Main[1].(*Foreach)
+	if fe.Var != "v" || fe.IdxVar != "i" {
+		t.Fatalf("loop vars %q %q", fe.Var, fe.IdxVar)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "int x = 1 + 2 * 3 == 7 && true || false;")
+	d := p.Main[0].(*Decl)
+	or := d.Init.(*Binary)
+	if or.Op != "||" {
+		t.Fatalf("top op %q", or.Op)
+	}
+	and := or.L.(*Binary)
+	if and.Op != "&&" {
+		t.Fatalf("second op %q", and.Op)
+	}
+	eq := and.L.(*Binary)
+	if eq.Op != "==" {
+		t.Fatalf("third op %q", eq.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int ;",
+		"x = ;",
+		"foreach in [0:9] {}",
+		"if (1) else {}",
+		"int x = [;",
+		"unknowntype x;",
+		"(int o f(int i) {}",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckGoodPrograms(t *testing.T) {
+	good := []string{
+		"int x = 5; int y = x + 1;",
+		"float f = 1; // int promotes to float",
+		`string s = "a" + "b";`,
+		"boolean b = 1 < 2;",
+		"if (true) { int q = 1; } else { int q = 2; }",
+		"foreach i in [0:9] { printf(\"%i\", i); }",
+		"int a[] = [1, 2, 3]; foreach v, i in a { trace(i, v); }",
+		"int a[] = [1,2]; int x = a[0];",
+		"(int o) f(int i) { o = i * 2; } int y = f(5);",
+		`(int o) ext(int i) "pkg" "1.0" [ "set <<o>> <<i>>" ]; int z = ext(1);`,
+		`string py = python("x = 1", "x");`,
+		"int n = size([1,2,3]);",
+		"string s = toString(42);",
+		"int a[]; foreach i in [0:3] { a[i] = i * i; }",
+		"trace(strcat(\"a\", \"b\"), 1, 2.5);",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		mustCheck(t, src)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"int x = y;", "undeclared"},
+		{"int x = 1; int x = 2;", "already declared"},
+		{"int x = \"s\";", "cannot initialise"},
+		{"x = 1;", "undeclared"},
+		{"int x; string y = x + \"a\";", "numeric operands"},
+		{"if (\"str\") { }", "condition must be boolean"},
+		{"foreach i in 5 { }", "requires an array or range"},
+		{"int a[] = [1, \"x\"];", "mixes"},
+		{"int x = nosuch(1);", "undefined function"},
+		{"(int o) f(int i) { o = i; } int x = f();", "takes 1 argument"},
+		{"(int o) f(int i) { o = i; } int x = f(\"s\");", "cannot pass"},
+		{"int x = printf(\"a\");", "produces no value"},
+		{"printf();", "at least 1 argument"},
+		{"(int o) printf(int i) { o = i; }", "collides with a builtin"},
+		{"(int o) f(int i) { o = i; } (int o) f(int i) { o = i; }", "defined twice"},
+		{"int a[]; int x = a[\"k\"];", "subscript must be int"},
+		{"int x; int y = x[0];", "cannot index"},
+		{"int r[] = [0:2.5];", "range bounds must be int"},
+		{"boolean b = !5;", "needs boolean"},
+		{"int x = -\"s\";", "needs numeric"},
+		{"(int o, int p) f(int i) { o = i; p = i; } int x = f(1);", "multi-output"},
+	}
+	for _, tc := range cases {
+		checkFails(t, tc.src, tc.frag)
+	}
+}
+
+func TestCheckTypesRecorded(t *testing.T) {
+	src := "int x = 1 + 2;"
+	p := mustParse(t, src)
+	c, err := Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Main[0].(*Decl)
+	if got := c.Types[d.Init]; !got.Equals(Type{Base: TInt}) {
+		t.Fatalf("init type %v", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if (Type{Base: TInt}).String() != "int" {
+		t.Fatal("int")
+	}
+	if (Type{Base: TFloat, Array: true}).String() != "float[]" {
+		t.Fatal("float[]")
+	}
+	if !(Type{Base: TString}).Scalar() {
+		t.Fatal("scalar")
+	}
+	if (Type{Base: TString, Array: true}).Scalar() {
+		t.Fatal("array not scalar")
+	}
+}
+
+func TestImportStatement(t *testing.T) {
+	p := mustParse(t, "import io; int x = 1;")
+	if len(p.Main) != 1 {
+		t.Fatalf("main stmts = %d", len(p.Main))
+	}
+}
+
+func TestAppCheck(t *testing.T) {
+	mustCheck(t, `app (string o) run(string arg) { "prog" arg }`)
+	checkFails(t, `app (string o) run(string arg) { "prog" zzz }`, "unknown parameter")
+}
+
+func TestTclTemplateArrayRejected(t *testing.T) {
+	checkFails(t,
+		`(int o) f(int a[]) "p" "1" [ "x" ];`,
+		"array parameters are not supported")
+}

@@ -1,0 +1,76 @@
+// Package swift implements the frontend of the Swift language subset used
+// by the paper: a C-like syntax with pervasive implicit dataflow
+// concurrency. The package provides the lexer, AST, parser, and type
+// checker; compilation to Turbine code lives in internal/stc.
+package swift
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma
+	TokSemi
+	TokColon
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq  // ==
+	TokNeq // !=
+	TokLt
+	TokLeq
+	TokGt
+	TokGeq
+	TokAnd // &&
+	TokOr  // ||
+	TokNot // !
+	// Keywords
+	TokIf
+	TokElse
+	TokForeach
+	TokIn
+	TokApp
+	TokGlobal
+	TokImport
+)
+
+var keywords = map[string]TokKind{
+	"if":      TokIf,
+	"else":    TokElse,
+	"foreach": TokForeach,
+	"in":      TokIn,
+	"app":     TokApp,
+	"global":  TokGlobal,
+	"import":  TokImport,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%d:%d %q", t.Line, t.Col, t.Text)
+}
+
+// Pos formats a source position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("line %d:%d", t.Line, t.Col) }

@@ -1,0 +1,1058 @@
+package tcl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The expr evaluator implements Tcl's expression sublanguage: C-like
+// operators over integers, floats, and strings, with $var and [cmd]
+// substitution performed by the evaluator itself (so braced expressions
+// work as in real Tcl).
+
+// number is the operand type: an int64, float64, or string.
+type operand struct {
+	isInt   bool
+	isFloat bool
+	i       int64
+	f       float64
+	s       string
+}
+
+func intOp(v int64) operand     { return operand{isInt: true, i: v} }
+func floatOp(v float64) operand { return operand{isFloat: true, f: v} }
+func strOp(v string) operand    { return operand{s: v} }
+
+func (o operand) float() float64 {
+	if o.isInt {
+		return float64(o.i)
+	}
+	if o.isFloat {
+		return o.f
+	}
+	return 0
+}
+
+func (o operand) String() string {
+	switch {
+	case o.isInt:
+		return strconv.FormatInt(o.i, 10)
+	case o.isFloat:
+		return formatFloat(o.f)
+	default:
+		return o.s
+	}
+}
+
+// formatFloat renders floats the way Tcl does: always distinguishable
+// from an integer.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-Inf"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eEnN") {
+		s += ".0"
+	}
+	return s
+}
+
+func (o operand) truthy() (bool, error) {
+	switch {
+	case o.isInt:
+		return o.i != 0, nil
+	case o.isFloat:
+		return o.f != 0, nil
+	default:
+		switch strings.ToLower(o.s) {
+		case "true", "yes", "on":
+			return true, nil
+		case "false", "no", "off":
+			return false, nil
+		}
+		if v, ok := parseNumber(o.s); ok {
+			return v.truthy()
+		}
+		return false, fmt.Errorf("tcl: expected boolean value but got %q", o.s)
+	}
+}
+
+// parseNumber classifies a string operand as int or float if possible.
+func parseNumber(s string) (operand, bool) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return operand{}, false
+	}
+	if v, err := strconv.ParseInt(t, 0, 64); err == nil {
+		return intOp(v), true
+	}
+	if v, err := strconv.ParseFloat(t, 64); err == nil {
+		return floatOp(v), true
+	}
+	return operand{}, false
+}
+
+type exprParser struct {
+	in  *Interp
+	src string
+	pos int
+}
+
+// EvalExpr evaluates a Tcl expression string.
+func (in *Interp) EvalExpr(src string) (string, error) {
+	p := &exprParser{in: in, src: src}
+	v, err := p.parseTernary()
+	if err != nil {
+		return "", err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return "", fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+	}
+	return v.String(), nil
+}
+
+// EvalExprBool evaluates an expression as a condition.
+func (in *Interp) EvalExprBool(src string) (bool, error) {
+	p := &exprParser{in: in, src: src}
+	v, err := p.parseTernary()
+	if err != nil {
+		return false, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return false, fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+	}
+	return v.truthy()
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+		} else if c == '\\' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+			// Backslash-newline continuation inside an expression.
+			p.pos += 2
+		} else {
+			break
+		}
+	}
+}
+
+func (p *exprParser) peek(tok string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], tok)
+}
+
+func (p *exprParser) accept(tok string) bool {
+	if p.peek(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// acceptOp accepts tok only if not a prefix of a longer operator.
+func (p *exprParser) acceptOp(tok string, longer ...string) bool {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, tok) {
+		return false
+	}
+	for _, l := range longer {
+		if strings.HasPrefix(rest, l) {
+			return false
+		}
+	}
+	p.pos += len(tok)
+	return true
+}
+
+func (p *exprParser) parseTernary() (operand, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return operand{}, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	t, err := p.parseTernary()
+	if err != nil {
+		return operand{}, err
+	}
+	if !p.accept(":") {
+		return operand{}, fmt.Errorf("tcl: expr: missing ':' in ternary")
+	}
+	f, err := p.parseTernary()
+	if err != nil {
+		return operand{}, err
+	}
+	b, err := cond.truthy()
+	if err != nil {
+		return operand{}, err
+	}
+	if b {
+		return t, nil
+	}
+	return f, nil
+}
+
+func (p *exprParser) parseOr() (operand, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return operand{}, err
+	}
+	for p.accept("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return operand{}, err
+		}
+		lb, err := l.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		rb, err := r.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		l = boolOp(lb || rb)
+	}
+	return l, nil
+}
+
+func boolOp(b bool) operand {
+	if b {
+		return intOp(1)
+	}
+	return intOp(0)
+}
+
+func (p *exprParser) parseAnd() (operand, error) {
+	l, err := p.parseBitOr()
+	if err != nil {
+		return operand{}, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseBitOr()
+		if err != nil {
+			return operand{}, err
+		}
+		lb, err := l.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		rb, err := r.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		l = boolOp(lb && rb)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseBitOr() (operand, error) {
+	l, err := p.parseBitXor()
+	if err != nil {
+		return operand{}, err
+	}
+	for p.acceptOp("|", "||") {
+		r, err := p.parseBitXor()
+		if err != nil {
+			return operand{}, err
+		}
+		li, ri, err := bothInts(l, r, "|")
+		if err != nil {
+			return operand{}, err
+		}
+		l = intOp(li | ri)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseBitXor() (operand, error) {
+	l, err := p.parseBitAnd()
+	if err != nil {
+		return operand{}, err
+	}
+	for p.acceptOp("^") {
+		r, err := p.parseBitAnd()
+		if err != nil {
+			return operand{}, err
+		}
+		li, ri, err := bothInts(l, r, "^")
+		if err != nil {
+			return operand{}, err
+		}
+		l = intOp(li ^ ri)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseBitAnd() (operand, error) {
+	l, err := p.parseEquality()
+	if err != nil {
+		return operand{}, err
+	}
+	for p.acceptOp("&", "&&") {
+		r, err := p.parseEquality()
+		if err != nil {
+			return operand{}, err
+		}
+		li, ri, err := bothInts(l, r, "&")
+		if err != nil {
+			return operand{}, err
+		}
+		l = intOp(li & ri)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseEquality() (operand, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return operand{}, err
+	}
+	for {
+		switch {
+		case p.accept("=="):
+			r, err := p.parseRelational()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) == 0)
+		case p.accept("!="):
+			r, err := p.parseRelational()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) != 0)
+		case p.acceptWord("eq"):
+			r, err := p.parseRelational()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(l.String() == r.String())
+		case p.acceptWord("ne"):
+			r, err := p.parseRelational()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(l.String() != r.String())
+		case p.acceptWord("in"):
+			r, err := p.parseRelational()
+			if err != nil {
+				return operand{}, err
+			}
+			elems, err := ParseList(r.String())
+			if err != nil {
+				return operand{}, err
+			}
+			found := false
+			for _, e := range elems {
+				if e == l.String() {
+					found = true
+					break
+				}
+			}
+			l = boolOp(found)
+		default:
+			return l, nil
+		}
+	}
+}
+
+// acceptWord accepts an identifier-like operator (eq, ne, in) only when
+// followed by a non-identifier character.
+func (p *exprParser) acceptWord(tok string) bool {
+	p.skipSpace()
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, tok) {
+		return false
+	}
+	if len(rest) > len(tok) {
+		c := rest[len(tok)]
+		if isVarNameChar(c) {
+			return false
+		}
+	}
+	p.pos += len(tok)
+	return true
+}
+
+func (p *exprParser) parseRelational() (operand, error) {
+	l, err := p.parseShift()
+	if err != nil {
+		return operand{}, err
+	}
+	for {
+		switch {
+		case p.accept("<="):
+			r, err := p.parseShift()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) <= 0)
+		case p.accept(">="):
+			r, err := p.parseShift()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) >= 0)
+		case p.acceptOp("<", "<<", "<="):
+			r, err := p.parseShift()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) < 0)
+		case p.acceptOp(">", ">>", ">="):
+			r, err := p.parseShift()
+			if err != nil {
+				return operand{}, err
+			}
+			l = boolOp(compareOps(l, r) > 0)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseShift() (operand, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return operand{}, err
+	}
+	for {
+		switch {
+		case p.accept("<<"):
+			r, err := p.parseAdditive()
+			if err != nil {
+				return operand{}, err
+			}
+			li, ri, err := bothInts(l, r, "<<")
+			if err != nil {
+				return operand{}, err
+			}
+			l = intOp(li << uint(ri))
+		case p.accept(">>"):
+			r, err := p.parseAdditive()
+			if err != nil {
+				return operand{}, err
+			}
+			li, ri, err := bothInts(l, r, ">>")
+			if err != nil {
+				return operand{}, err
+			}
+			l = intOp(li >> uint(ri))
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAdditive() (operand, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return operand{}, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "+")
+			if err != nil {
+				return operand{}, err
+			}
+		case p.accept("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "-")
+			if err != nil {
+				return operand{}, err
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMultiplicative() (operand, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return operand{}, err
+	}
+	for {
+		switch {
+		case p.acceptOp("**"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "**")
+			if err != nil {
+				return operand{}, err
+			}
+		case p.acceptOp("*", "**"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "*")
+			if err != nil {
+				return operand{}, err
+			}
+		case p.accept("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "/")
+			if err != nil {
+				return operand{}, err
+			}
+		case p.accept("%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return operand{}, err
+			}
+			l, err = arith(l, r, "%")
+			if err != nil {
+				return operand{}, err
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (operand, error) {
+	p.skipSpace()
+	switch {
+	case p.accept("!"):
+		v, err := p.parseUnary()
+		if err != nil {
+			return operand{}, err
+		}
+		b, err := v.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		return boolOp(!b), nil
+	case p.accept("~"):
+		v, err := p.parseUnary()
+		if err != nil {
+			return operand{}, err
+		}
+		n, ok := asInt(v)
+		if !ok {
+			return operand{}, fmt.Errorf("tcl: expr: ~ needs integer operand")
+		}
+		return intOp(^n), nil
+	case p.accept("-"):
+		v, err := p.parseUnary()
+		if err != nil {
+			return operand{}, err
+		}
+		if n, ok := asInt(v); ok {
+			return intOp(-n), nil
+		}
+		if v.isFloat {
+			return floatOp(-v.f), nil
+		}
+		if nv, ok := parseNumber(v.s); ok {
+			if nv.isInt {
+				return intOp(-nv.i), nil
+			}
+			return floatOp(-nv.f), nil
+		}
+		return operand{}, fmt.Errorf("tcl: expr: unary - needs numeric operand, got %q", v.String())
+	case p.accept("+"):
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (operand, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return operand{}, fmt.Errorf("tcl: expr: unexpected end of expression")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseTernary()
+		if err != nil {
+			return operand{}, err
+		}
+		if !p.accept(")") {
+			return operand{}, fmt.Errorf("tcl: expr: missing )")
+		}
+		return v, nil
+	case c == '$':
+		val, w, err := p.in.substVariable(p.src[p.pos:])
+		if err != nil {
+			return operand{}, err
+		}
+		if w == 0 {
+			return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
+		}
+		p.pos += w
+		if n, ok := parseNumber(val); ok {
+			return n, nil
+		}
+		return strOp(val), nil
+	case c == '[':
+		d := 1
+		j := p.pos + 1
+		for j < len(p.src) && d > 0 {
+			switch p.src[j] {
+			case '[':
+				d++
+			case ']':
+				d--
+			case '\\':
+				j++
+			}
+			j++
+		}
+		if d != 0 {
+			return operand{}, fmt.Errorf("tcl: expr: missing close-bracket")
+		}
+		res, err := p.in.Eval(p.src[p.pos+1 : j-1])
+		if err != nil {
+			return operand{}, err
+		}
+		p.pos = j
+		if n, ok := parseNumber(res); ok {
+			return n, nil
+		}
+		return strOp(res), nil
+	case c == '"':
+		j := p.pos + 1
+		var b strings.Builder
+		for j < len(p.src) && p.src[j] != '"' {
+			if p.src[j] == '\\' && j+1 < len(p.src) {
+				s, w := backslashSubst(p.src[j:])
+				b.WriteString(s)
+				j += w
+				continue
+			}
+			if p.src[j] == '$' {
+				val, w, err := p.in.substVariable(p.src[j:])
+				if err != nil {
+					return operand{}, err
+				}
+				if w > 0 {
+					b.WriteString(val)
+					j += w
+					continue
+				}
+			}
+			b.WriteByte(p.src[j])
+			j++
+		}
+		if j >= len(p.src) {
+			return operand{}, fmt.Errorf("tcl: expr: missing close-quote")
+		}
+		p.pos = j + 1
+		return strOp(b.String()), nil
+	case c == '{':
+		d := 1
+		j := p.pos + 1
+		for j < len(p.src) && d > 0 {
+			switch p.src[j] {
+			case '{':
+				d++
+			case '}':
+				d--
+			}
+			j++
+		}
+		if d != 0 {
+			return operand{}, fmt.Errorf("tcl: expr: missing close-brace")
+		}
+		s := p.src[p.pos+1 : j-1]
+		p.pos = j
+		if n, ok := parseNumber(s); ok {
+			return n, nil
+		}
+		return strOp(s), nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumberToken()
+	default:
+		// Identifier: function call or bareword (true/false).
+		j := p.pos
+		for j < len(p.src) && (isVarNameChar(p.src[j])) {
+			j++
+		}
+		if j == p.pos {
+			return operand{}, fmt.Errorf("tcl: expr: unexpected character %q", c)
+		}
+		name := p.src[p.pos:j]
+		p.pos = j
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			return p.parseFunc(name)
+		}
+		switch strings.ToLower(name) {
+		case "true", "yes", "on":
+			return intOp(1), nil
+		case "false", "no", "off":
+			return intOp(0), nil
+		case "inf":
+			return floatOp(math.Inf(1)), nil
+		case "nan":
+			return floatOp(math.NaN()), nil
+		}
+		return strOp(name), nil
+	}
+}
+
+func (p *exprParser) parseNumberToken() (operand, error) {
+	j := p.pos
+	n := len(p.src)
+	// Hex?
+	if j+1 < n && p.src[j] == '0' && (p.src[j+1] == 'x' || p.src[j+1] == 'X') {
+		k := j + 2
+		for k < n && isHex(p.src[k]) {
+			k++
+		}
+		v, err := strconv.ParseInt(p.src[j:k], 0, 64)
+		if err != nil {
+			return operand{}, fmt.Errorf("tcl: expr: bad hex literal %q", p.src[j:k])
+		}
+		p.pos = k
+		return intOp(v), nil
+	}
+	k := j
+	isFloat := false
+	for k < n {
+		c := p.src[k]
+		if c >= '0' && c <= '9' {
+			k++
+		} else if c == '.' {
+			isFloat = true
+			k++
+		} else if c == 'e' || c == 'E' {
+			if k+1 < n && (p.src[k+1] == '+' || p.src[k+1] == '-') {
+				k++
+			}
+			isFloat = true
+			k++
+		} else {
+			break
+		}
+	}
+	tok := p.src[j:k]
+	p.pos = k
+	if isFloat {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return operand{}, fmt.Errorf("tcl: expr: bad float literal %q", tok)
+		}
+		return floatOp(v), nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return operand{}, fmt.Errorf("tcl: expr: bad int literal %q", tok)
+	}
+	return intOp(v), nil
+}
+
+func (p *exprParser) parseFunc(name string) (operand, error) {
+	if !p.accept("(") {
+		return operand{}, fmt.Errorf("tcl: expr: expected ( after %s", name)
+	}
+	var args []operand
+	p.skipSpace()
+	if !p.accept(")") {
+		for {
+			a, err := p.parseTernary()
+			if err != nil {
+				return operand{}, err
+			}
+			args = append(args, a)
+			if p.accept(",") {
+				continue
+			}
+			if p.accept(")") {
+				break
+			}
+			return operand{}, fmt.Errorf("tcl: expr: expected , or ) in %s()", name)
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("tcl: expr: %s() takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		if n, ok := asInt(args[0]); ok {
+			if n < 0 {
+				return intOp(-n), nil
+			}
+			return intOp(n), nil
+		}
+		return floatOp(math.Abs(args[0].float())), nil
+	case "int":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		if n, ok := asInt(args[0]); ok {
+			return intOp(n), nil
+		}
+		return intOp(int64(args[0].float())), nil
+	case "double":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(numVal(args[0]).float()), nil
+	case "round":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return intOp(int64(math.Round(numVal(args[0]).float()))), nil
+	case "floor":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Floor(numVal(args[0]).float())), nil
+	case "ceil":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Ceil(numVal(args[0]).float())), nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Sqrt(numVal(args[0]).float())), nil
+	case "exp":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Exp(numVal(args[0]).float())), nil
+	case "log":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Log(numVal(args[0]).float())), nil
+	case "log10":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Log10(numVal(args[0]).float())), nil
+	case "sin":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Sin(numVal(args[0]).float())), nil
+	case "cos":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Cos(numVal(args[0]).float())), nil
+	case "tan":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Tan(numVal(args[0]).float())), nil
+	case "atan":
+		if err := need(1); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Atan(numVal(args[0]).float())), nil
+	case "atan2":
+		if err := need(2); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Atan2(numVal(args[0]).float(), numVal(args[1]).float())), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return operand{}, err
+		}
+		return arith(args[0], args[1], "**")
+	case "fmod":
+		if err := need(2); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Mod(numVal(args[0]).float(), numVal(args[1]).float())), nil
+	case "hypot":
+		if err := need(2); err != nil {
+			return operand{}, err
+		}
+		return floatOp(math.Hypot(numVal(args[0]).float(), numVal(args[1]).float())), nil
+	case "min":
+		if len(args) == 0 {
+			return operand{}, fmt.Errorf("tcl: expr: min() needs arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if compareOps(a, best) < 0 {
+				best = a
+			}
+		}
+		return best, nil
+	case "max":
+		if len(args) == 0 {
+			return operand{}, fmt.Errorf("tcl: expr: max() needs arguments")
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if compareOps(a, best) > 0 {
+				best = a
+			}
+		}
+		return best, nil
+	}
+	return operand{}, fmt.Errorf("tcl: expr: unknown function %q", name)
+}
+
+// asInt extracts an integer from an operand, coercing numeric strings.
+func asInt(o operand) (int64, bool) {
+	if o.isInt {
+		return o.i, true
+	}
+	if o.isFloat {
+		return 0, false
+	}
+	if n, ok := parseNumber(o.s); ok && n.isInt {
+		return n.i, true
+	}
+	return 0, false
+}
+
+// numVal coerces a string operand to its numeric interpretation.
+func numVal(o operand) operand {
+	if o.isInt || o.isFloat {
+		return o
+	}
+	if n, ok := parseNumber(o.s); ok {
+		return n
+	}
+	return o
+}
+
+func bothInts(l, r operand, op string) (int64, int64, error) {
+	li, lok := asInt(l)
+	ri, rok := asInt(r)
+	if !lok || !rok {
+		return 0, 0, fmt.Errorf("tcl: expr: %s needs integer operands", op)
+	}
+	return li, ri, nil
+}
+
+// compareOps orders two operands: numerically if both parse as numbers,
+// else by string comparison (Tcl 8 semantics for < > <= >= == !=).
+func compareOps(l, r operand) int {
+	ln := numVal(l)
+	rn := numVal(r)
+	lNum := ln.isInt || ln.isFloat
+	rNum := rn.isInt || rn.isFloat
+	if lNum && rNum {
+		if ln.isInt && rn.isInt {
+			switch {
+			case ln.i < rn.i:
+				return -1
+			case ln.i > rn.i:
+				return 1
+			}
+			return 0
+		}
+		lf, rf := ln.float(), rn.float()
+		switch {
+		case lf < rf:
+			return -1
+		case lf > rf:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(l.String(), r.String())
+}
+
+// arith applies +, -, *, /, %, ** with int/float promotion.
+func arith(l, r operand, op string) (operand, error) {
+	ln := numVal(l)
+	rn := numVal(r)
+	if !(ln.isInt || ln.isFloat) {
+		return operand{}, fmt.Errorf("tcl: expr: non-numeric operand %q for %s", l.String(), op)
+	}
+	if !(rn.isInt || rn.isFloat) {
+		return operand{}, fmt.Errorf("tcl: expr: non-numeric operand %q for %s", r.String(), op)
+	}
+	if ln.isInt && rn.isInt {
+		a, b := ln.i, rn.i
+		switch op {
+		case "+":
+			return intOp(a + b), nil
+		case "-":
+			return intOp(a - b), nil
+		case "*":
+			return intOp(a * b), nil
+		case "/":
+			if b == 0 {
+				return operand{}, fmt.Errorf("tcl: expr: divide by zero")
+			}
+			// Tcl integer division truncates toward negative infinity.
+			q := a / b
+			if (a%b != 0) && ((a < 0) != (b < 0)) {
+				q--
+			}
+			return intOp(q), nil
+		case "%":
+			if b == 0 {
+				return operand{}, fmt.Errorf("tcl: expr: divide by zero")
+			}
+			m := a % b
+			if m != 0 && ((a < 0) != (b < 0)) {
+				m += b
+			}
+			return intOp(m), nil
+		case "**":
+			if b < 0 {
+				return floatOp(math.Pow(float64(a), float64(b))), nil
+			}
+			res := int64(1)
+			for i := int64(0); i < b; i++ {
+				res *= a
+			}
+			return intOp(res), nil
+		}
+	}
+	a, b := ln.float(), rn.float()
+	switch op {
+	case "+":
+		return floatOp(a + b), nil
+	case "-":
+		return floatOp(a - b), nil
+	case "*":
+		return floatOp(a * b), nil
+	case "/":
+		if b == 0 {
+			return operand{}, fmt.Errorf("tcl: expr: divide by zero")
+		}
+		return floatOp(a / b), nil
+	case "%":
+		return operand{}, fmt.Errorf("tcl: expr: %% needs integer operands")
+	case "**":
+		return floatOp(math.Pow(a, b)), nil
+	}
+	return operand{}, fmt.Errorf("tcl: expr: unknown operator %q", op)
+}

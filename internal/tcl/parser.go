@@ -1,0 +1,347 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parser turns a script into a sequence of commands, each a sequence
+// of word tokens. Substitution ($var, [cmd], backslashes) happens at
+// evaluation time, word by word, following Tcl's two-phase model.
+
+// wordKind distinguishes how a word is substituted at evaluation time.
+type wordKind int
+
+const (
+	wordBare   wordKind = iota // $ [ ] and backslash substitution
+	wordBraced                 // literal, no substitution
+	wordQuoted                 // like bare but spaces retained
+	wordExpand                 // {*}-prefixed: result splices as list
+)
+
+type word struct {
+	kind wordKind
+	text string
+}
+
+type command struct {
+	words []word
+	line  int
+}
+
+// parseScript splits src into commands without performing substitution.
+func parseScript(src string) ([]command, error) {
+	var cmds []command
+	i := 0
+	n := len(src)
+	line := 1
+	for i < n {
+		// Skip leading whitespace and command separators.
+		for i < n && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r' || src[i] == ';') {
+			if src[i] == '\n' {
+				line++
+			}
+			i++
+		}
+		if i >= n {
+			break
+		}
+		if src[i] == '#' {
+			// Comment: runs to unescaped newline.
+			for i < n && src[i] != '\n' {
+				if src[i] == '\\' && i+1 < n {
+					i++
+					if src[i] == '\n' {
+						line++
+					}
+				}
+				i++
+			}
+			continue
+		}
+		cmd, next, nl, err := parseCommand(src, i, line)
+		if err != nil {
+			return nil, err
+		}
+		if len(cmd.words) > 0 {
+			cmds = append(cmds, cmd)
+		}
+		i = next
+		line = nl
+	}
+	return cmds, nil
+}
+
+// parseCommand reads one command starting at i; it ends at an unquoted
+// newline or semicolon.
+func parseCommand(src string, i, line int) (command, int, int, error) {
+	cmd := command{line: line}
+	n := len(src)
+	for i < n {
+		// Skip intra-command whitespace.
+		for i < n && (src[i] == ' ' || src[i] == '\t') {
+			i++
+		}
+		// Backslash-newline is a continuation.
+		if i+1 < n && src[i] == '\\' && src[i+1] == '\n' {
+			i += 2
+			line++
+			continue
+		}
+		if i >= n || src[i] == '\n' || src[i] == ';' {
+			if i < n {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			return cmd, i, line, nil
+		}
+		w, next, nl, err := parseWord(src, i, line)
+		if err != nil {
+			return command{}, 0, 0, err
+		}
+		cmd.words = append(cmd.words, w)
+		i = next
+		line = nl
+	}
+	return cmd, i, line, nil
+}
+
+// parseWord reads a single word starting at position i.
+func parseWord(src string, i, line int) (word, int, int, error) {
+	n := len(src)
+	expand := false
+	if strings.HasPrefix(src[i:], "{*}") && i+3 < n && src[i+3] != ' ' && src[i+3] != '\t' && src[i+3] != '\n' {
+		expand = true
+		i += 3
+	}
+	if i >= n {
+		return word{kind: wordBare}, i, line, nil
+	}
+	switch src[i] {
+	case '{':
+		depth := 0
+		start := i + 1
+		j := i
+		for j < n {
+			switch src[j] {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					text := src[start:j]
+					j++
+					if j < n && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != ';' {
+						return word{}, 0, 0, fmt.Errorf("tcl: line %d: extra characters after close-brace", line)
+					}
+					k := wordBraced
+					if expand {
+						k = wordExpand
+					}
+					return word{kind: k, text: text}, j, line + strings.Count(src[i:j], "\n"), nil
+				}
+			case '\\':
+				j++
+			case '\n':
+			}
+			j++
+		}
+		return word{}, 0, 0, fmt.Errorf("tcl: line %d: missing close-brace", line)
+	case '"':
+		j := i + 1
+		for j < n {
+			switch src[j] {
+			case '\\':
+				j++
+			case '[':
+				// Skip a bracketed script inside quotes.
+				d := 1
+				j++
+				for j < n && d > 0 {
+					switch src[j] {
+					case '[':
+						d++
+					case ']':
+						d--
+					case '\\':
+						j++
+					}
+					j++
+				}
+				continue
+			case '"':
+				text := src[i+1 : j]
+				j++
+				if j < n && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != ';' {
+					return word{}, 0, 0, fmt.Errorf("tcl: line %d: extra characters after close-quote", line)
+				}
+				k := wordQuoted
+				if expand {
+					k = wordExpand // expansion of a quoted word: substitute then split
+				}
+				return word{kind: k, text: text}, j, line + strings.Count(src[i:j], "\n"), nil
+			}
+			j++
+		}
+		return word{}, 0, 0, fmt.Errorf("tcl: line %d: missing close-quote", line)
+	default:
+		j := i
+		for j < n {
+			c := src[j]
+			if c == ' ' || c == '\t' || c == '\n' || c == ';' {
+				break
+			}
+			if c == '\\' && j+1 < n {
+				j += 2
+				continue
+			}
+			if c == '[' {
+				d := 1
+				j++
+				for j < n && d > 0 {
+					switch src[j] {
+					case '[':
+						d++
+					case ']':
+						d--
+					case '\\':
+						j++
+					}
+					j++
+				}
+				continue
+			}
+			j++
+		}
+		k := wordBare
+		if expand {
+			k = wordExpand
+		}
+		return word{kind: k, text: src[i:j]}, j, line + strings.Count(src[i:j], "\n"), nil
+	}
+}
+
+// substWord performs $, [], and backslash substitution on a word's text.
+func (in *Interp) substWord(text string) (string, error) {
+	var b strings.Builder
+	i := 0
+	n := len(text)
+	for i < n {
+		switch text[i] {
+		case '\\':
+			s, w := backslashSubst(text[i:])
+			b.WriteString(s)
+			i += w
+		case '$':
+			val, w, err := in.substVariable(text[i:])
+			if err != nil {
+				return "", err
+			}
+			if w == 0 { // lone dollar
+				b.WriteByte('$')
+				i++
+				continue
+			}
+			b.WriteString(val)
+			i += w
+		case '[':
+			d := 1
+			j := i + 1
+			for j < n && d > 0 {
+				switch text[j] {
+				case '[':
+					d++
+				case ']':
+					d--
+				case '\\':
+					j++
+				}
+				j++
+			}
+			if d != 0 {
+				return "", fmt.Errorf("tcl: missing close-bracket")
+			}
+			res, err := in.Eval(text[i+1 : j-1])
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(res)
+			i = j
+		default:
+			b.WriteByte(text[i])
+			i++
+		}
+	}
+	return b.String(), nil
+}
+
+// substVariable interprets a $name, ${name}, or $name(index) reference at
+// the start of s, returning the value and bytes consumed (0 if s is not a
+// variable reference).
+func (in *Interp) substVariable(s string) (string, int, error) {
+	if len(s) < 2 {
+		return "", 0, nil
+	}
+	if s[1] == '{' {
+		j := strings.IndexByte(s, '}')
+		if j < 0 {
+			return "", 0, fmt.Errorf("tcl: missing close-brace for variable name")
+		}
+		name := s[2:j]
+		v, err := in.GetVar(name)
+		if err != nil {
+			return "", 0, err
+		}
+		return v, j + 1, nil
+	}
+	j := 1
+	for j < len(s) && isVarNameChar(s[j]) {
+		j++
+	}
+	// Allow :: namespace separators.
+	if j == 1 {
+		return "", 0, nil
+	}
+	name := s[1:j]
+	if j < len(s) && s[j] == '(' {
+		// Array reference: the index itself undergoes substitution.
+		depth := 1
+		k := j + 1
+		for k < len(s) && depth > 0 {
+			switch s[k] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case '\\':
+				k++
+			}
+			k++
+		}
+		if depth != 0 {
+			return "", 0, fmt.Errorf("tcl: missing close-paren in array reference")
+		}
+		rawIdx := s[j+1 : k-1]
+		idx, err := in.substWord(rawIdx)
+		if err != nil {
+			return "", 0, err
+		}
+		v, err := in.GetVar(name + "(" + idx + ")")
+		if err != nil {
+			return "", 0, err
+		}
+		return v, k, nil
+	}
+	v, err := in.GetVar(name)
+	if err != nil {
+		return "", 0, err
+	}
+	return v, j, nil
+}
+
+func isVarNameChar(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

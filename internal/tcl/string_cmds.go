@@ -1,0 +1,240 @@
+package tcl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// registerStringCmds installs the string ensemble and related commands.
+func registerStringCmds(in *Interp) {
+	in.RegisterCommand("string", cmdString)
+	in.RegisterCommand("regexp_lite", cmdRegexpLite)
+}
+
+func cmdString(in *Interp, args []string) (string, error) {
+	if len(args) < 3 {
+		return "", arityErr("string", "subcommand string ?arg ...?")
+	}
+	op := args[1]
+	s := args[2]
+	switch op {
+	case "length":
+		return strconv.Itoa(len([]rune(s))), nil
+	case "index":
+		if len(args) != 4 {
+			return "", arityErr("string index", "string charIndex")
+		}
+		runes := []rune(s)
+		idx, err := listIndex(args[3], len(runes))
+		if err != nil {
+			return "", err
+		}
+		if idx < 0 || idx >= len(runes) {
+			return "", nil
+		}
+		return string(runes[idx]), nil
+	case "range":
+		if len(args) != 5 {
+			return "", arityErr("string range", "string first last")
+		}
+		runes := []rune(s)
+		first, err := listIndex(args[3], len(runes))
+		if err != nil {
+			return "", err
+		}
+		last, err := listIndex(args[4], len(runes))
+		if err != nil {
+			return "", err
+		}
+		if first < 0 {
+			first = 0
+		}
+		if last >= len(runes) {
+			last = len(runes) - 1
+		}
+		if first > last {
+			return "", nil
+		}
+		return string(runes[first : last+1]), nil
+	case "tolower":
+		return strings.ToLower(s), nil
+	case "toupper":
+		return strings.ToUpper(s), nil
+	case "totitle":
+		if s == "" {
+			return "", nil
+		}
+		return strings.ToUpper(s[:1]) + strings.ToLower(s[1:]), nil
+	case "trim":
+		chars := " \t\n\r"
+		if len(args) == 4 {
+			chars = args[3]
+		}
+		return strings.Trim(s, chars), nil
+	case "trimleft":
+		chars := " \t\n\r"
+		if len(args) == 4 {
+			chars = args[3]
+		}
+		return strings.TrimLeft(s, chars), nil
+	case "trimright":
+		chars := " \t\n\r"
+		if len(args) == 4 {
+			chars = args[3]
+		}
+		return strings.TrimRight(s, chars), nil
+	case "repeat":
+		if len(args) != 4 {
+			return "", arityErr("string repeat", "string count")
+		}
+		n, err := strconv.Atoi(args[3])
+		if err != nil || n < 0 {
+			return "", fmt.Errorf("tcl: string repeat: bad count %q", args[3])
+		}
+		return strings.Repeat(s, n), nil
+	case "equal":
+		if len(args) != 4 {
+			return "", arityErr("string equal", "string1 string2")
+		}
+		if s == args[3] {
+			return "1", nil
+		}
+		return "0", nil
+	case "compare":
+		if len(args) != 4 {
+			return "", arityErr("string compare", "string1 string2")
+		}
+		return strconv.Itoa(strings.Compare(s, args[3])), nil
+	case "match":
+		if len(args) != 4 {
+			return "", arityErr("string match", "pattern string")
+		}
+		if globMatch(s, args[3]) {
+			return "1", nil
+		}
+		return "0", nil
+	case "first":
+		if len(args) < 4 {
+			return "", arityErr("string first", "needleString haystackString ?startIndex?")
+		}
+		hay := args[3]
+		start := 0
+		if len(args) == 5 {
+			var err error
+			start, err = listIndex(args[4], len(hay))
+			if err != nil {
+				return "", err
+			}
+			if start < 0 {
+				start = 0
+			}
+		}
+		if start >= len(hay) {
+			return "-1", nil
+		}
+		idx := strings.Index(hay[start:], s)
+		if idx < 0 {
+			return "-1", nil
+		}
+		return strconv.Itoa(idx + start), nil
+	case "last":
+		if len(args) < 4 {
+			return "", arityErr("string last", "needleString haystackString")
+		}
+		return strconv.Itoa(strings.LastIndex(args[3], s)), nil
+	case "map":
+		if len(args) != 4 {
+			return "", arityErr("string map", "mapping string")
+		}
+		pairs, err := ParseList(s)
+		if err != nil {
+			return "", err
+		}
+		if len(pairs)%2 != 0 {
+			return "", fmt.Errorf("tcl: string map: odd-length mapping")
+		}
+		r := strings.NewReplacer(pairs...)
+		return r.Replace(args[3]), nil
+	case "reverse":
+		runes := []rune(s)
+		for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+			runes[i], runes[j] = runes[j], runes[i]
+		}
+		return string(runes), nil
+	case "cat":
+		return strings.Join(args[2:], ""), nil
+	case "is":
+		if len(args) != 4 {
+			return "", arityErr("string is", "class string")
+		}
+		return stringIs(s, args[3])
+	}
+	return "", fmt.Errorf("tcl: string: unsupported subcommand %q", op)
+}
+
+func stringIs(class, s string) (string, error) {
+	ok := false
+	switch class {
+	case "integer":
+		_, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+		ok = err == nil && strings.TrimSpace(s) != ""
+	case "double":
+		_, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		ok = err == nil && strings.TrimSpace(s) != ""
+	case "boolean":
+		switch strings.ToLower(s) {
+		case "0", "1", "true", "false", "yes", "no", "on", "off":
+			ok = true
+		}
+	case "alpha":
+		ok = s != ""
+		for _, r := range s {
+			if !((r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')) {
+				ok = false
+				break
+			}
+		}
+	case "digit":
+		ok = s != ""
+		for _, r := range s {
+			if r < '0' || r > '9' {
+				ok = false
+				break
+			}
+		}
+	case "space":
+		ok = s != ""
+		for _, r := range s {
+			if r != ' ' && r != '\t' && r != '\n' && r != '\r' {
+				ok = false
+				break
+			}
+		}
+	default:
+		return "", fmt.Errorf("tcl: string is: unsupported class %q", class)
+	}
+	if ok {
+		return "1", nil
+	}
+	return "0", nil
+}
+
+// cmdRegexpLite provides a minimal regexp-flavoured matcher built on glob
+// patterns (full regexp is out of scope; Turbine code does not need it).
+func cmdRegexpLite(in *Interp, args []string) (string, error) {
+	if len(args) < 3 {
+		return "", arityErr("regexp_lite", "pattern string ?matchVar?")
+	}
+	pat, s := args[1], args[2]
+	matched := strings.Contains(s, pat) || globMatch(pat, s)
+	if len(args) >= 4 && matched {
+		if err := in.SetVar(args[3], s); err != nil {
+			return "", err
+		}
+	}
+	if matched {
+		return "1", nil
+	}
+	return "0", nil
+}

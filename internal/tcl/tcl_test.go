@@ -1,0 +1,718 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalOK evaluates a script and fails the test on error.
+func evalOK(t *testing.T, in *Interp, script string) string {
+	t.Helper()
+	res, err := in.Eval(script)
+	if err != nil {
+		t.Fatalf("eval %q: %v", script, err)
+	}
+	return res
+}
+
+func expect(t *testing.T, in *Interp, script, want string) {
+	t.Helper()
+	if got := evalOK(t, in, script); got != want {
+		t.Fatalf("eval %q = %q, want %q", script, got, want)
+	}
+}
+
+func expectErr(t *testing.T, in *Interp, script, fragment string) {
+	t.Helper()
+	_, err := in.Eval(script)
+	if err == nil {
+		t.Fatalf("eval %q: expected error containing %q", script, fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("eval %q: error %q does not contain %q", script, err, fragment)
+	}
+}
+
+func TestSetAndSubstitution(t *testing.T) {
+	in := New()
+	expect(t, in, "set x 42", "42")
+	expect(t, in, "set x", "42")
+	expect(t, in, "set y $x", "42")
+	expect(t, in, `set z "val=$x"`, "val=42")
+	expect(t, in, "set w ${x}", "42")
+	expect(t, in, "set v [set x]", "42")
+	expectErr(t, in, "set nosuch_var_xyz; set q $nosuch_var_xyz", "no such variable")
+	expectErr(t, in, "$", "invalid command")
+}
+
+func TestBracesAreLiteral(t *testing.T) {
+	in := New()
+	expect(t, in, `set x {$notsubst [nocall]}`, "$notsubst [nocall]")
+	expect(t, in, `set y {nested {braces {here}}}`, "nested {braces {here}}")
+}
+
+func TestBackslashEscapes(t *testing.T) {
+	in := New()
+	expect(t, in, `set x "a\tb"`, "a\tb")
+	expect(t, in, `set x "line1\nline2"`, "line1\nline2")
+	expect(t, in, `set x a\ b`, "a b")
+	expect(t, in, `set x "\x41\x42"`, "AB")
+	expect(t, in, `set x "A"`, "A")
+	expect(t, in, `set x "\$notvar"`, "$notvar")
+}
+
+func TestCommandSubstitution(t *testing.T) {
+	in := New()
+	expect(t, in, "set x [expr {2 + 3}]", "5")
+	expect(t, in, "set y [string length [set x]]", "1")
+	expect(t, in, "list a [list b c] d", "a {b c} d")
+}
+
+func TestArrays(t *testing.T) {
+	in := New()
+	expect(t, in, "set a(one) 1", "1")
+	expect(t, in, "set a(two) 2", "2")
+	expect(t, in, "set a(one)", "1")
+	expect(t, in, `set k two; set a($k)`, "2")
+	expect(t, in, "array size a", "2")
+	expect(t, in, "array exists a", "1")
+	expect(t, in, "array exists nosuch", "0")
+	evalOK(t, in, "array set b {x 10 y 20}")
+	expect(t, in, "set b(y)", "20")
+	expect(t, in, "unset a(one); array size a", "1")
+	expectErr(t, in, "set a", "variable is array")
+}
+
+func TestIfElse(t *testing.T) {
+	in := New()
+	expect(t, in, "if {1} {set r yes} else {set r no}", "yes")
+	expect(t, in, "if {0} {set r yes} else {set r no}", "no")
+	expect(t, in, "if {0} {set r a} elseif {1} {set r b} else {set r c}", "b")
+	expect(t, in, "if {0} {set r a} elseif {0} {set r b} else {set r c}", "c")
+	expect(t, in, "if {0} {set r a}", "")
+	expect(t, in, "if {1 < 2} then {set r then-works}", "then-works")
+}
+
+func TestWhileForLoops(t *testing.T) {
+	in := New()
+	expect(t, in, `
+		set sum 0
+		set i 0
+		while {$i < 10} {
+			incr sum $i
+			incr i
+		}
+		set sum`, "45")
+	expect(t, in, `
+		set sum 0
+		for {set i 0} {$i < 5} {incr i} {
+			incr sum $i
+		}
+		set sum`, "10")
+	// break and continue
+	expect(t, in, `
+		set n 0
+		for {set i 0} {$i < 100} {incr i} {
+			if {$i == 5} { break }
+			incr n
+		}
+		set n`, "5")
+	expect(t, in, `
+		set n 0
+		for {set i 0} {$i < 10} {incr i} {
+			if {$i % 2 == 0} { continue }
+			incr n
+		}
+		set n`, "5")
+}
+
+func TestForeach(t *testing.T) {
+	in := New()
+	expect(t, in, `
+		set out {}
+		foreach x {a b c} { lappend out <$x> }
+		set out`, "<a> <b> <c>")
+	// Multiple loop variables.
+	expect(t, in, `
+		set out {}
+		foreach {k v} {x 1 y 2} { lappend out $k=$v }
+		set out`, "x=1 y=2")
+	// Parallel lists.
+	expect(t, in, `
+		set out {}
+		foreach a {1 2} b {x y} { lappend out $a$b }
+		set out`, "1x 2y")
+}
+
+func TestProcs(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc add {a b} { expr {$a + $b} }")
+	expect(t, in, "add 2 3", "5")
+	// Default arguments.
+	evalOK(t, in, "proc greet {name {greeting Hello}} { return \"$greeting, $name\" }")
+	expect(t, in, "greet World", "Hello, World")
+	expect(t, in, "greet World Howdy", "Howdy, World")
+	// Varargs.
+	evalOK(t, in, "proc count {args} { llength $args }")
+	expect(t, in, "count a b c", "3")
+	expect(t, in, "count", "0")
+	// Wrong arity.
+	expectErr(t, in, "add 1", "wrong # args")
+	expectErr(t, in, "add 1 2 3", "wrong # args")
+	// Locals don't leak.
+	evalOK(t, in, "proc leaky {} { set hidden 99 }")
+	evalOK(t, in, "leaky")
+	expectErr(t, in, "set q $hidden", "no such variable")
+	// Recursion.
+	evalOK(t, in, "proc fact {n} { if {$n <= 1} { return 1 }; expr {$n * [fact [expr {$n-1}]]} }")
+	expect(t, in, "fact 10", "3628800")
+	// Early return.
+	evalOK(t, in, "proc early {} { return first; return second }")
+	expect(t, in, "early", "first")
+}
+
+func TestGlobalAndUpvar(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set g 1")
+	evalOK(t, in, "proc bump {} { global g; incr g }")
+	evalOK(t, in, "bump; bump")
+	expect(t, in, "set g", "3")
+	// upvar
+	evalOK(t, in, "proc double {varName} { upvar 1 $varName v; set v [expr {$v * 2}] }")
+	evalOK(t, in, "set n 21; double n")
+	expect(t, in, "set n", "42")
+	// uplevel
+	evalOK(t, in, "proc setAbove {} { uplevel 1 {set fromBelow ok} }")
+	evalOK(t, in, "setAbove")
+	expect(t, in, "set fromBelow", "ok")
+	// uplevel #0
+	evalOK(t, in, "proc setGlobal {} { uplevel #0 {set topvar deep} }")
+	evalOK(t, in, "proc wrapper {} { setGlobal }")
+	evalOK(t, in, "wrapper")
+	expect(t, in, "set topvar", "deep")
+}
+
+func TestCatchAndError(t *testing.T) {
+	in := New()
+	expect(t, in, "catch {error boom} msg", "1")
+	expect(t, in, "set msg", "boom")
+	expect(t, in, "catch {set ok fine} msg", "0")
+	expect(t, in, "set msg", "fine")
+	expect(t, in, "catch {break}", "3")
+	expect(t, in, "catch {continue}", "4")
+	expectErr(t, in, "error custom-failure", "custom-failure")
+	// error propagates out of procs
+	evalOK(t, in, "proc fails {} { error inner }")
+	expect(t, in, "catch {fails} m", "1")
+	expect(t, in, "set m", "inner")
+}
+
+func TestExprArithmetic(t *testing.T) {
+	in := New()
+	cases := [][2]string{
+		{"expr {1 + 2}", "3"},
+		{"expr {10 - 4}", "6"},
+		{"expr {6 * 7}", "42"},
+		{"expr {7 / 2}", "3"},
+		{"expr {-7 / 2}", "-4"}, // Tcl floors integer division
+		{"expr {7 % 3}", "1"},
+		{"expr {-7 % 3}", "2"}, // Tcl modulo follows divisor sign
+		{"expr {2 ** 10}", "1024"},
+		{"expr {7.0 / 2}", "3.5"},
+		{"expr {1 + 2 * 3}", "7"},
+		{"expr {(1 + 2) * 3}", "9"},
+		{"expr {1 < 2}", "1"},
+		{"expr {2 <= 1}", "0"},
+		{"expr {3 == 3.0}", "1"},
+		{"expr {1 != 2}", "1"},
+		{"expr {1 && 0}", "0"},
+		{"expr {1 || 0}", "1"},
+		{"expr {!1}", "0"},
+		{"expr {~0}", "-1"},
+		{"expr {5 & 3}", "1"},
+		{"expr {5 | 3}", "7"},
+		{"expr {5 ^ 3}", "6"},
+		{"expr {1 << 4}", "16"},
+		{"expr {256 >> 4}", "16"},
+		{"expr {1 ? 10 : 20}", "10"},
+		{"expr {0 ? 10 : 20}", "20"},
+		{"expr {\"abc\" eq \"abc\"}", "1"},
+		{"expr {\"abc\" ne \"abd\"}", "1"},
+		{"expr {\"b\" in {a b c}}", "1"},
+		{"expr {\"z\" in {a b c}}", "0"},
+		{"expr {abs(-5)}", "5"},
+		{"expr {abs(-5.5)}", "5.5"},
+		{"expr {int(3.7)}", "3"},
+		{"expr {round(3.5)}", "4"},
+		{"expr {double(3)}", "3.0"},
+		{"expr {sqrt(16)}", "4.0"},
+		{"expr {pow(2, 8)}", "256"},
+		{"expr {min(3, 1, 2)}", "1"},
+		{"expr {max(3, 1, 2)}", "3"},
+		{"expr {0x10}", "16"},
+		{"expr {1e3}", "1000.0"},
+		{"expr {true}", "1"},
+		{"expr {false ? 1 : 2}", "2"},
+	}
+	for _, c := range cases {
+		expect(t, in, c[0], c[1])
+	}
+	expectErr(t, in, "expr {1 / 0}", "divide by zero")
+	expectErr(t, in, "expr {1 % 0}", "divide by zero")
+	expectErr(t, in, "expr {1 +}", "unexpected end")
+}
+
+func TestExprWithVariables(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set a 10; set b 4")
+	expect(t, in, "expr {$a + $b}", "14")
+	expect(t, in, "expr {$a > $b ? $a : $b}", "10")
+	evalOK(t, in, "set s hello")
+	expect(t, in, `expr {$s eq "hello"}`, "1")
+	// Command substitution inside expr.
+	evalOK(t, in, "proc five {} {return 5}")
+	expect(t, in, "expr {[five] * 2}", "10")
+}
+
+func TestLists(t *testing.T) {
+	in := New()
+	expect(t, in, "list a b c", "a b c")
+	expect(t, in, `list "a b" c`, "{a b} c")
+	expect(t, in, "llength {a b c}", "3")
+	expect(t, in, "llength {}", "0")
+	expect(t, in, "lindex {a b c} 1", "b")
+	expect(t, in, "lindex {a b c} end", "c")
+	expect(t, in, "lindex {a b c} end-1", "b")
+	expect(t, in, "lindex {a b c} 5", "")
+	expect(t, in, "lindex {{a b} {c d}} 1 0", "c")
+	expect(t, in, "lrange {a b c d e} 1 3", "b c d")
+	expect(t, in, "lrange {a b c} 0 end", "a b c")
+	expect(t, in, "lreverse {1 2 3}", "3 2 1")
+	expect(t, in, "linsert {a c} 1 b", "a b c")
+	expect(t, in, "lrepeat 3 x", "x x x")
+	evalOK(t, in, "set l {}")
+	expect(t, in, "lappend l a", "a")
+	expect(t, in, "lappend l {b c}", "a {b c}")
+	expect(t, in, "llength $l", "2")
+	expect(t, in, "lsearch {a b c} b", "1")
+	expect(t, in, "lsearch {a b c} z", "-1")
+	expect(t, in, "lsearch -exact {a* a} a", "1")
+	expect(t, in, "lsort {c a b}", "a b c")
+	expect(t, in, "lsort -integer {10 2 33}", "2 10 33")
+	expect(t, in, "lsort -decreasing {a c b}", "c b a")
+	expect(t, in, "lsort -unique {b a b c a}", "a b c")
+	expect(t, in, "lassign {1 2 3 4} a b; list $a $b", "1 2")
+	expect(t, in, "lmap x {1 2 3} {expr {$x * $x}}", "1 4 9")
+	expect(t, in, "concat {a b} {c d}", "a b c d")
+	expect(t, in, "join {a b c} -", "a-b-c")
+	expect(t, in, "split a,b,,c ,", "a b {} c")
+	expect(t, in, "split abc {}", "a b c")
+	evalOK(t, in, "set m {1 2 3}")
+	expect(t, in, "lset m 1 X", "1 X 3")
+}
+
+func TestListQuotingRoundTrip(t *testing.T) {
+	// Elements with spaces, braces, dollars, quotes survive a round trip.
+	hard := []string{
+		"", "a", "a b", "{", "}", "{}", "a{b", "$x", "[cmd]", `"quoted"`,
+		"back\\slash", "semi;colon", "new\nline", "tab\there", "#comment",
+		"{unbalanced", "end}", "a b {c d}",
+	}
+	enc := FormatList(hard)
+	dec, err := ParseList(enc)
+	if err != nil {
+		t.Fatalf("ParseList(%q): %v", enc, err)
+	}
+	if len(dec) != len(hard) {
+		t.Fatalf("round trip length: got %d want %d", len(dec), len(hard))
+	}
+	for i := range hard {
+		if dec[i] != hard[i] {
+			t.Errorf("element %d: got %q want %q", i, dec[i], hard[i])
+		}
+	}
+}
+
+func TestListRoundTripProperty(t *testing.T) {
+	f := func(elems []string) bool {
+		dec, err := ParseList(FormatList(elems))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(elems) {
+			return false
+		}
+		for i := range elems {
+			if dec[i] != elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListElementThroughEval(t *testing.T) {
+	// A value spliced into a script via ListElement must come back intact.
+	in := New()
+	hard := []string{"a b", "{", "$x", "[boom]", `"q"`, "a;b", "x\ny"}
+	for _, h := range hard {
+		script := "set v " + ListElement(h) + "; set v"
+		got, err := in.Eval(script)
+		if err != nil {
+			t.Fatalf("splice %q: %v", h, err)
+		}
+		if got != h {
+			t.Errorf("splice %q: got %q", h, got)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	in := New()
+	expect(t, in, "string length hello", "5")
+	expect(t, in, "string length {}", "0")
+	expect(t, in, "string index hello 1", "e")
+	expect(t, in, "string index hello end", "o")
+	expect(t, in, "string range hello 1 3", "ell")
+	expect(t, in, "string toupper abc", "ABC")
+	expect(t, in, "string tolower ABC", "abc")
+	expect(t, in, "string trim {  hi  }", "hi")
+	expect(t, in, "string trimleft xxhix x", "hix")
+	expect(t, in, "string repeat ab 3", "ababab")
+	expect(t, in, "string equal a a", "1")
+	expect(t, in, "string equal a b", "0")
+	expect(t, in, "string compare a b", "-1")
+	expect(t, in, "string match {h*o} hello", "1")
+	expect(t, in, "string match {h?llo} hello", "1")
+	expect(t, in, "string match {[a-h]*} hello", "1")
+	expect(t, in, "string match {x*} hello", "0")
+	expect(t, in, "string first ll hello", "2")
+	expect(t, in, "string first zz hello", "-1")
+	expect(t, in, "string last l hello", "3")
+	expect(t, in, "string map {a 1 b 2} abab", "1212")
+	expect(t, in, "string reverse abc", "cba")
+	expect(t, in, "string is integer 42", "1")
+	expect(t, in, "string is integer 4.2", "0")
+	expect(t, in, "string is double 4.2", "1")
+	expect(t, in, "string is alpha abc", "1")
+	expect(t, in, "string is digit 123", "1")
+	expect(t, in, "string is digit 12a", "0")
+}
+
+func TestFormat(t *testing.T) {
+	in := New()
+	expect(t, in, "format %d 42", "42")
+	expect(t, in, "format %5d 42", "   42")
+	expect(t, in, "format %-5d| 42", "42   |")
+	expect(t, in, "format %05d 42", "00042")
+	expect(t, in, "format %x 255", "ff")
+	expect(t, in, "format %o 8", "10")
+	expect(t, in, "format %.2f 3.14159", "3.14")
+	expect(t, in, "format %e 1000.0", "1.000000e+03")
+	expect(t, in, "format %g 0.0001", "0.0001")
+	expect(t, in, "format %s|%s a b", "a|b")
+	expect(t, in, "format %c 65", "A")
+	expect(t, in, "format %% ", "%")
+	expect(t, in, "format {%d%%} 50", "50%")
+	expectErr(t, in, "format %d notanint", "expected integer")
+	expectErr(t, in, "format %d", "not enough arguments")
+}
+
+func TestSwitch(t *testing.T) {
+	in := New()
+	expect(t, in, "switch b {a {set r 1} b {set r 2} default {set r 3}}", "2")
+	expect(t, in, "switch z {a {set r 1} default {set r 3}}", "3")
+	expect(t, in, "switch z {a {set r 1}}", "")
+	expect(t, in, "switch -glob hello {h* {set r glob} default {set r no}}", "glob")
+	expect(t, in, "switch -exact -- a {a {set r yes}}", "yes")
+	// Fallthrough bodies.
+	expect(t, in, "switch b {a - b {set r shared} default {set r no}}", "shared")
+}
+
+func TestDicts(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set d [dict create a 1 b 2]")
+	expect(t, in, "dict get $d a", "1")
+	expect(t, in, "dict get $d b", "2")
+	expect(t, in, "dict exists $d a", "1")
+	expect(t, in, "dict exists $d z", "0")
+	expect(t, in, "dict size $d", "2")
+	expect(t, in, "dict keys $d", "a b")
+	expect(t, in, "dict values $d", "1 2")
+	evalOK(t, in, "dict set d c 3")
+	expect(t, in, "dict get $d c", "3")
+	evalOK(t, in, "dict set d a 10")
+	expect(t, in, "dict get $d a", "10")
+	expectErr(t, in, "dict get $d nosuch", "not known in dictionary")
+	expect(t, in, `
+		set total 0
+		dict for {k v} $d { incr total $v }
+		set total`, "15")
+}
+
+func TestNamespaces(t *testing.T) {
+	in := New()
+	evalOK(t, in, `
+		namespace eval mypkg {
+			proc hello {} { return "from mypkg" }
+			variable counter 0
+		}`)
+	expect(t, in, "mypkg::hello", "from mypkg")
+	expect(t, in, "::mypkg::hello", "from mypkg")
+	// Commands in a namespace see siblings without qualification.
+	evalOK(t, in, `
+		namespace eval mypkg {
+			proc outer {} { hello }
+		}`)
+	expect(t, in, "mypkg::outer", "from mypkg")
+	// namespace current.
+	expect(t, in, "namespace current", "::")
+	expect(t, in, "namespace eval abc {namespace current}", "::abc")
+	// Namespace variables via variable command.
+	evalOK(t, in, `
+		namespace eval mypkg {
+			proc bump {} { variable counter; incr counter }
+		}`)
+	evalOK(t, in, "mypkg::bump; mypkg::bump")
+	expect(t, in, "set mypkg::counter", "2")
+}
+
+func TestPackages(t *testing.T) {
+	in := New()
+	files := map[string]string{
+		"lib/greeting.tcl": `
+			package provide greeting 2.1
+			proc greet {who} { return "hi $who" }`,
+	}
+	in.SourceFS = func(path string) (string, error) {
+		if c, ok := files[path]; ok {
+			return c, nil
+		}
+		return "", &RaisedError{Msg: "no such file: " + path}
+	}
+	in.PkgPath = []string{"lib"}
+	expect(t, in, "package require greeting", "2.1")
+	expect(t, in, "greet you", "hi you")
+	// Cached on second require.
+	expect(t, in, "package require greeting", "2.1")
+	expectErr(t, in, "package require missing_pkg", "can't find package")
+	// provide/versions
+	evalOK(t, in, "package provide mytool 0.5")
+	expect(t, in, "package versions mytool", "0.5")
+}
+
+func TestSource(t *testing.T) {
+	in := New()
+	in.SourceFS = func(path string) (string, error) {
+		if path == "script.tcl" {
+			return "set sourced yes", nil
+		}
+		return "", &RaisedError{Msg: "not found"}
+	}
+	evalOK(t, in, "source script.tcl")
+	expect(t, in, "set sourced", "yes")
+	expectErr(t, in, "source missing.tcl", "not found")
+}
+
+func TestPutsAndOutput(t *testing.T) {
+	in := New()
+	var buf strings.Builder
+	in.Out = &buf
+	evalOK(t, in, `puts "hello world"`)
+	evalOK(t, in, `puts -nonewline "no-nl"`)
+	if buf.String() != "hello world\nno-nl" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}
+
+func TestComments(t *testing.T) {
+	in := New()
+	expect(t, in, `
+		# this is a comment
+		set x 1
+		# another; set x 99
+		set x`, "1")
+}
+
+func TestExpansionOperator(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set args {1 2 3}")
+	expect(t, in, "llength [list {*}$args extra]", "4")
+	evalOK(t, in, "proc add3 {a b c} {expr {$a+$b+$c}}")
+	expect(t, in, "add3 {*}$args", "6")
+}
+
+func TestInfoCommands(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set known 1")
+	expect(t, in, "info exists known", "1")
+	expect(t, in, "info exists unknown", "0")
+	evalOK(t, in, "proc myproc {a {b 2}} {return $a$b}")
+	expect(t, in, "info args myproc", "a b")
+	expect(t, in, "info body myproc", "return $a$b")
+	expect(t, in, "info level", "0")
+	evalOK(t, in, "proc depth {} {info level}")
+	expect(t, in, "depth", "1")
+	res := evalOK(t, in, "info procs")
+	if !strings.Contains(res, "myproc") {
+		t.Fatalf("info procs missing myproc: %q", res)
+	}
+}
+
+func TestRename(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc orig {} {return x}")
+	evalOK(t, in, "rename orig renamed")
+	expect(t, in, "renamed", "x")
+	expectErr(t, in, "orig", "invalid command")
+	// Deleting with empty new name.
+	evalOK(t, in, "rename renamed {}")
+	expectErr(t, in, "renamed", "invalid command")
+}
+
+func TestApplyLambda(t *testing.T) {
+	in := New()
+	expect(t, in, "apply {{x} {expr {$x * 2}}} 21", "42")
+	expect(t, in, "apply {{a b} {expr {$a + $b}}} 1 2", "3")
+}
+
+func TestRegisteredGoCommand(t *testing.T) {
+	in := New()
+	in.RegisterCommand("double_it", func(in *Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", arityErr("double_it", "n")
+		}
+		return args[1] + args[1], nil
+	})
+	expect(t, in, "double_it ab", "abab")
+	if !in.HasCommand("double_it") {
+		t.Fatal("HasCommand failed")
+	}
+	in.UnregisterCommand("double_it")
+	expectErr(t, in, "double_it x", "invalid command")
+}
+
+func TestClientData(t *testing.T) {
+	in := New()
+	in.ClientData["counter"] = &[]int{0}[0]
+	in.RegisterCommand("bump", func(in *Interp, args []string) (string, error) {
+		p := in.ClientData["counter"].(*int)
+		*p++
+		return "", nil
+	})
+	evalOK(t, in, "bump; bump; bump")
+	if *(in.ClientData["counter"].(*int)) != 3 {
+		t.Fatal("client data not shared")
+	}
+}
+
+func TestRecursionLimit(t *testing.T) {
+	in := New()
+	evalOK(t, in, "proc inf {} {inf}")
+	_, err := in.Eval("inf")
+	if err == nil {
+		t.Fatal("expected recursion limit error")
+	}
+}
+
+func TestSubstCommand(t *testing.T) {
+	in := New()
+	evalOK(t, in, "set x 5")
+	expect(t, in, `subst {x is $x}`, "x is 5")
+	expect(t, in, `subst {[expr {1+1}]}`, "2")
+}
+
+func TestMultilineScripts(t *testing.T) {
+	in := New()
+	expect(t, in, "set a 1\nset b 2\nexpr {$a + $b}", "3")
+	expect(t, in, "set a 1; set b 2; expr {$a + $b}", "3")
+	// Line continuation.
+	expect(t, in, "set x \\\n42", "42")
+}
+
+func TestSemicolonInsideBraces(t *testing.T) {
+	in := New()
+	expect(t, in, "set x {a;b}", "a;b")
+	expect(t, in, `set y "a;b"`, "a;b")
+}
+
+func TestClockCommands(t *testing.T) {
+	in := New()
+	s := evalOK(t, in, "clock seconds")
+	if s == "" {
+		t.Fatal("clock seconds empty")
+	}
+	ms := evalOK(t, in, "clock milliseconds")
+	if len(ms) < len(s) {
+		t.Fatal("clock milliseconds shorter than seconds")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*", "abc", true},
+		{"a*", "bac", false},
+		{"*c", "abc", true},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"[abc]x", "bx", true},
+		{"[a-c]x", "bx", true},
+		{"[a-c]x", "dx", false},
+		{"a\\*b", "a*b", true},
+		{"a\\*b", "aXb", false},
+		{"*.tcl", "foo.tcl", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	in := New()
+	expect(t, in, "eval {set x 9}", "9")
+	expect(t, in, "eval set y 10", "10")
+	expect(t, in, "eval {list a} b", "a b")
+}
+
+func TestSwiftTStyleGeneratedCode(t *testing.T) {
+	// A fragment in the shape STC emits: a namespaced package with procs
+	// that build commands via lists and splice values.
+	in := New()
+	var out strings.Builder
+	in.Out = &out
+	evalOK(t, in, `
+		namespace eval my_package {
+			proc f {i j} {
+				return [expr {$i * 10 + $j}]
+			}
+		}
+		set i 2
+		set j 3
+		set o [my_package::f $i $j]
+		puts "result=$o"
+	`)
+	if out.String() != "result=23\n" {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestTemplateSplicePattern(t *testing.T) {
+	// The paper's template: "set <<o>> [ f <<i>> <<j>> ]" after splicing.
+	in := New()
+	evalOK(t, in, "proc f {i j} {expr {$i + $j}}")
+	tmpl := "set <<o>> [ f <<i>> <<j>> ]"
+	code := strings.NewReplacer("<<o>>", "result", "<<i>>", "2", "<<j>>", "3").Replace(tmpl)
+	evalOK(t, in, code)
+	expect(t, in, "set result", "5")
+}

@@ -1,0 +1,508 @@
+package turbine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/adlb"
+	"repro/internal/tcl"
+)
+
+// registerDataCmds installs the turbine::* data-store commands available
+// on every client rank (engines and workers).
+func registerDataCmds(in *tcl.Interp, env *Env) {
+	cl := env.Client
+
+	reg := func(name string, fn tcl.Command) { in.RegisterCommand("turbine::"+name, fn) }
+
+	reg("rank", func(in *tcl.Interp, args []string) (string, error) {
+		return strconv.Itoa(env.Rank), nil
+	})
+	reg("role", func(in *tcl.Interp, args []string) (string, error) {
+		return env.Role.String(), nil
+	})
+	reg("engines", func(in *tcl.Interp, args []string) (string, error) {
+		return strconv.Itoa(env.Cfg.Engines), nil
+	})
+
+	reg("unique", func(in *tcl.Interp, args []string) (string, error) {
+		id, err := cl.Unique()
+		if err != nil {
+			return "", err
+		}
+		return fmtInt(id), nil
+	})
+
+	// allocate <typename> -> id   (unique + create)
+	reg("allocate", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::allocate <type>")
+		}
+		typ, err := typeByName(args[1])
+		if err != nil {
+			return "", err
+		}
+		id, err := cl.Unique()
+		if err != nil {
+			return "", err
+		}
+		if err := cl.Create(id, typ); err != nil {
+			return "", err
+		}
+		return fmtInt(id), nil
+	})
+
+	reg("create", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::create <id> <type>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		typ, err := typeByName(args[2])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Create(id, typ)
+	})
+
+	// Typed stores.
+	reg("store_integer", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::store_integer <id> <value>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		v, err := parseInt(args[2])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Store(id, adlb.IntValue(v))
+	})
+	reg("store_float", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::store_float <id> <value>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		v, err := parseFloat(args[2])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Store(id, adlb.FloatValue(v))
+	})
+	reg("store_string", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::store_string <id> <value>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Store(id, adlb.StringValue(args[2]))
+	})
+	reg("store_blob", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::store_blob <id> <bytes>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Store(id, adlb.BlobValue([]byte(args[2])))
+	})
+	reg("store_void", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::store_void <id>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Store(id, adlb.VoidValue())
+	})
+
+	// Typed retrieves.
+	reg("retrieve_integer", func(in *tcl.Interp, args []string) (string, error) {
+		v, err := mustRetrieve(cl, args, adlb.TypeInteger)
+		if err != nil {
+			return "", err
+		}
+		n, err := adlb.AsInt(v)
+		if err != nil {
+			return "", err
+		}
+		return fmtInt(n), nil
+	})
+	reg("retrieve_float", func(in *tcl.Interp, args []string) (string, error) {
+		v, err := mustRetrieve(cl, args, adlb.TypeFloat)
+		if err != nil {
+			return "", err
+		}
+		f, err := adlb.AsFloat(v)
+		if err != nil {
+			return "", err
+		}
+		return fmtFloat(f), nil
+	})
+	reg("retrieve_string", func(in *tcl.Interp, args []string) (string, error) {
+		v, err := mustRetrieve(cl, args, adlb.TypeString)
+		if err != nil {
+			return "", err
+		}
+		return adlb.AsString(v)
+	})
+	reg("retrieve_blob", func(in *tcl.Interp, args []string) (string, error) {
+		v, err := mustRetrieve(cl, args, adlb.TypeBlob)
+		if err != nil {
+			return "", err
+		}
+		b, err := adlb.AsBlob(v)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	})
+	// Generic retrieve: render by stored type.
+	reg("retrieve", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::retrieve <id>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		v, found, err := cl.Retrieve(id)
+		if err != nil {
+			return "", err
+		}
+		if !found {
+			return "", fmt.Errorf("turbine: retrieve: no such id %d", id)
+		}
+		switch v.Type {
+		case adlb.TypeInteger:
+			n, err := adlb.AsInt(v)
+			if err != nil {
+				return "", err
+			}
+			return fmtInt(n), nil
+		case adlb.TypeFloat:
+			f, err := adlb.AsFloat(v)
+			if err != nil {
+				return "", err
+			}
+			return fmtFloat(f), nil
+		case adlb.TypeString:
+			return adlb.AsString(v)
+		case adlb.TypeBlob:
+			b, err := adlb.AsBlob(v)
+			if err != nil {
+				return "", err
+			}
+			return string(b), nil
+		case adlb.TypeVoid:
+			return "", nil
+		}
+		return "", fmt.Errorf("turbine: retrieve: id %d has unrenderable type %v", id, v.Type)
+	})
+
+	reg("exists", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::exists <id>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		ok, err := cl.Exists(id)
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			return "1", nil
+		}
+		return "0", nil
+	})
+
+	reg("typeof", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::typeof <id>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		t, found, err := cl.TypeOf(id)
+		if err != nil {
+			return "", err
+		}
+		if !found {
+			return "", fmt.Errorf("turbine: typeof: no such id %d", id)
+		}
+		return t.String(), nil
+	})
+
+	// Container operations.
+	reg("container_lookup", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 && len(args) != 4 {
+			return "", fmt.Errorf("usage: turbine::container_lookup <c> <subscript> ?createType?")
+		}
+		c, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		var createType adlb.DataType
+		if len(args) == 4 {
+			createType, err = typeByName(args[3])
+			if err != nil {
+				return "", err
+			}
+		}
+		member, exists, _, err := cl.Lookup(c, args[2], createType)
+		if err != nil {
+			return "", err
+		}
+		if !exists {
+			return "", fmt.Errorf("turbine: container %d has no subscript %q", c, args[2])
+		}
+		return fmtInt(member), nil
+	})
+	reg("container_insert", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: turbine::container_insert <c> <subscript> <member>")
+		}
+		c, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		m, err := parseInt(args[3])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Insert(c, args[2], m)
+	})
+	reg("container_enumerate", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::container_enumerate <c>")
+		}
+		c, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		pairs, err := cl.Enumerate(c)
+		if err != nil {
+			return "", err
+		}
+		out := make([]string, 0, 2*len(pairs))
+		for _, p := range pairs {
+			out = append(out, p.Subscript, fmtInt(p.Member))
+		}
+		return tcl.FormatList(out), nil
+	})
+	reg("write_refcount", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::write_refcount <id> <delta>")
+		}
+		id, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		delta, err := parseInt(args[2])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.WriteRefcount(id, int(delta))
+	})
+
+	// Low-level put, used by generated code for explicit task placement.
+	reg("put", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 5 {
+			return "", fmt.Errorf("usage: turbine::put <type> <priority> <target> <payload>")
+		}
+		typ, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		prio, err := parseInt(args[2])
+		if err != nil {
+			return "", err
+		}
+		target, err := parseInt(args[3])
+		if err != nil {
+			return "", err
+		}
+		return "", cl.Put(int(typ), int(prio), int(target), []byte(args[4]))
+	})
+
+	// Literal helpers collapse allocate+store for compiled constants.
+	reg("literal_integer", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::literal_integer <value>")
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		id, err := allocStore(cl, adlb.TypeInteger, adlb.IntValue(v))
+		if err != nil {
+			return "", err
+		}
+		return fmtInt(id), nil
+	})
+	reg("literal_float", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::literal_float <value>")
+		}
+		v, err := parseFloat(args[1])
+		if err != nil {
+			return "", err
+		}
+		id, err := allocStore(cl, adlb.TypeFloat, adlb.FloatValue(v))
+		if err != nil {
+			return "", err
+		}
+		return fmtInt(id), nil
+	})
+	reg("literal_string", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: turbine::literal_string <value>")
+		}
+		id, err := allocStore(cl, adlb.TypeString, adlb.StringValue(args[1]))
+		if err != nil {
+			return "", err
+		}
+		return fmtInt(id), nil
+	})
+}
+
+func allocStore(cl *adlb.Client, typ adlb.DataType, v adlb.Value) (int64, error) {
+	id, err := cl.Unique()
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.Create(id, typ); err != nil {
+		return 0, err
+	}
+	if err := cl.Store(id, v); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+func mustRetrieve(cl *adlb.Client, args []string, want adlb.DataType) (adlb.Value, error) {
+	if len(args) != 2 {
+		return adlb.Value{}, fmt.Errorf("usage: %s <id>", args[0])
+	}
+	id, err := parseInt(args[1])
+	if err != nil {
+		return adlb.Value{}, err
+	}
+	v, found, err := cl.Retrieve(id)
+	if err != nil {
+		return adlb.Value{}, err
+	}
+	if !found {
+		return adlb.Value{}, fmt.Errorf("turbine: retrieve: no such id %d", id)
+	}
+	if v.Type != want {
+		return adlb.Value{}, fmt.Errorf("turbine: id %d is %v, expected %v", id, v.Type, want)
+	}
+	return v, nil
+}
+
+func typeByName(name string) (adlb.DataType, error) {
+	switch name {
+	case "void":
+		return adlb.TypeVoid, nil
+	case "integer", "int":
+		return adlb.TypeInteger, nil
+	case "float":
+		return adlb.TypeFloat, nil
+	case "string":
+		return adlb.TypeString, nil
+	case "blob":
+		return adlb.TypeBlob, nil
+	case "container":
+		return adlb.TypeContainer, nil
+	case "ref":
+		return adlb.TypeRef, nil
+	}
+	return 0, fmt.Errorf("turbine: unknown data type %q", name)
+}
+
+// registerEngineCmds installs the engine-only dataflow commands.
+func registerEngineCmds(in *tcl.Interp, env *Env) {
+	eng := env.engine
+
+	// turbine::rule {input ids} {action} ?option value ...?
+	// Options: type (control|work), target N, priority N, name S.
+	in.RegisterCommand("turbine::rule", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: turbine::rule <inputs> <action> ?options?")
+		}
+		inputStrs, err := tcl.ParseList(args[1])
+		if err != nil {
+			return "", err
+		}
+		inputs := make([]int64, len(inputStrs))
+		for i, s := range inputStrs {
+			inputs[i], err = parseInt(s)
+			if err != nil {
+				return "", err
+			}
+		}
+		r := &rule{action: args[2], target: adlb.AnyRank}
+		for i := 3; i+1 < len(args); i += 2 {
+			switch args[i] {
+			case "type":
+				switch args[i+1] {
+				case "work":
+					r.work = true
+				case "control":
+					r.work = false
+				default:
+					return "", fmt.Errorf("turbine::rule: bad type %q", args[i+1])
+				}
+			case "target":
+				t, err := parseInt(args[i+1])
+				if err != nil {
+					return "", err
+				}
+				r.target = int(t)
+			case "priority":
+				p, err := parseInt(args[i+1])
+				if err != nil {
+					return "", err
+				}
+				r.priority = int(p)
+			case "name":
+				r.name = args[i+1]
+			default:
+				return "", fmt.Errorf("turbine::rule: unknown option %q", args[i])
+			}
+		}
+		return "", eng.addRule(inputs, r)
+	})
+
+	// turbine::spawn <action>: release a control fragment to any engine,
+	// the mechanism behind distributed loop splitting.
+	in.RegisterCommand("turbine::spawn", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::spawn <action> ?priority?")
+		}
+		prio := 0
+		if len(args) == 3 {
+			p, err := parseInt(args[2])
+			if err != nil {
+				return "", err
+			}
+			prio = int(p)
+		}
+		return "", env.Client.Put(TypeControl, prio, adlb.AnyRank, []byte(args[1]))
+	})
+}

@@ -1,0 +1,164 @@
+package turbine
+
+import (
+	"fmt"
+
+	"repro/internal/adlb"
+)
+
+// rule is one dataflow rule: when all inputs are closed, the action is
+// released — either executed on this engine (control) or Put to ADLB for
+// a worker (work). This realises the paper's Fig. 1 semantics: statements
+// become rules, and execution order is determined by data availability.
+type rule struct {
+	name     string
+	action   string
+	pending  int // unclosed inputs remaining
+	work     bool
+	target   int
+	priority int
+}
+
+// engine holds the dataflow state of one engine rank.
+type engine struct {
+	env     *Env
+	ready   []string          // actions whose inputs are all closed
+	waiting map[int64][]*rule // input id -> rules blocked on it
+	closed  map[int64]bool    // ids known closed (local cache)
+	subbed  map[int64]bool    // ids with an active subscription
+}
+
+func newEngine(env *Env) *engine {
+	return &engine{
+		env:     env,
+		waiting: make(map[int64][]*rule),
+		closed:  make(map[int64]bool),
+		subbed:  make(map[int64]bool),
+	}
+}
+
+func (e *engine) stats() *Stats { return e.env.Cfg.TurbineStats }
+
+// addRule registers a rule, subscribing to its unclosed inputs. Rules with
+// no pending inputs are immediately ready.
+func (e *engine) addRule(inputs []int64, r *rule) error {
+	if s := e.stats(); s != nil {
+		s.RulesCreated.Add(1)
+	}
+	for _, id := range inputs {
+		if e.closed[id] {
+			continue
+		}
+		// Subscribe once per id; the notification wakes all waiters.
+		if !e.subbed[id] {
+			isClosed, err := e.env.Client.Subscribe(id, e.env.Rank)
+			if err != nil {
+				return err
+			}
+			if isClosed {
+				e.closed[id] = true
+				continue
+			}
+			e.subbed[id] = true
+		}
+		r.pending++
+		e.waiting[id] = append(e.waiting[id], r)
+	}
+	if r.pending == 0 {
+		return e.release(r)
+	}
+	return nil
+}
+
+// release fires a rule whose inputs are all closed.
+func (e *engine) release(r *rule) error {
+	if s := e.stats(); s != nil {
+		s.RulesReady.Add(1)
+	}
+	if r.work {
+		return e.env.Client.Put(TypeWork, r.priority, r.target, []byte(r.action))
+	}
+	e.ready = append(e.ready, r.action)
+	return nil
+}
+
+// onClosed processes a data-close notification.
+func (e *engine) onClosed(id int64) error {
+	if s := e.stats(); s != nil {
+		s.Notifications.Add(1)
+	}
+	e.closed[id] = true
+	delete(e.subbed, id)
+	rules := e.waiting[id]
+	delete(e.waiting, id)
+	for _, r := range rules {
+		r.pending--
+		if r.pending == 0 {
+			if err := e.release(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// run is the engine main loop: drain locally ready actions, then block on
+// ADLB for control work (notifications or distributed control fragments).
+func (e *engine) run() error {
+	for {
+		for len(e.ready) > 0 {
+			action := e.ready[0]
+			e.ready = e.ready[1:]
+			if s := e.stats(); s != nil {
+				s.ControlTasks.Add(1)
+			}
+			if _, err := e.env.interp.Eval(action); err != nil {
+				return fmt.Errorf("turbine: engine %d: control action failed: %w\n  action: %.200s",
+					e.env.Rank, err, action)
+			}
+		}
+		payload, ok, err := e.env.Client.Get(TypeControl)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if id, isNote := adlb.DecodeNotification(payload); isNote {
+			if err := e.onClosed(id); err != nil {
+				return err
+			}
+			continue
+		}
+		// A distributed control fragment from another engine.
+		if s := e.stats(); s != nil {
+			s.ControlTasks.Add(1)
+		}
+		if _, err := e.env.interp.Eval(string(payload)); err != nil {
+			return fmt.Errorf("turbine: engine %d: control task failed: %w\n  task: %.200s",
+				e.env.Rank, err, payload)
+		}
+	}
+}
+
+// runWorker is the worker main loop: pull leaf tasks and evaluate them.
+// Leaf tasks retrieve their (already closed) inputs from the data store,
+// run user code in whatever language the task wraps, and store outputs.
+func runWorker(env *Env) error {
+	for {
+		payload, ok, err := env.Client.Get(TypeWork)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if s := env.Cfg.TurbineStats; s != nil {
+			s.LeafTasks.Add(1)
+		}
+		if _, err := env.interp.Eval(string(payload)); err != nil {
+			return fmt.Errorf("turbine: worker %d: leaf task failed: %w\n  task: %.200s",
+				env.Rank, err, payload)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package turbine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adlb"
+	"repro/internal/mpi"
+	"repro/internal/tcl"
+)
+
+// recorder collects strings from any rank through a registered command.
+type recorder struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+func (r *recorder) add(s string) {
+	r.mu.Lock()
+	r.rows = append(r.rows, s)
+	r.mu.Unlock()
+}
+
+func (r *recorder) sorted() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.rows...)
+	sort.Strings(out)
+	return out
+}
+
+// runTurbine executes a Turbine program on a fresh world.
+func runTurbine(t *testing.T, size int, cfg *Config) *recorder {
+	t.Helper()
+	rec := &recorder{}
+	userSetup := cfg.Setup
+	cfg.Setup = func(in *tcl.Interp, env *Env) error {
+		in.RegisterCommand("test::record", func(in *tcl.Interp, args []string) (string, error) {
+			rec.add(strings.Join(args[1:], " "))
+			return "", nil
+		})
+		if userSetup != nil {
+			return userSetup(in, env)
+		}
+		return nil
+	}
+	w, err := mpi.NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchdog := time.AfterFunc(30*time.Second, func() {
+		w.Abort(fmt.Errorf("turbine test watchdog: hung"))
+	})
+	defer watchdog.Stop()
+	if err := w.Run(func(c *mpi.Comm) error { return Run(c, cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Engines: 0, Servers: 1},
+		{Engines: 1, Servers: 0},
+		{Engines: 2, Servers: 2}, // no room for workers in size 4
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(4); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	good := Config{Engines: 1, Servers: 1}
+	if err := good.Validate(3); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	cfg := Config{Engines: 2, Servers: 2}
+	// World of 8: ranks 0,1 engines; 2..5 workers; 6,7 servers.
+	wantRoles := []Role{RoleEngine, RoleEngine, RoleWorker, RoleWorker, RoleWorker, RoleWorker, RoleServer, RoleServer}
+	for r, want := range wantRoles {
+		if got := cfg.RoleOf(r, 8); got != want {
+			t.Errorf("rank %d: role %v, want %v", r, got, want)
+		}
+	}
+	if RoleEngine.String() != "engine" || RoleWorker.String() != "worker" || RoleServer.String() != "server" {
+		t.Error("role names wrong")
+	}
+}
+
+func TestDataflowSingleRule(t *testing.T) {
+	// Engine creates a future; a worker task stores it; the rule fires
+	// and records the value.
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set x [turbine::allocate integer]
+				turbine::rule [list $x] "fire $x"
+				turbine::put 1 0 -1 "turbine::store_integer $x 42"
+			}
+			proc fire {x} {
+				test::record "got [turbine::retrieve_integer $x]"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	if len(rows) != 1 || rows[0] != "got 42" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestRuleOrderingIsDataflow(t *testing.T) {
+	// Rules fire by data availability, not creation order: a rule created
+	// first but fed last must fire last.
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set a [turbine::allocate integer]
+				set b [turbine::allocate integer]
+				turbine::rule [list $a] "test::record A"
+				turbine::rule [list $b] "test::record B ; turbine::store_integer $a 1"
+				turbine::put 1 0 -1 "turbine::store_integer $b 1"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rec.mu.Lock()
+	rows := append([]string(nil), rec.rows...)
+	rec.mu.Unlock()
+	if len(rows) != 2 || rows[0] != "B" || rows[1] != "A" {
+		t.Fatalf("rows = %v, want [B A]", rows)
+	}
+}
+
+func TestFig1Pipeline(t *testing.T) {
+	// The paper's Fig. 1: foreach i in [0:9] { t=f(i); g(t) } with f and
+	// g as leaf tasks on workers and dataflow linking each pair.
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		TurbineStats: &Stats{},
+		Program: `
+			proc main {} {
+				for {set i 0} {$i < 10} {incr i} {
+					set t [turbine::allocate integer]
+					set u [turbine::allocate integer]
+					turbine::put 1 0 -1 "f_task $i $t"
+					turbine::rule [list $t] "g_stage $t $u"
+					turbine::rule [list $u] "done_stage $u"
+				}
+			}
+			proc f_task {i t} {
+				turbine::store_integer $t [expr {$i * 2}]
+			}
+			proc g_stage {t u} {
+				turbine::rule [list] "g_task $t $u" type work
+			}
+			proc g_task {t u} {
+				set v [turbine::retrieve_integer $t]
+				turbine::store_integer $u [expr {$v + 1}]
+			}
+			proc done_stage {u} {
+				test::record "g=[turbine::retrieve_integer $u]"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 6, cfg) // 1 engine + 1 server + 4 workers
+	rows := rec.sorted()
+	if len(rows) != 10 {
+		t.Fatalf("expected 10 results, got %d: %v", len(rows), rows)
+	}
+	want := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		want[fmt.Sprintf("g=%d", i*2+1)] = true
+	}
+	for _, r := range rows {
+		if !want[r] {
+			t.Fatalf("unexpected row %q", r)
+		}
+	}
+	if cfg.TurbineStats.LeafTasks.Load() != 20 { // 10 f + 10 g
+		t.Fatalf("leaf tasks = %d, want 20", cfg.TurbineStats.LeafTasks.Load())
+	}
+	if cfg.TurbineStats.RulesCreated.Load() < 20 {
+		t.Fatalf("rules = %d, want >= 20", cfg.TurbineStats.RulesCreated.Load())
+	}
+}
+
+func TestSpawnDistributesControl(t *testing.T) {
+	// Control fragments released with turbine::spawn may run on any
+	// engine; with 2 engines both should see work for a wide fan-out.
+	cfg := &Config{
+		Engines: 2, Servers: 1,
+		Program: `
+			proc main {} {
+				for {set i 0} {$i < 40} {incr i} {
+					turbine::spawn "frag $i"
+				}
+			}
+			proc frag {i} {
+				test::record "frag $i on [turbine::rank]"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 5, cfg)
+	rows := rec.sorted()
+	if len(rows) != 40 {
+		t.Fatalf("expected 40 fragments, got %d", len(rows))
+	}
+}
+
+func TestContainersAndEnumerate(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set c [turbine::allocate container]
+				# Three members via lookup-create placeholders.
+				foreach i {0 1 2} {
+					set m [turbine::container_lookup $c $i integer]
+					turbine::put 1 0 -1 "turbine::store_integer $m [expr {$i * 100}]"
+				}
+				# Close the container (drop the creation reference).
+				turbine::write_refcount $c -1
+				turbine::rule [list $c] "walk $c"
+			}
+			proc walk {c} {
+				foreach {sub m} [turbine::container_enumerate $c] {
+					turbine::rule [list $m] "test::record elem $sub \[turbine::retrieve_integer $m\]"
+				}
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	want := []string{"elem 0 0", "elem 1 100", "elem 2 200"}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestTargetedLeafTask(t *testing.T) {
+	// A rule with an explicit target must run its leaf task on that rank.
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				turbine::rule [list] "test::record task-on-\[turbine::rank\]" type work target 2
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 5, cfg) // workers are ranks 1..3
+	rows := rec.sorted()
+	if len(rows) != 1 || rows[0] != "task-on-2" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set i [turbine::literal_integer 7]
+				set f [turbine::literal_float 2.5]
+				set s [turbine::literal_string hello]
+				test::record [turbine::retrieve_integer $i]
+				test::record [turbine::retrieve_float $f]
+				test::record [turbine::retrieve_string $s]
+				test::record [turbine::typeof $i]
+				test::record [turbine::exists $i]
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	want := []string{"1", "2.5", "7", "hello", "integer"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestTypedRetrieveMismatch(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set i [turbine::literal_integer 7]
+				if {[catch {turbine::retrieve_string $i} msg]} {
+					test::record "error caught"
+				}
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	if len(rows) != 1 || rows[0] != "error caught" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestLeafTaskErrorAbortsRun(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				turbine::put 1 0 -1 "error deliberate-task-failure"
+			}
+		`,
+		Main: "main",
+	}
+	w, _ := mpi.NewWorld(3)
+	watchdog := time.AfterFunc(30*time.Second, func() { w.Abort(fmt.Errorf("hang")) })
+	defer watchdog.Stop()
+	cfg.Setup = func(in *tcl.Interp, env *Env) error { return nil }
+	err := w.Run(func(c *mpi.Comm) error { return Run(c, cfg) })
+	if err == nil || !strings.Contains(err.Error(), "deliberate-task-failure") {
+		t.Fatalf("err = %v, want leaf task failure", err)
+	}
+}
+
+func TestDoubleStoreAbortsRun(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set x [turbine::literal_integer 1]
+				turbine::store_integer $x 2
+			}
+		`,
+		Main: "main",
+	}
+	w, _ := mpi.NewWorld(3)
+	watchdog := time.AfterFunc(30*time.Second, func() { w.Abort(fmt.Errorf("hang")) })
+	defer watchdog.Stop()
+	err := w.Run(func(c *mpi.Comm) error { return Run(c, cfg) })
+	if err == nil || !strings.Contains(err.Error(), "single-assignment") {
+		t.Fatalf("err = %v, want single-assignment violation", err)
+	}
+}
+
+func TestBlobThroughDataStore(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set b [turbine::allocate blob]
+				turbine::put 1 0 -1 "turbine::store_blob $b binary-payload"
+				turbine::rule [list $b] "test::record blob=\[turbine::retrieve_blob $b\]"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	if len(rows) != 1 || rows[0] != "blob=binary-payload" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestVoidSignalling(t *testing.T) {
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				set done [turbine::allocate void]
+				turbine::rule [list $done] "test::record signalled"
+				turbine::put 1 0 -1 "turbine::store_void $done"
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 3, cfg)
+	rows := rec.sorted()
+	if len(rows) != 1 || rows[0] != "signalled" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestManyWorkersLoadBalance(t *testing.T) {
+	// 50 independent leaf tasks across 6 workers: all complete, and at
+	// least two distinct workers participate (load balancing).
+	var mu sync.Mutex
+	ranks := map[string]int{}
+	cfg := &Config{
+		Engines: 1, Servers: 1,
+		Program: `
+			proc main {} {
+				for {set i 0} {$i < 50} {incr i} {
+					turbine::rule [list] "test::rank_record" type work
+				}
+			}
+		`,
+		Main: "main",
+		Setup: func(in *tcl.Interp, env *Env) error {
+			in.RegisterCommand("test::rank_record", func(in *tcl.Interp, args []string) (string, error) {
+				mu.Lock()
+				ranks[fmt.Sprint(env.Rank)]++
+				mu.Unlock()
+				return "", nil
+			})
+			return nil
+		},
+	}
+	runTurbine(t, 8, cfg)
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range ranks {
+		total += n
+	}
+	if total != 50 {
+		t.Fatalf("executed %d tasks, want 50 (per rank: %v)", total, ranks)
+	}
+	if len(ranks) < 2 {
+		t.Fatalf("all tasks ran on one worker: %v", ranks)
+	}
+}
+
+func TestMultiServerDataflow(t *testing.T) {
+	// Same pipeline with 2 engines and 2 servers: exercises cross-server
+	// notification forwarding and multi-engine control.
+	stats := &adlb.Stats{}
+	cfg := &Config{
+		Engines: 2, Servers: 2,
+		Stats: stats,
+		Program: `
+			proc main {} {
+				for {set i 0} {$i < 20} {incr i} {
+					turbine::spawn "stage_a $i"
+				}
+			}
+			proc stage_a {i} {
+				set t [turbine::allocate integer]
+				turbine::rule [list] "compute $i $t" type work
+				turbine::rule [list $t] "test::record r=\[turbine::retrieve_integer $t\]"
+			}
+			proc compute {i t} {
+				turbine::store_integer $t [expr {$i * $i}]
+			}
+		`,
+		Main: "main",
+	}
+	rec := runTurbine(t, 8, cfg)
+	rows := rec.sorted()
+	if len(rows) != 20 {
+		t.Fatalf("got %d rows: %v", len(rows), rows)
+	}
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		want[fmt.Sprintf("r=%d", i*i)] = true
+	}
+	for _, r := range rows {
+		if !want[r] {
+			t.Fatalf("unexpected row %q", r)
+		}
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	if fmtInt(-5) != "-5" {
+		t.Fatal("fmtInt")
+	}
+	if fmtFloat(2.5) != "2.5" {
+		t.Fatal("fmtFloat 2.5")
+	}
+	if fmtFloat(2) != "2.0" {
+		t.Fatalf("fmtFloat 2 = %q, want 2.0", fmtFloat(2))
+	}
+	if _, err := parseInt("abc"); err == nil {
+		t.Fatal("parseInt should fail")
+	}
+	if _, err := parseFloat("abc"); err == nil {
+		t.Fatal("parseFloat should fail")
+	}
+	if v, err := parseInt(" 42 "); err != nil || v != 42 {
+		t.Fatal("parseInt trim")
+	}
+}
