@@ -576,6 +576,80 @@ func bindPyMPI(py *pylite.Interp, c *mpi.Comm) {
 }
 
 // ---------------------------------------------------------------------
+// T1 — interpreter throughput: repeated evaluation of the same script,
+// the shape of every Turbine rule action and loop body. The compile-once
+// pipeline (parse cache, expr AST cache, literal words) must make the
+// steady state parse-free.
+// ---------------------------------------------------------------------
+
+func BenchmarkTclEval(b *testing.B) {
+	b.Run("loop-body", func(b *testing.B) {
+		// A control-fragment-shaped script: a loop whose body and
+		// condition are re-evaluated every iteration.
+		in := tcl.New()
+		script := `
+			set s 0
+			for {set i 0} {$i < 100} {incr i} {
+				set s [expr {$s + $i * $i}]
+			}
+			set s`
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := in.Eval(script)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != "328350" {
+				b.Fatalf("out = %q", out)
+			}
+		}
+		b.ReportMetric(100*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+	})
+	b.Run("proc-call", func(b *testing.B) {
+		// Repeated proc invocation: the body must be compiled once at
+		// first call, not re-parsed per call.
+		in := tcl.New()
+		if _, err := in.Eval(`proc work {n} {
+			set acc 0
+			foreach x {1 2 3 4 5 6 7 8} {
+				set acc [expr {$acc + $x * $n}]
+			}
+			return $acc
+		}`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := in.Eval("work 3")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != "108" {
+				b.Fatalf("out = %q", out)
+			}
+		}
+	})
+	b.Run("expr-cond", func(b *testing.B) {
+		// The while-condition shape: one expr string evaluated under
+		// changing variable state.
+		in := tcl.New()
+		if _, err := in.Eval("set i 0; set n 1000000000"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := in.EvalExprBool("$i < $n && ($i % 2) == 0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("condition false")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
 // C5 — §II-B: "evaluate Swift semantics in a distributed manner (no
 // bottleneck)": adding control ranks (engines/servers) must not slow a
 // fixed workload, and relieves saturation under control-heavy load.

@@ -6,6 +6,55 @@
 // embedded Python and R interpreters, SWIG/FortWrap native-code bindings
 // with blob bulk data, Tcl extension functions, and the shell interface.
 //
+// # The compile-once Tcl evaluation pipeline
+//
+// Swift/T's control plane is Tcl: every Turbine rule action, control
+// fragment, and leaf task is a Tcl script string evaluated by a per-rank
+// interpreter, so interpreter throughput bounds every benchmark in this
+// repo. The internal/tcl package therefore evaluates through a
+// compile-once pipeline rather than re-lexing source on every call:
+//
+//	source text ──(parse, memoized)──> *tcl.Script ──(substitute/Call)──> result
+//
+// The stages, in order of execution:
+//
+//   - Parse cache. Interp.Eval memoizes parseScript results in a bounded
+//     (FIFO-evicted) per-interpreter cache keyed by source text, so a
+//     loop body or rule action is parsed once no matter how many times
+//     it runs. Proc bodies compile on first call and the compiled form
+//     is stored on the proc definition; redefinition installs a fresh
+//     definition, which invalidates naturally. The `while`, `for`,
+//     `foreach`, `lmap`, and `dict for` commands hoist body compilation
+//     out of their iteration loops.
+//
+//   - Expression ASTs. expr/if/while conditions compile to an AST
+//     memoized by source text (Interp.EvalExpr, EvalExprBool), so
+//     `while {$i < $n}` stops re-lexing its condition every iteration.
+//     Only syntax lives in the AST: variables and bracketed commands are
+//     resolved at evaluation time, and operand evaluation stays eager
+//     (no short-circuit), exactly as the pre-AST evaluator behaved.
+//
+//   - Substitution fast path. The parser marks words containing no `$`,
+//     `[`, or backslash as literal; evaluation appends their text
+//     directly instead of running substWord.
+//
+//   - Shared program compilation. stc.Output.Script compiles the
+//     generated Turbine program (prelude included) exactly once, and
+//     every engine/worker rank evaluates the shared immutable
+//     *tcl.Script (turbine.Config.ProgramScript) instead of re-parsing
+//     the program per rank at startup.
+//
+// Caching is keyed purely on source text and stores only parse results —
+// never values, bindings, or namespace state — so behaviour under upvar,
+// uplevel, catch, and proc redefinition is unchanged; see
+// internal/tcl/cache_test.go for the invariants.
+//
+// Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
+// interpreter alone; BenchmarkC5ControlScaling and
+// BenchmarkFig2WorkerScaling measure the end-to-end effect. Compare
+// before/after with `go test -bench=. -run=NONE -count=10 | benchstat`.
+// CHANGES.md records the numbers for each PR.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduction of the paper's figures and claims.
 // The root-level bench_test.go regenerates every experiment.

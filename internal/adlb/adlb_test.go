@@ -3,6 +3,7 @@ package adlb
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -257,6 +258,80 @@ func TestWorkDistributionAcrossClients(t *testing.T) {
 	})
 	if consumed.Load() != items {
 		t.Fatalf("consumed %d, want %d", consumed.Load(), items)
+	}
+}
+
+func TestUntargetedDispatchFIFOAfterTargetedDelivery(t *testing.T) {
+	// Regression: deliver used to remove clients from the parked map but
+	// not from the park FIFO, so a client that received a targeted item
+	// and re-parked kept its old (earlier) FIFO position and won every
+	// untargeted dispatch, starving later-parked clients.
+	//
+	// Ordering (client 2 is the producer):
+	//   t=0    client 0 parks
+	//   t=50   targeted put -> client 0 (stale FIFO entry in the old code)
+	//   t=100  client 1 parks
+	//   t=200  client 0 re-parks (after the stale entry and client 1)
+	//   t=300  untargeted put -> must go to client 1 (earlier park)
+	//   t=350  untargeted put -> goes to client 0
+	step := 50 * time.Millisecond
+	var mu sync.Mutex
+	got := map[int][]string{}
+	record := func(rank int, payload []byte) {
+		mu.Lock()
+		got[rank] = append(got[rank], string(payload))
+		mu.Unlock()
+	}
+	drain := func(cl *Client) error {
+		for {
+			p, ok, err := cl.Get(typeWork)
+			if err != nil || !ok {
+				return err
+			}
+			record(cl.Rank(), p)
+		}
+	}
+	runWorld(t, 4, 1, func(cl *Client) error {
+		switch cl.Rank() {
+		case 0:
+			p, ok, err := cl.Get(typeWork)
+			if err != nil || !ok {
+				return err
+			}
+			record(0, p)
+			time.Sleep(4 * step) // re-park only after client 1 has parked
+			return drain(cl)
+		case 1:
+			time.Sleep(2 * step)
+			return drain(cl)
+		case 2:
+			time.Sleep(step)
+			if err := cl.Put(typeWork, 0, 0, []byte("targeted")); err != nil {
+				return err
+			}
+			time.Sleep(5 * step)
+			if err := cl.Put(typeWork, 0, AnyRank, []byte("first-untargeted")); err != nil {
+				return err
+			}
+			time.Sleep(step)
+			if err := cl.Put(typeWork, 0, AnyRank, []byte("second-untargeted")); err != nil {
+				return err
+			}
+			// Park too, so the server can reach quiescence and terminate.
+			return drain(cl)
+		}
+		return nil
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got[0]) == 0 || got[0][0] != "targeted" {
+		t.Fatalf("client 0 items = %v, want targeted delivery first", got[0])
+	}
+	if len(got[1]) != 1 || got[1][0] != "first-untargeted" {
+		t.Fatalf("client 1 items = %v, want [first-untargeted]: earliest-parked client must win", got[1])
+	}
+	if len(got[0]) != 2 || got[0][1] != "second-untargeted" {
+		t.Fatalf("client 0 items = %v, want [targeted second-untargeted]", got[0])
 	}
 }
 

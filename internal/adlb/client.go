@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/mpi"
 )
@@ -116,6 +117,13 @@ func (cl *Client) Get(workType int) (payload []byte, ok bool, err error) {
 	if d.err != nil {
 		return nil, false, d.err
 	}
+	// Yield before running the task. Real MPI ranks are separate
+	// processes that progress concurrently; in the simulation, ranks are
+	// goroutines that may outnumber cores, and the scheduler's wakeup
+	// locality otherwise lets one fast client's Get/respond ping-pong with
+	// the server starve sibling ranks of CPU — it drains the whole queue
+	// before they issue their first request.
+	runtime.Gosched()
 	return w.Payload, true, nil
 }
 

@@ -243,9 +243,8 @@ func (s *server) acceptWork(w workItem) {
 		return
 	}
 	// Untargeted: first parked client (FIFO) wanting this type wins.
-	for i, r := range s.parkOrder {
+	for _, r := range s.parkOrder {
 		if t, ok := s.parked[r]; ok && t == w.Type {
-			s.parkOrder = append(s.parkOrder[:i], s.parkOrder[i+1:]...)
 			s.deliver(r, w)
 			return
 		}
@@ -259,8 +258,14 @@ func (s *server) acceptWork(w workItem) {
 }
 
 // deliver answers a parked (or newly parked) client's Get with work.
+// The client leaves both the parked map and the park FIFO here: leaving
+// stale FIFO entries behind (as targeted deliveries and notifications
+// once did) lets a client that re-parks inherit its old, earlier queue
+// position, so the earliest-ever-parked rank wins every untargeted
+// dispatch and the rest starve.
 func (s *server) deliver(client int, w workItem) {
 	delete(s.parked, client)
+	s.unpark(client)
 	if s.stats() != nil {
 		s.stats().GetsServed.Add(1)
 	}
@@ -270,6 +275,18 @@ func (s *server) deliver(client int, w workItem) {
 	})
 	if err != nil {
 		s.c.World().Abort(err)
+	}
+}
+
+// unpark removes client from the park FIFO. Each client appears at most
+// once (it is appended only when parking in handleGet, and removed on
+// every delivery), so removing the first match suffices.
+func (s *server) unpark(client int) {
+	for i, r := range s.parkOrder {
+		if r == client {
+			s.parkOrder = append(s.parkOrder[:i], s.parkOrder[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -190,15 +190,23 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 
 	var pyEvals, rEvals atomic.Int64
 
+	// Compile the Turbine program once; every rank (and every repeated
+	// run of the same Output) shares the parsed form.
+	programScript, err := compiled.Script()
+	if err != nil {
+		return nil, err
+	}
+
 	tcfg := &turbine.Config{
-		Engines:      cfg.Engines,
-		Servers:      cfg.Servers,
-		Tick:         cfg.Tick,
-		Stats:        cfg.Stats,
-		TurbineStats: cfg.TurbineStats,
-		DisableSteal: cfg.DisableSteal,
-		Program:      compiled.Program,
-		Main:         compiled.Main,
+		Engines:       cfg.Engines,
+		Servers:       cfg.Servers,
+		Tick:          cfg.Tick,
+		Stats:         cfg.Stats,
+		TurbineStats:  cfg.TurbineStats,
+		DisableSteal:  cfg.DisableSteal,
+		Program:       compiled.Program,
+		ProgramScript: programScript,
+		Main:          compiled.Main,
 		Setup: func(in *tcl.Interp, env *turbine.Env) error {
 			in.Out = sink
 			in.PkgPath = cfg.PkgPath

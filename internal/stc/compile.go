@@ -3,6 +3,7 @@ package stc
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/swift"
 	"repro/internal/tcl"
@@ -13,6 +14,21 @@ import (
 type Output struct {
 	Program string // prelude + generated procs
 	Main    string // seed invocation, e.g. "u:main"
+
+	scriptOnce sync.Once
+	script     *tcl.Script
+	scriptErr  error
+}
+
+// Script returns the parsed form of Program, compiled exactly once per
+// Output and shared by every rank's interpreter (and every repeated run
+// of the same compiled program). Without this, each of N ranks re-parses
+// the ~250-line prelude plus all generated procs at startup.
+func (o *Output) Script() (*tcl.Script, error) {
+	o.scriptOnce.Do(func() {
+		o.script, o.scriptErr = tcl.CompileScript(o.Program)
+	})
+	return o.script, o.scriptErr
 }
 
 // Compile parses, type-checks, and compiles Swift source to Turbine code.

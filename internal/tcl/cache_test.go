@@ -1,0 +1,347 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The compile-once caches must be invisible: cached evaluation has to
+// behave exactly like parse-per-eval did. These tests pin the invariants
+// the caches rely on — keys are source text, values are parse results
+// only, and no evaluation state leaks into a cached entry.
+
+func mustEval(t *testing.T, in *Interp, src string) string {
+	t.Helper()
+	out, err := in.Eval(src)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return out
+}
+
+func TestCachedScriptSameSourceDifferentResult(t *testing.T) {
+	// The same source text must observe current variable state on every
+	// evaluation, not the state at parse time.
+	in := New()
+	mustEval(t, in, "set x 1")
+	body := `set y [expr {$x * 10}]`
+	if got := mustEval(t, in, body); got != "10" {
+		t.Fatalf("first eval = %q, want 10", got)
+	}
+	mustEval(t, in, "set x 7")
+	if got := mustEval(t, in, body); got != "70" {
+		t.Fatalf("second eval of cached script = %q, want 70", got)
+	}
+	scripts, _ := in.CacheStats()
+	if scripts == 0 {
+		t.Fatal("script cache unexpectedly empty")
+	}
+}
+
+func TestCachedExprSameSourceDifferentResult(t *testing.T) {
+	in := New()
+	mustEval(t, in, "set i 0; set n 3")
+	cond := "$i < $n"
+	results := []bool{}
+	for k := 0; k < 5; k++ {
+		ok, err := in.EvalExprBool(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, ok)
+		mustEval(t, in, "incr i")
+	}
+	want := []bool{true, true, true, false, false}
+	for k := range want {
+		if results[k] != want[k] {
+			t.Fatalf("iteration %d: cond = %v, want %v (cached expr must re-read vars)", k, results[k], want[k])
+		}
+	}
+}
+
+func TestProcRedefinitionInvalidatesCompiledBody(t *testing.T) {
+	in := New()
+	mustEval(t, in, `proc f {} { return one }`)
+	if got := mustEval(t, in, "f"); got != "one" {
+		t.Fatalf("f = %q, want one", got)
+	}
+	// Redefine; the call site "f" is itself a cached script, so this also
+	// checks that command resolution stays late-bound.
+	mustEval(t, in, `proc f {} { return two }`)
+	if got := mustEval(t, in, "f"); got != "two" {
+		t.Fatalf("redefined f = %q, want two", got)
+	}
+	// Redefinition with a different signature.
+	mustEval(t, in, `proc f {a {b 5}} { expr {$a + $b} }`)
+	if got := mustEval(t, in, "f 2"); got != "7" {
+		t.Fatalf("resignatured f = %q, want 7", got)
+	}
+}
+
+func TestUpvarThroughCachedProcBody(t *testing.T) {
+	// One compiled body, two different caller variables: the upvar link
+	// must bind per call, not per parse.
+	in := New()
+	mustEval(t, in, `proc bump {name} {
+		upvar $name v
+		incr v 10
+	}`)
+	mustEval(t, in, "set a 1; set b 2")
+	mustEval(t, in, "bump a; bump b; bump a")
+	if got := mustEval(t, in, "set a"); got != "21" {
+		t.Fatalf("a = %q, want 21", got)
+	}
+	if got := mustEval(t, in, "set b"); got != "12" {
+		t.Fatalf("b = %q, want 12", got)
+	}
+}
+
+func TestUplevelThroughCachedBody(t *testing.T) {
+	// The uplevel'd script is cached too; it must evaluate in the
+	// caller's frame each time, whoever the caller is.
+	in := New()
+	mustEval(t, in, `proc setter {} { uplevel {set local done-[info level]} }`)
+	mustEval(t, in, `proc outer {} { setter; return $local }`)
+	if got := mustEval(t, in, "outer"); got != "done-1" {
+		t.Fatalf("outer = %q, want done-1", got)
+	}
+	// From the global frame the same cached script writes a global.
+	mustEval(t, in, "setter")
+	if got := mustEval(t, in, "set local"); got != "done-0" {
+		t.Fatalf("global local = %q, want done-0", got)
+	}
+}
+
+func TestScriptCacheBounded(t *testing.T) {
+	in := New()
+	in.scripts = newMemoCache[*Script](8)
+	for i := 0; i < 100; i++ {
+		src := fmt.Sprintf("set v%d %d", i, i)
+		if got := mustEval(t, in, src); got != fmt.Sprint(i) {
+			t.Fatalf("eval %d = %q", i, got)
+		}
+	}
+	scripts, _ := in.CacheStats()
+	if scripts > 8 {
+		t.Fatalf("script cache grew to %d entries, bound is 8", scripts)
+	}
+	// An evicted script re-parses and still evaluates correctly.
+	if got := mustEval(t, in, "set v0 0"); got != "0" {
+		t.Fatalf("re-eval of evicted script = %q", got)
+	}
+}
+
+func TestExprCacheBounded(t *testing.T) {
+	in := New()
+	in.exprs = newMemoCache[exprNode](8)
+	for i := 0; i < 100; i++ {
+		out, err := in.EvalExpr(fmt.Sprintf("%d + %d", i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != fmt.Sprint(2*i) {
+			t.Fatalf("expr %d = %q", i, out)
+		}
+	}
+	_, exprs := in.CacheStats()
+	if exprs > 8 {
+		t.Fatalf("expr cache grew to %d entries, bound is 8", exprs)
+	}
+	if out, err := in.EvalExpr("0 + 0"); err != nil || out != "0" {
+		t.Fatalf("re-eval of evicted expr = %q, %v", out, err)
+	}
+}
+
+func TestParseErrorsNotCached(t *testing.T) {
+	in := New()
+	if _, err := in.Eval("set x {unclosed"); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := in.EvalExpr("1 +"); err == nil {
+		t.Fatal("want expr parse error")
+	}
+	scripts, exprs := in.CacheStats()
+	if scripts != 0 || exprs != 0 {
+		t.Fatalf("error results were cached: scripts=%d exprs=%d", scripts, exprs)
+	}
+}
+
+func TestLiteralWordFastPathStillSubstitutes(t *testing.T) {
+	// Words with $, [, or \ must keep substituting; pure-literal words
+	// must pass through byte-identical.
+	in := New()
+	mustEval(t, in, "set who world")
+	cases := [][2]string{
+		{`set a hello`, "hello"},
+		{`set a "hello there"`, "hello there"},
+		{`set a hello-$who`, "hello-world"},
+		{`set a "len: [string length $who]"`, "len: 5"},
+		{`set a ab\tcd`, "ab\tcd"},
+		{`set a {no $subst [here]}`, "no $subst [here]"},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, in, c[0]); got != c[1] {
+			t.Fatalf("%s = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestExpandWordLiteralAndDynamic(t *testing.T) {
+	in := New()
+	mustEval(t, in, "set l {x y z}")
+	if got := mustEval(t, in, `llength [list {*}{a b c}]`); got != "3" {
+		t.Fatalf("literal expand = %q, want 3", got)
+	}
+	if got := mustEval(t, in, `llength [list {*}$l]`); got != "3" {
+		t.Fatalf("dynamic expand = %q, want 3", got)
+	}
+}
+
+func TestSharedScriptAcrossInterpreters(t *testing.T) {
+	// One compiled Script, many interpreters: per-rank state must stay
+	// per-rank (this is how the stc program is loaded on every rank).
+	s, err := CompileScript(`
+		proc greet {} { global name; return "hi $name" }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"engine", "worker"} {
+		in := New()
+		if _, err := in.EvalScript(s); err != nil {
+			t.Fatal(err)
+		}
+		mustEval(t, in, "set name "+name)
+		if got := mustEval(t, in, "greet"); got != "hi "+name {
+			t.Fatalf("greet = %q, want %q", got, "hi "+name)
+		}
+	}
+}
+
+func TestCachedLoopBodySeesMutation(t *testing.T) {
+	// The canonical hot path: a loop whose body and condition are cached
+	// after iteration one but whose state changes every iteration.
+	in := New()
+	out := mustEval(t, in, `
+		set s {}
+		for {set i 0} {$i < 4} {incr i} {
+			append s $i
+		}
+		set s`)
+	if out != "0123" {
+		t.Fatalf("loop = %q, want 0123", out)
+	}
+	// while with a bracketed command in the condition.
+	out = mustEval(t, in, `
+		set i 0
+		while {[incr i] < 5} {}
+		set i`)
+	if out != "5" {
+		t.Fatalf("while = %q, want 5", out)
+	}
+}
+
+func TestCatchThroughCachedScripts(t *testing.T) {
+	in := New()
+	// catch evaluates its script argument repeatedly with different
+	// outcomes; the cached parse must not freeze the first outcome.
+	mustEval(t, in, "set n 0")
+	script := `catch {expr {10 / $n}} msg`
+	if got := mustEval(t, in, script); got != "1" {
+		t.Fatalf("catch #1 = %q, want 1 (divide by zero)", got)
+	}
+	mustEval(t, in, "set n 2")
+	if got := mustEval(t, in, script); got != "0" {
+		t.Fatalf("catch #2 = %q, want 0", got)
+	}
+	if got := mustEval(t, in, "set msg"); got != "5" {
+		t.Fatalf("msg = %q, want 5", got)
+	}
+}
+
+func TestProcCallDoesNotReparseBody(t *testing.T) {
+	in := New()
+	mustEval(t, in, `proc p {} { return ok }`)
+	if got := mustEval(t, in, "p"); got != "ok" {
+		t.Fatal("first call failed")
+	}
+	def := in.procs["p"]
+	if def == nil || def.compiled == nil {
+		t.Fatal("proc body was not compiled on first call")
+	}
+	first := def.compiled
+	mustEval(t, in, "p")
+	if def.compiled != first {
+		t.Fatal("proc body recompiled on second call")
+	}
+}
+
+func TestMemoCacheFIFOEviction(t *testing.T) {
+	c := newMemoCache[int](3)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	// Oldest two evicted, newest three resident.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if v, ok := c.get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("k%d missing after eviction", i)
+		}
+	}
+}
+
+func TestExprQuotedInterpolationKeepsRawText(t *testing.T) {
+	// Values interpolated into quoted strings must not be numerically
+	// normalized: zero padding, trailing zeros, and hex spelling survive.
+	in := New()
+	mustEval(t, in, "set x 007; set y 1.50; set h 0x10")
+	for _, c := range [][2]string{
+		{`"$x" eq "007"`, "1"},
+		{`"val=$y"`, "val=1.50"},
+		{`"$h"`, "0x10"},
+		{`"$x$y"`, "0071.50"},
+		// Bare $var operands still classify numerically, as before.
+		{`$x + 1`, "8"},
+		{`$x == 7`, "1"},
+	} {
+		out, err := in.EvalExpr(c[0])
+		if err != nil {
+			t.Fatalf("EvalExpr(%q): %v", c[0], err)
+		}
+		if out != c[1] {
+			t.Fatalf("EvalExpr(%q) = %q, want %q", c[0], out, c[1])
+		}
+	}
+}
+
+func TestExprErrorMessagesUnchanged(t *testing.T) {
+	// Error shapes the rest of the system matches on (and that the old
+	// evaluate-while-parsing expr produced) must survive the AST rewrite.
+	in := New()
+	for _, c := range []struct{ src, want string }{
+		{"1 +", "unexpected end of expression"},
+		{"1 / 0", "divide by zero"},
+		{"1 2", "trailing garbage"},
+		{`"abc`, "missing close-quote"},
+		{"nosuchfn(1)", `unknown function "nosuchfn"`},
+		{"$", "bad $ reference"},
+	} {
+		_, err := in.EvalExpr(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("EvalExpr(%q) err = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+	// Eager (non-short-circuit) operand evaluation is preserved: the
+	// right side of || is evaluated even when the left is true.
+	if _, err := in.EvalExpr("1 || $undefined_var"); err == nil {
+		t.Fatal("want error from eager right-operand evaluation")
+	}
+}

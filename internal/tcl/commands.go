@@ -266,19 +266,48 @@ func cmdIf(in *Interp, args []string) (string, error) {
 	}
 }
 
+// loopBody lazily compiles a loop body: the parse happens at most once
+// per loop execution (not per iteration), and not at all when the loop
+// runs zero iterations — preserving the pre-cache behavior that a body's
+// syntax errors only surface when the body is first evaluated.
+type loopBody struct {
+	src      string
+	compiled *Script
+}
+
+func (lb *loopBody) run(in *Interp) (string, error) {
+	if lb.compiled == nil {
+		s, err := in.compile(lb.src)
+		if err != nil {
+			return "", err
+		}
+		lb.compiled = s
+	}
+	return in.EvalScript(lb.compiled)
+}
+
 func cmdWhile(in *Interp, args []string) (string, error) {
 	if len(args) != 3 {
 		return "", arityErr("while", "test command")
 	}
+	cond, err := in.compileExpr(args[1])
+	if err != nil {
+		return "", err
+	}
+	body := &loopBody{src: args[2]}
 	for {
-		ok, err := in.EvalExprBool(args[1])
+		v, err := cond.eval(in)
+		if err != nil {
+			return "", err
+		}
+		ok, err := v.truthy()
 		if err != nil {
 			return "", err
 		}
 		if !ok {
 			return "", nil
 		}
-		_, err = in.Eval(args[2])
+		_, err = body.run(in)
 		if err == errBreak {
 			return "", nil
 		}
@@ -298,22 +327,32 @@ func cmdFor(in *Interp, args []string) (string, error) {
 	if _, err := in.Eval(args[1]); err != nil {
 		return "", err
 	}
+	cond, err := in.compileExpr(args[2])
+	if err != nil {
+		return "", err
+	}
+	next := &loopBody{src: args[3]}
+	body := &loopBody{src: args[4]}
 	for {
-		ok, err := in.EvalExprBool(args[2])
+		v, err := cond.eval(in)
+		if err != nil {
+			return "", err
+		}
+		ok, err := v.truthy()
 		if err != nil {
 			return "", err
 		}
 		if !ok {
 			return "", nil
 		}
-		_, err = in.Eval(args[4])
+		_, err = body.run(in)
 		if err == errBreak {
 			return "", nil
 		}
 		if err != nil && err != errContinue {
 			return "", err
 		}
-		if _, err := in.Eval(args[3]); err != nil {
+		if _, err := next.run(in); err != nil {
 			return "", err
 		}
 	}
@@ -323,7 +362,7 @@ func cmdForeach(in *Interp, args []string) (string, error) {
 	if len(args) < 4 || len(args)%2 != 0 {
 		return "", arityErr("foreach", "varList list ?varList list ...? command")
 	}
-	body := args[len(args)-1]
+	body := &loopBody{src: args[len(args)-1]}
 	type group struct {
 		vars  []string
 		items []string
@@ -361,7 +400,7 @@ func cmdForeach(in *Interp, args []string) (string, error) {
 				}
 			}
 		}
-		_, err := in.Eval(body)
+		_, err := body.run(in)
 		if err == errBreak {
 			return "", nil
 		}
@@ -434,6 +473,11 @@ func cmdExpr(in *Interp, args []string) (string, error) {
 	if len(args) < 2 {
 		return "", arityErr("expr", "arg ?arg ...?")
 	}
+	// The common compiled shape `expr {...}` arrives as one word; use it
+	// as the cache key directly instead of joining a fresh string.
+	if len(args) == 2 {
+		return in.EvalExpr(args[1])
+	}
 	return in.EvalExpr(strings.Join(args[1:], " "))
 }
 
@@ -474,6 +518,12 @@ func cmdUplevel(in *Interp, args []string) (string, error) {
 	saved := in.stack
 	in.stack = in.stack[:target+1]
 	defer func() { in.stack = saved }()
+	// Single-argument uplevel (the compiled-code shape) evaluates the
+	// script directly, so repeated uplevels of one body share a cached
+	// parse instead of joining a new string each call.
+	if len(rest) == 1 {
+		return in.Eval(rest[0])
+	}
 	return in.Eval(strings.Join(rest, " "))
 }
 
@@ -591,6 +641,9 @@ func cmdNamespace(in *Interp, args []string) (string, error) {
 		}
 		in.ns = ns
 		defer func() { in.ns = saved }()
+		if len(args) == 4 {
+			return in.Eval(args[3])
+		}
 		return in.Eval(strings.Join(args[3:], " "))
 	case "current":
 		if in.ns == "" {

@@ -11,6 +11,12 @@ import (
 // operators over integers, floats, and strings, with $var and [cmd]
 // substitution performed by the evaluator itself (so braced expressions
 // work as in real Tcl).
+//
+// Expressions are compiled once to an AST and memoized by source text
+// (see script.go), so a `while {$i < $n}` condition is lexed exactly
+// once no matter how many iterations run. Only syntax lives in the AST;
+// variable and command substitution happen at evaluation time, against
+// the evaluating interpreter's current state.
 
 // number is the operand type: an int64, float64, or string.
 type operand struct {
@@ -97,38 +103,316 @@ func parseNumber(s string) (operand, bool) {
 	return operand{}, false
 }
 
-type exprParser struct {
-	in  *Interp
-	src string
-	pos int
+// ---- AST ----
+
+// exprNode is one node of a compiled expression. Nodes are immutable
+// after parsing; eval reads interpreter state but never writes the node.
+type exprNode interface {
+	eval(in *Interp) (operand, error)
 }
 
-// EvalExpr evaluates a Tcl expression string.
+// litNode is a constant classified at parse time.
+type litNode struct{ v operand }
+
+func (n *litNode) eval(*Interp) (operand, error) { return n.v, nil }
+
+// varNode is a $name, ${name}, or $name(index) reference; the raw source
+// text is kept so array indices substitute at evaluation time.
+type varNode struct{ raw string }
+
+func (n *varNode) eval(in *Interp) (operand, error) {
+	val, w, err := in.substVariable(n.raw)
+	if err != nil {
+		return operand{}, err
+	}
+	if w == 0 {
+		return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
+	}
+	if num, ok := parseNumber(val); ok {
+		return num, nil
+	}
+	return strOp(val), nil
+}
+
+// rawVarNode is a variable reference inside a quoted string: the value
+// interpolates as raw text, with no numeric classification, so
+// `"$x" eq "007"` with x=007 compares the original characters.
+type rawVarNode struct{ raw string }
+
+func (n *rawVarNode) eval(in *Interp) (operand, error) {
+	val, w, err := in.substVariable(n.raw)
+	if err != nil {
+		return operand{}, err
+	}
+	if w == 0 {
+		return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
+	}
+	return strOp(val), nil
+}
+
+// cmdNode is a [script] substitution; the script itself hits the
+// interpreter's script cache, so a bracketed call inside a hot condition
+// is also parse-free in steady state.
+type cmdNode struct{ script string }
+
+func (n *cmdNode) eval(in *Interp) (operand, error) {
+	res, err := in.Eval(n.script)
+	if err != nil {
+		return operand{}, err
+	}
+	if num, ok := parseNumber(res); ok {
+		return num, nil
+	}
+	return strOp(res), nil
+}
+
+// strNode is a double-quoted string: literal fragments interleaved with
+// variable references. (As before, [cmd] is not substituted inside
+// quoted expression strings.)
+type strNode struct{ parts []exprNode }
+
+func (n *strNode) eval(in *Interp) (operand, error) {
+	var b strings.Builder
+	for _, p := range n.parts {
+		v, err := p.eval(in)
+		if err != nil {
+			return operand{}, err
+		}
+		b.WriteString(v.String())
+	}
+	return strOp(b.String()), nil
+}
+
+// unaryNode applies !, ~, or unary -.
+type unaryNode struct {
+	op byte
+	x  exprNode
+}
+
+func (n *unaryNode) eval(in *Interp) (operand, error) {
+	v, err := n.x.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	switch n.op {
+	case '!':
+		b, err := v.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		return boolOp(!b), nil
+	case '~':
+		num, ok := asInt(v)
+		if !ok {
+			return operand{}, fmt.Errorf("tcl: expr: ~ needs integer operand")
+		}
+		return intOp(^num), nil
+	case '-':
+		if num, ok := asInt(v); ok {
+			return intOp(-num), nil
+		}
+		if v.isFloat {
+			return floatOp(-v.f), nil
+		}
+		if nv, ok := parseNumber(v.s); ok {
+			if nv.isInt {
+				return intOp(-nv.i), nil
+			}
+			return floatOp(-nv.f), nil
+		}
+		return operand{}, fmt.Errorf("tcl: expr: unary - needs numeric operand, got %q", v.String())
+	}
+	return operand{}, fmt.Errorf("tcl: expr: unknown unary operator %q", string(n.op))
+}
+
+// binNode applies a binary operator. Both operands are evaluated before
+// the operator is applied — including for && and ||, matching the
+// pre-AST evaluator (no short circuit), so cached and uncached
+// evaluation raise identical errors.
+type binNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n *binNode) eval(in *Interp) (operand, error) {
+	l, err := n.l.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	r, err := n.r.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	switch n.op {
+	case "||", "&&":
+		lb, err := l.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		rb, err := r.truthy()
+		if err != nil {
+			return operand{}, err
+		}
+		if n.op == "||" {
+			return boolOp(lb || rb), nil
+		}
+		return boolOp(lb && rb), nil
+	case "|", "^", "&", "<<", ">>":
+		li, ri, err := bothInts(l, r, n.op)
+		if err != nil {
+			return operand{}, err
+		}
+		switch n.op {
+		case "|":
+			return intOp(li | ri), nil
+		case "^":
+			return intOp(li ^ ri), nil
+		case "&":
+			return intOp(li & ri), nil
+		case "<<":
+			return intOp(li << uint(ri)), nil
+		default:
+			return intOp(li >> uint(ri)), nil
+		}
+	case "==":
+		return boolOp(compareOps(l, r) == 0), nil
+	case "!=":
+		return boolOp(compareOps(l, r) != 0), nil
+	case "<":
+		return boolOp(compareOps(l, r) < 0), nil
+	case "<=":
+		return boolOp(compareOps(l, r) <= 0), nil
+	case ">":
+		return boolOp(compareOps(l, r) > 0), nil
+	case ">=":
+		return boolOp(compareOps(l, r) >= 0), nil
+	case "eq":
+		return boolOp(l.String() == r.String()), nil
+	case "ne":
+		return boolOp(l.String() != r.String()), nil
+	case "in":
+		elems, err := ParseList(r.String())
+		if err != nil {
+			return operand{}, err
+		}
+		ls := l.String()
+		for _, e := range elems {
+			if e == ls {
+				return boolOp(true), nil
+			}
+		}
+		return boolOp(false), nil
+	default:
+		return arith(l, r, n.op)
+	}
+}
+
+// ternNode evaluates cond, then both branches, then selects — the same
+// eager order as the pre-AST evaluator.
+type ternNode struct{ cond, t, f exprNode }
+
+func (n *ternNode) eval(in *Interp) (operand, error) {
+	cond, err := n.cond.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	t, err := n.t.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	f, err := n.f.eval(in)
+	if err != nil {
+		return operand{}, err
+	}
+	b, err := cond.truthy()
+	if err != nil {
+		return operand{}, err
+	}
+	if b {
+		return t, nil
+	}
+	return f, nil
+}
+
+// funcNode is a math-function call; arguments evaluate left to right.
+type funcNode struct {
+	name string
+	args []exprNode
+}
+
+func (n *funcNode) eval(in *Interp) (operand, error) {
+	args := make([]operand, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(in)
+		if err != nil {
+			return operand{}, err
+		}
+		args[i] = v
+	}
+	return applyExprFunc(n.name, args)
+}
+
+func boolOp(b bool) operand {
+	if b {
+		return intOp(1)
+	}
+	return intOp(0)
+}
+
+// ---- public API ----
+
+// EvalExpr evaluates a Tcl expression string, compiling it on first use
+// and reusing the cached AST afterwards.
 func (in *Interp) EvalExpr(src string) (string, error) {
-	p := &exprParser{in: in, src: src}
-	v, err := p.parseTernary()
+	n, err := in.compileExpr(src)
 	if err != nil {
 		return "", err
 	}
-	p.skipSpace()
-	if p.pos < len(p.src) {
-		return "", fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+	v, err := n.eval(in)
+	if err != nil {
+		return "", err
 	}
 	return v.String(), nil
 }
 
 // EvalExprBool evaluates an expression as a condition.
 func (in *Interp) EvalExprBool(src string) (bool, error) {
-	p := &exprParser{in: in, src: src}
-	v, err := p.parseTernary()
+	n, err := in.compileExpr(src)
 	if err != nil {
 		return false, err
 	}
-	p.skipSpace()
-	if p.pos < len(p.src) {
-		return false, fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+	v, err := n.eval(in)
+	if err != nil {
+		return false, err
 	}
 	return v.truthy()
+}
+
+// compileExpr returns the memoized AST for src, parsing on a miss.
+func (in *Interp) compileExpr(src string) (exprNode, error) {
+	if n, ok := in.exprs.get(src); ok {
+		return n, nil
+	}
+	p := &exprParser{src: src}
+	n, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+	}
+	in.exprs.put(src, n)
+	return n, nil
+}
+
+// ---- parser ----
+
+// exprParser builds an AST from expression source. It never touches
+// interpreter state, so one parse serves every later evaluation.
+type exprParser struct {
+	src string
+	pos int
 }
 
 func (p *exprParser) skipSpace() {
@@ -174,199 +458,6 @@ func (p *exprParser) acceptOp(tok string, longer ...string) bool {
 	return true
 }
 
-func (p *exprParser) parseTernary() (operand, error) {
-	cond, err := p.parseOr()
-	if err != nil {
-		return operand{}, err
-	}
-	if !p.accept("?") {
-		return cond, nil
-	}
-	t, err := p.parseTernary()
-	if err != nil {
-		return operand{}, err
-	}
-	if !p.accept(":") {
-		return operand{}, fmt.Errorf("tcl: expr: missing ':' in ternary")
-	}
-	f, err := p.parseTernary()
-	if err != nil {
-		return operand{}, err
-	}
-	b, err := cond.truthy()
-	if err != nil {
-		return operand{}, err
-	}
-	if b {
-		return t, nil
-	}
-	return f, nil
-}
-
-func (p *exprParser) parseOr() (operand, error) {
-	l, err := p.parseAnd()
-	if err != nil {
-		return operand{}, err
-	}
-	for p.accept("||") {
-		r, err := p.parseAnd()
-		if err != nil {
-			return operand{}, err
-		}
-		lb, err := l.truthy()
-		if err != nil {
-			return operand{}, err
-		}
-		rb, err := r.truthy()
-		if err != nil {
-			return operand{}, err
-		}
-		l = boolOp(lb || rb)
-	}
-	return l, nil
-}
-
-func boolOp(b bool) operand {
-	if b {
-		return intOp(1)
-	}
-	return intOp(0)
-}
-
-func (p *exprParser) parseAnd() (operand, error) {
-	l, err := p.parseBitOr()
-	if err != nil {
-		return operand{}, err
-	}
-	for p.accept("&&") {
-		r, err := p.parseBitOr()
-		if err != nil {
-			return operand{}, err
-		}
-		lb, err := l.truthy()
-		if err != nil {
-			return operand{}, err
-		}
-		rb, err := r.truthy()
-		if err != nil {
-			return operand{}, err
-		}
-		l = boolOp(lb && rb)
-	}
-	return l, nil
-}
-
-func (p *exprParser) parseBitOr() (operand, error) {
-	l, err := p.parseBitXor()
-	if err != nil {
-		return operand{}, err
-	}
-	for p.acceptOp("|", "||") {
-		r, err := p.parseBitXor()
-		if err != nil {
-			return operand{}, err
-		}
-		li, ri, err := bothInts(l, r, "|")
-		if err != nil {
-			return operand{}, err
-		}
-		l = intOp(li | ri)
-	}
-	return l, nil
-}
-
-func (p *exprParser) parseBitXor() (operand, error) {
-	l, err := p.parseBitAnd()
-	if err != nil {
-		return operand{}, err
-	}
-	for p.acceptOp("^") {
-		r, err := p.parseBitAnd()
-		if err != nil {
-			return operand{}, err
-		}
-		li, ri, err := bothInts(l, r, "^")
-		if err != nil {
-			return operand{}, err
-		}
-		l = intOp(li ^ ri)
-	}
-	return l, nil
-}
-
-func (p *exprParser) parseBitAnd() (operand, error) {
-	l, err := p.parseEquality()
-	if err != nil {
-		return operand{}, err
-	}
-	for p.acceptOp("&", "&&") {
-		r, err := p.parseEquality()
-		if err != nil {
-			return operand{}, err
-		}
-		li, ri, err := bothInts(l, r, "&")
-		if err != nil {
-			return operand{}, err
-		}
-		l = intOp(li & ri)
-	}
-	return l, nil
-}
-
-func (p *exprParser) parseEquality() (operand, error) {
-	l, err := p.parseRelational()
-	if err != nil {
-		return operand{}, err
-	}
-	for {
-		switch {
-		case p.accept("=="):
-			r, err := p.parseRelational()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) == 0)
-		case p.accept("!="):
-			r, err := p.parseRelational()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) != 0)
-		case p.acceptWord("eq"):
-			r, err := p.parseRelational()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(l.String() == r.String())
-		case p.acceptWord("ne"):
-			r, err := p.parseRelational()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(l.String() != r.String())
-		case p.acceptWord("in"):
-			r, err := p.parseRelational()
-			if err != nil {
-				return operand{}, err
-			}
-			elems, err := ParseList(r.String())
-			if err != nil {
-				return operand{}, err
-			}
-			found := false
-			for _, e := range elems {
-				if e == l.String() {
-					found = true
-					break
-				}
-			}
-			l = boolOp(found)
-		default:
-			return l, nil
-		}
-	}
-}
-
 // acceptWord accepts an identifier-like operator (eq, ne, in) only when
 // followed by a non-identifier character.
 func (p *exprParser) acceptWord(tok string) bool {
@@ -385,207 +476,207 @@ func (p *exprParser) acceptWord(tok string) bool {
 	return true
 }
 
-func (p *exprParser) parseRelational() (operand, error) {
-	l, err := p.parseShift()
+func (p *exprParser) parseTernary() (exprNode, error) {
+	cond, err := p.parseOr()
 	if err != nil {
-		return operand{}, err
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	t, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(":") {
+		return nil, fmt.Errorf("tcl: expr: missing ':' in ternary")
+	}
+	f, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &ternNode{cond: cond, t: t, f: f}, nil
+}
+
+// parseBinaryChain folds a left-associative chain of operators at one
+// precedence level into nested binNodes.
+func (p *exprParser) parseBinaryChain(next func() (exprNode, error), match func() (string, bool)) (exprNode, error) {
+	l, err := next()
+	if err != nil {
+		return nil, err
 	}
 	for {
+		op, ok := match()
+		if !ok {
+			return l, nil
+		}
+		r, err := next()
+		if err != nil {
+			return nil, err
+		}
+		l = &binNode{op: op, l: l, r: r}
+	}
+}
+
+func (p *exprParser) parseOr() (exprNode, error) {
+	return p.parseBinaryChain(p.parseAnd, func() (string, bool) {
+		if p.accept("||") {
+			return "||", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseAnd() (exprNode, error) {
+	return p.parseBinaryChain(p.parseBitOr, func() (string, bool) {
+		if p.accept("&&") {
+			return "&&", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseBitOr() (exprNode, error) {
+	return p.parseBinaryChain(p.parseBitXor, func() (string, bool) {
+		if p.acceptOp("|", "||") {
+			return "|", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseBitXor() (exprNode, error) {
+	return p.parseBinaryChain(p.parseBitAnd, func() (string, bool) {
+		if p.acceptOp("^") {
+			return "^", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseBitAnd() (exprNode, error) {
+	return p.parseBinaryChain(p.parseEquality, func() (string, bool) {
+		if p.acceptOp("&", "&&") {
+			return "&", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseEquality() (exprNode, error) {
+	return p.parseBinaryChain(p.parseRelational, func() (string, bool) {
+		switch {
+		case p.accept("=="):
+			return "==", true
+		case p.accept("!="):
+			return "!=", true
+		case p.acceptWord("eq"):
+			return "eq", true
+		case p.acceptWord("ne"):
+			return "ne", true
+		case p.acceptWord("in"):
+			return "in", true
+		}
+		return "", false
+	})
+}
+
+func (p *exprParser) parseRelational() (exprNode, error) {
+	return p.parseBinaryChain(p.parseShift, func() (string, bool) {
 		switch {
 		case p.accept("<="):
-			r, err := p.parseShift()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) <= 0)
+			return "<=", true
 		case p.accept(">="):
-			r, err := p.parseShift()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) >= 0)
+			return ">=", true
 		case p.acceptOp("<", "<<", "<="):
-			r, err := p.parseShift()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) < 0)
+			return "<", true
 		case p.acceptOp(">", ">>", ">="):
-			r, err := p.parseShift()
-			if err != nil {
-				return operand{}, err
-			}
-			l = boolOp(compareOps(l, r) > 0)
-		default:
-			return l, nil
+			return ">", true
 		}
-	}
+		return "", false
+	})
 }
 
-func (p *exprParser) parseShift() (operand, error) {
-	l, err := p.parseAdditive()
-	if err != nil {
-		return operand{}, err
-	}
-	for {
+func (p *exprParser) parseShift() (exprNode, error) {
+	return p.parseBinaryChain(p.parseAdditive, func() (string, bool) {
 		switch {
 		case p.accept("<<"):
-			r, err := p.parseAdditive()
-			if err != nil {
-				return operand{}, err
-			}
-			li, ri, err := bothInts(l, r, "<<")
-			if err != nil {
-				return operand{}, err
-			}
-			l = intOp(li << uint(ri))
+			return "<<", true
 		case p.accept(">>"):
-			r, err := p.parseAdditive()
-			if err != nil {
-				return operand{}, err
-			}
-			li, ri, err := bothInts(l, r, ">>")
-			if err != nil {
-				return operand{}, err
-			}
-			l = intOp(li >> uint(ri))
-		default:
-			return l, nil
+			return ">>", true
 		}
-	}
+		return "", false
+	})
 }
 
-func (p *exprParser) parseAdditive() (operand, error) {
-	l, err := p.parseMultiplicative()
-	if err != nil {
-		return operand{}, err
-	}
-	for {
+func (p *exprParser) parseAdditive() (exprNode, error) {
+	return p.parseBinaryChain(p.parseMultiplicative, func() (string, bool) {
 		switch {
 		case p.accept("+"):
-			r, err := p.parseMultiplicative()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "+")
-			if err != nil {
-				return operand{}, err
-			}
+			return "+", true
 		case p.accept("-"):
-			r, err := p.parseMultiplicative()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "-")
-			if err != nil {
-				return operand{}, err
-			}
-		default:
-			return l, nil
+			return "-", true
 		}
-	}
+		return "", false
+	})
 }
 
-func (p *exprParser) parseMultiplicative() (operand, error) {
-	l, err := p.parseUnary()
-	if err != nil {
-		return operand{}, err
-	}
-	for {
+func (p *exprParser) parseMultiplicative() (exprNode, error) {
+	return p.parseBinaryChain(p.parseUnary, func() (string, bool) {
 		switch {
 		case p.acceptOp("**"):
-			r, err := p.parseUnary()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "**")
-			if err != nil {
-				return operand{}, err
-			}
+			return "**", true
 		case p.acceptOp("*", "**"):
-			r, err := p.parseUnary()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "*")
-			if err != nil {
-				return operand{}, err
-			}
+			return "*", true
 		case p.accept("/"):
-			r, err := p.parseUnary()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "/")
-			if err != nil {
-				return operand{}, err
-			}
+			return "/", true
 		case p.accept("%"):
-			r, err := p.parseUnary()
-			if err != nil {
-				return operand{}, err
-			}
-			l, err = arith(l, r, "%")
-			if err != nil {
-				return operand{}, err
-			}
-		default:
-			return l, nil
+			return "%", true
 		}
-	}
+		return "", false
+	})
 }
 
-func (p *exprParser) parseUnary() (operand, error) {
+func (p *exprParser) parseUnary() (exprNode, error) {
 	p.skipSpace()
 	switch {
 	case p.accept("!"):
-		v, err := p.parseUnary()
+		x, err := p.parseUnary()
 		if err != nil {
-			return operand{}, err
+			return nil, err
 		}
-		b, err := v.truthy()
-		if err != nil {
-			return operand{}, err
-		}
-		return boolOp(!b), nil
+		return &unaryNode{op: '!', x: x}, nil
 	case p.accept("~"):
-		v, err := p.parseUnary()
+		x, err := p.parseUnary()
 		if err != nil {
-			return operand{}, err
+			return nil, err
 		}
-		n, ok := asInt(v)
-		if !ok {
-			return operand{}, fmt.Errorf("tcl: expr: ~ needs integer operand")
-		}
-		return intOp(^n), nil
+		return &unaryNode{op: '~', x: x}, nil
 	case p.accept("-"):
-		v, err := p.parseUnary()
+		x, err := p.parseUnary()
 		if err != nil {
-			return operand{}, err
+			return nil, err
 		}
-		if n, ok := asInt(v); ok {
-			return intOp(-n), nil
-		}
-		if v.isFloat {
-			return floatOp(-v.f), nil
-		}
-		if nv, ok := parseNumber(v.s); ok {
-			if nv.isInt {
-				return intOp(-nv.i), nil
+		// Fold a negated literal so -1 compiles to a constant.
+		if lit, ok := x.(*litNode); ok {
+			if lit.v.isInt {
+				return &litNode{v: intOp(-lit.v.i)}, nil
 			}
-			return floatOp(-nv.f), nil
+			if lit.v.isFloat {
+				return &litNode{v: floatOp(-lit.v.f)}, nil
+			}
 		}
-		return operand{}, fmt.Errorf("tcl: expr: unary - needs numeric operand, got %q", v.String())
+		return &unaryNode{op: '-', x: x}, nil
 	case p.accept("+"):
 		return p.parseUnary()
 	}
 	return p.parsePrimary()
 }
 
-func (p *exprParser) parsePrimary() (operand, error) {
+func (p *exprParser) parsePrimary() (exprNode, error) {
 	p.skipSpace()
 	if p.pos >= len(p.src) {
-		return operand{}, fmt.Errorf("tcl: expr: unexpected end of expression")
+		return nil, fmt.Errorf("tcl: expr: unexpected end of expression")
 	}
 	c := p.src[p.pos]
 	switch {
@@ -593,25 +684,23 @@ func (p *exprParser) parsePrimary() (operand, error) {
 		p.pos++
 		v, err := p.parseTernary()
 		if err != nil {
-			return operand{}, err
+			return nil, err
 		}
 		if !p.accept(")") {
-			return operand{}, fmt.Errorf("tcl: expr: missing )")
+			return nil, fmt.Errorf("tcl: expr: missing )")
 		}
 		return v, nil
 	case c == '$':
-		val, w, err := p.in.substVariable(p.src[p.pos:])
+		w, err := scanVarRef(p.src[p.pos:])
 		if err != nil {
-			return operand{}, err
+			return nil, err
 		}
 		if w == 0 {
-			return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
+			return nil, fmt.Errorf("tcl: expr: bad $ reference")
 		}
+		n := &varNode{raw: p.src[p.pos : p.pos+w]}
 		p.pos += w
-		if n, ok := parseNumber(val); ok {
-			return n, nil
-		}
-		return strOp(val), nil
+		return n, nil
 	case c == '[':
 		d := 1
 		j := p.pos + 1
@@ -627,46 +716,13 @@ func (p *exprParser) parsePrimary() (operand, error) {
 			j++
 		}
 		if d != 0 {
-			return operand{}, fmt.Errorf("tcl: expr: missing close-bracket")
+			return nil, fmt.Errorf("tcl: expr: missing close-bracket")
 		}
-		res, err := p.in.Eval(p.src[p.pos+1 : j-1])
-		if err != nil {
-			return operand{}, err
-		}
+		n := &cmdNode{script: p.src[p.pos+1 : j-1]}
 		p.pos = j
-		if n, ok := parseNumber(res); ok {
-			return n, nil
-		}
-		return strOp(res), nil
+		return n, nil
 	case c == '"':
-		j := p.pos + 1
-		var b strings.Builder
-		for j < len(p.src) && p.src[j] != '"' {
-			if p.src[j] == '\\' && j+1 < len(p.src) {
-				s, w := backslashSubst(p.src[j:])
-				b.WriteString(s)
-				j += w
-				continue
-			}
-			if p.src[j] == '$' {
-				val, w, err := p.in.substVariable(p.src[j:])
-				if err != nil {
-					return operand{}, err
-				}
-				if w > 0 {
-					b.WriteString(val)
-					j += w
-					continue
-				}
-			}
-			b.WriteByte(p.src[j])
-			j++
-		}
-		if j >= len(p.src) {
-			return operand{}, fmt.Errorf("tcl: expr: missing close-quote")
-		}
-		p.pos = j + 1
-		return strOp(b.String()), nil
+		return p.parseQuoted()
 	case c == '{':
 		d := 1
 		j := p.pos + 1
@@ -680,14 +736,14 @@ func (p *exprParser) parsePrimary() (operand, error) {
 			j++
 		}
 		if d != 0 {
-			return operand{}, fmt.Errorf("tcl: expr: missing close-brace")
+			return nil, fmt.Errorf("tcl: expr: missing close-brace")
 		}
 		s := p.src[p.pos+1 : j-1]
 		p.pos = j
 		if n, ok := parseNumber(s); ok {
-			return n, nil
+			return &litNode{v: n}, nil
 		}
-		return strOp(s), nil
+		return &litNode{v: strOp(s)}, nil
 	case c >= '0' && c <= '9' || c == '.':
 		return p.parseNumberToken()
 	default:
@@ -697,7 +753,7 @@ func (p *exprParser) parsePrimary() (operand, error) {
 			j++
 		}
 		if j == p.pos {
-			return operand{}, fmt.Errorf("tcl: expr: unexpected character %q", c)
+			return nil, fmt.Errorf("tcl: expr: unexpected character %q", c)
 		}
 		name := p.src[p.pos:j]
 		p.pos = j
@@ -707,19 +763,113 @@ func (p *exprParser) parsePrimary() (operand, error) {
 		}
 		switch strings.ToLower(name) {
 		case "true", "yes", "on":
-			return intOp(1), nil
+			return &litNode{v: intOp(1)}, nil
 		case "false", "no", "off":
-			return intOp(0), nil
+			return &litNode{v: intOp(0)}, nil
 		case "inf":
-			return floatOp(math.Inf(1)), nil
+			return &litNode{v: floatOp(math.Inf(1))}, nil
 		case "nan":
-			return floatOp(math.NaN()), nil
+			return &litNode{v: floatOp(math.NaN())}, nil
 		}
-		return strOp(name), nil
+		return &litNode{v: strOp(name)}, nil
 	}
 }
 
-func (p *exprParser) parseNumberToken() (operand, error) {
+// parseQuoted compiles a double-quoted string into literal and variable
+// parts. Backslash escapes are resolved at parse time (they are pure
+// syntax); variable values are read at evaluation time.
+func (p *exprParser) parseQuoted() (exprNode, error) {
+	j := p.pos + 1
+	var parts []exprNode
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, &litNode{v: strOp(lit.String())})
+			lit.Reset()
+		}
+	}
+	for j < len(p.src) && p.src[j] != '"' {
+		if p.src[j] == '\\' && j+1 < len(p.src) {
+			s, w := backslashSubst(p.src[j:])
+			lit.WriteString(s)
+			j += w
+			continue
+		}
+		if p.src[j] == '$' {
+			w, err := scanVarRef(p.src[j:])
+			if err != nil {
+				return nil, err
+			}
+			if w > 0 {
+				flush()
+				parts = append(parts, &rawVarNode{raw: p.src[j : j+w]})
+				j += w
+				continue
+			}
+		}
+		lit.WriteByte(p.src[j])
+		j++
+	}
+	if j >= len(p.src) {
+		return nil, fmt.Errorf("tcl: expr: missing close-quote")
+	}
+	p.pos = j + 1
+	flush()
+	switch len(parts) {
+	case 0:
+		return &litNode{v: strOp("")}, nil
+	case 1:
+		if lit, ok := parts[0].(*litNode); ok {
+			return lit, nil
+		}
+	}
+	return &strNode{parts: parts}, nil
+}
+
+// scanVarRef returns the byte length of the $-reference at the start of
+// s (0 if s does not begin one), using the same grammar substVariable
+// resolves at evaluation time, without touching variables.
+func scanVarRef(s string) (int, error) {
+	if len(s) < 2 || s[0] != '$' {
+		return 0, nil
+	}
+	if s[1] == '{' {
+		j := strings.IndexByte(s, '}')
+		if j < 0 {
+			return 0, fmt.Errorf("tcl: missing close-brace for variable name")
+		}
+		return j + 1, nil
+	}
+	j := 1
+	for j < len(s) && isVarNameChar(s[j]) {
+		j++
+	}
+	if j == 1 {
+		return 0, nil
+	}
+	if j < len(s) && s[j] == '(' {
+		depth := 1
+		k := j + 1
+		for k < len(s) && depth > 0 {
+			switch s[k] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case '\\':
+				k++
+			}
+			k++
+		}
+		if depth != 0 {
+			return 0, fmt.Errorf("tcl: missing close-paren in array reference")
+		}
+		return k, nil
+	}
+	return j, nil
+}
+
+func (p *exprParser) parseNumberToken() (exprNode, error) {
 	j := p.pos
 	n := len(p.src)
 	// Hex?
@@ -730,10 +880,10 @@ func (p *exprParser) parseNumberToken() (operand, error) {
 		}
 		v, err := strconv.ParseInt(p.src[j:k], 0, 64)
 		if err != nil {
-			return operand{}, fmt.Errorf("tcl: expr: bad hex literal %q", p.src[j:k])
+			return nil, fmt.Errorf("tcl: expr: bad hex literal %q", p.src[j:k])
 		}
 		p.pos = k
-		return intOp(v), nil
+		return &litNode{v: intOp(v)}, nil
 	}
 	k := j
 	isFloat := false
@@ -759,28 +909,28 @@ func (p *exprParser) parseNumberToken() (operand, error) {
 	if isFloat {
 		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return operand{}, fmt.Errorf("tcl: expr: bad float literal %q", tok)
+			return nil, fmt.Errorf("tcl: expr: bad float literal %q", tok)
 		}
-		return floatOp(v), nil
+		return &litNode{v: floatOp(v)}, nil
 	}
 	v, err := strconv.ParseInt(tok, 10, 64)
 	if err != nil {
-		return operand{}, fmt.Errorf("tcl: expr: bad int literal %q", tok)
+		return nil, fmt.Errorf("tcl: expr: bad int literal %q", tok)
 	}
-	return intOp(v), nil
+	return &litNode{v: intOp(v)}, nil
 }
 
-func (p *exprParser) parseFunc(name string) (operand, error) {
+func (p *exprParser) parseFunc(name string) (exprNode, error) {
 	if !p.accept("(") {
-		return operand{}, fmt.Errorf("tcl: expr: expected ( after %s", name)
+		return nil, fmt.Errorf("tcl: expr: expected ( after %s", name)
 	}
-	var args []operand
+	var args []exprNode
 	p.skipSpace()
 	if !p.accept(")") {
 		for {
 			a, err := p.parseTernary()
 			if err != nil {
-				return operand{}, err
+				return nil, err
 			}
 			args = append(args, a)
 			if p.accept(",") {
@@ -789,9 +939,15 @@ func (p *exprParser) parseFunc(name string) (operand, error) {
 			if p.accept(")") {
 				break
 			}
-			return operand{}, fmt.Errorf("tcl: expr: expected , or ) in %s()", name)
+			return nil, fmt.Errorf("tcl: expr: expected , or ) in %s()", name)
 		}
 	}
+	return &funcNode{name: name, args: args}, nil
+}
+
+// applyExprFunc evaluates a math function over already-evaluated
+// arguments.
+func applyExprFunc(name string, args []operand) (operand, error) {
 	need := func(n int) error {
 		if len(args) != n {
 			return fmt.Errorf("tcl: expr: %s() takes %d argument(s), got %d", name, n, len(args))

@@ -73,12 +73,22 @@ type Interp struct {
 	// interpreters) into registered commands, like Tcl's clientData.
 	ClientData map[string]any
 	evalLevel  int
+
+	// Compile-once caches (see script.go): parsed scripts and expression
+	// ASTs keyed by source text. Both hold parse results only, so cached
+	// and uncached evaluation are indistinguishable.
+	scripts *memoCache[*Script]
+	exprs   *memoCache[exprNode]
 }
 
 type procDef struct {
 	params []param
 	body   string
 	ns     string
+	// compiled is the parsed body, filled in on first call so that
+	// subsequent calls skip parseScript entirely. A redefinition installs
+	// a fresh procDef, so stale compiled bodies cannot survive.
+	compiled *Script
 }
 
 type param struct {
@@ -97,6 +107,8 @@ func New() *Interp {
 		maxDep:     1000,
 		pkgs:       map[string]string{},
 		ClientData: map[string]any{},
+		scripts:    newMemoCache[*Script](defaultScriptCacheSize),
+		exprs:      newMemoCache[exprNode](defaultExprCacheSize),
 	}
 	in.stack = []*frame{in.global}
 	registerCore(in)
@@ -244,19 +256,44 @@ func (in *Interp) VarExists(name string) bool {
 }
 
 // Eval evaluates a script and returns the result of its last command.
+// Parsing is memoized: each distinct source string is parsed once per
+// interpreter and the compiled form is reused on every later Eval of the
+// same text — the case for loop bodies, rule actions, and proc calls.
 func (in *Interp) Eval(src string) (string, error) {
+	s, err := in.compile(src)
+	if err != nil {
+		return "", err
+	}
+	return in.EvalScript(s)
+}
+
+// compile returns the memoized compiled form of src, parsing on a miss.
+// Parse errors are not cached; erroneous scripts are rare and re-parsing
+// them keeps the cache free of dead entries.
+func (in *Interp) compile(src string) (*Script, error) {
+	if s, ok := in.scripts.get(src); ok {
+		return s, nil
+	}
+	s, err := CompileScript(src)
+	if err != nil {
+		return nil, err
+	}
+	in.scripts.put(src, s)
+	return s, nil
+}
+
+// EvalScript evaluates an already-compiled script. The script may be
+// shared with other interpreters; evaluation never mutates it.
+func (in *Interp) EvalScript(s *Script) (string, error) {
 	in.evalLevel++
 	defer func() { in.evalLevel-- }()
 	if in.evalLevel > in.maxDep {
 		return "", fmt.Errorf("tcl: too many nested evaluations (infinite loop?)")
 	}
-	cmds, err := parseScript(src)
-	if err != nil {
-		return "", err
-	}
 	var result string
-	for _, cmd := range cmds {
-		result, err = in.evalCommand(cmd)
+	var err error
+	for i := range s.cmds {
+		result, err = in.evalCommand(&s.cmds[i])
 		if err != nil {
 			return result, err
 		}
@@ -264,22 +301,33 @@ func (in *Interp) Eval(src string) (string, error) {
 	return result, nil
 }
 
-func (in *Interp) evalCommand(cmd command) (string, error) {
+func (in *Interp) evalCommand(cmd *command) (string, error) {
 	words := make([]string, 0, len(cmd.words))
-	for _, w := range cmd.words {
+	for i := range cmd.words {
+		w := &cmd.words[i]
 		switch w.kind {
 		case wordBraced:
 			words = append(words, w.text)
 		case wordBare, wordQuoted:
+			// Parse-time fast path: a word with no $, [, or backslash
+			// substitutes to itself.
+			if w.literal {
+				words = append(words, w.text)
+				continue
+			}
 			s, err := in.substWord(w.text)
 			if err != nil {
 				return "", err
 			}
 			words = append(words, s)
 		case wordExpand:
-			s, err := in.substWord(w.text)
-			if err != nil {
-				return "", err
+			s := w.text
+			if !w.literal {
+				var err error
+				s, err = in.substWord(w.text)
+				if err != nil {
+					return "", err
+				}
 			}
 			elems, err := ParseList(s)
 			if err != nil {
@@ -377,6 +425,18 @@ func (in *Interp) callProc(name string, p *procDef, args []string) (string, erro
 		return "", fmt.Errorf(`tcl: wrong # args: should be "%s %s"`, name, procSignature(p))
 	}
 
+	// Compile the body once, on first call; later calls skip parsing.
+	// (Definition time would also work, but first-call keeps proc-body
+	// syntax errors surfacing at call time, as uncached evaluation did,
+	// and ranks never pay for procs they never invoke.)
+	if p.compiled == nil {
+		s, err := in.compile(p.body)
+		if err != nil {
+			return "", err
+		}
+		p.compiled = s
+	}
+
 	in.stack = append(in.stack, f)
 	in.depth++
 	savedNS := in.ns
@@ -386,7 +446,7 @@ func (in *Interp) callProc(name string, p *procDef, args []string) (string, erro
 		in.depth--
 		in.ns = savedNS
 	}()
-	res, err := in.Eval(p.body)
+	res, err := in.EvalScript(p.compiled)
 	if err != nil {
 		if r, ok := err.(*returnErr); ok {
 			switch r.code {

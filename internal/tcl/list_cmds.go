@@ -392,6 +392,7 @@ func cmdLmap(in *Interp, args []string) (string, error) {
 		return "", fmt.Errorf("tcl: lmap: empty variable list")
 	}
 	var out []string
+	body := &loopBody{src: args[3]}
 	for i := 0; i < len(items); i += len(vars) {
 		for vi, v := range vars {
 			val := ""
@@ -402,7 +403,7 @@ func cmdLmap(in *Interp, args []string) (string, error) {
 				return "", err
 			}
 		}
-		res, err := in.Eval(args[3])
+		res, err := body.run(in)
 		if err == errBreak {
 			break
 		}
@@ -633,10 +634,11 @@ func cmdDict(in *Interp, args []string) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		body := &loopBody{src: args[4]}
 		for i := 0; i+1 < len(elems); i += 2 {
 			in.SetVar(kv[0], elems[i])
 			in.SetVar(kv[1], elems[i+1])
-			_, err := in.Eval(args[4])
+			_, err := body.run(in)
 			if err == errBreak {
 				break
 			}

@@ -22,11 +22,21 @@ const (
 type word struct {
 	kind wordKind
 	text string
+	// literal marks bare/quoted/expand words whose text contains no $, [,
+	// or backslash: substWord would return them unchanged, so evaluation
+	// skips substitution entirely. Decided once at parse time; this is the
+	// main payoff of caching parsed scripts.
+	literal bool
 }
 
 type command struct {
 	words []word
 	line  int
+}
+
+// isLiteralText reports whether substitution of text is the identity.
+func isLiteralText(text string) bool {
+	return !strings.ContainsAny(text, "$[\\")
 }
 
 // parseScript splits src into commands without performing substitution.
@@ -140,7 +150,7 @@ func parseWord(src string, i, line int) (word, int, int, error) {
 					if expand {
 						k = wordExpand
 					}
-					return word{kind: k, text: text}, j, line + strings.Count(src[i:j], "\n"), nil
+					return word{kind: k, text: text, literal: !expand || isLiteralText(text)}, j, line + strings.Count(src[i:j], "\n"), nil
 				}
 			case '\\':
 				j++
@@ -181,7 +191,7 @@ func parseWord(src string, i, line int) (word, int, int, error) {
 				if expand {
 					k = wordExpand // expansion of a quoted word: substitute then split
 				}
-				return word{kind: k, text: text}, j, line + strings.Count(src[i:j], "\n"), nil
+				return word{kind: k, text: text, literal: isLiteralText(text)}, j, line + strings.Count(src[i:j], "\n"), nil
 			}
 			j++
 		}
@@ -219,7 +229,8 @@ func parseWord(src string, i, line int) (word, int, int, error) {
 		if expand {
 			k = wordExpand
 		}
-		return word{kind: k, text: src[i:j]}, j, line + strings.Count(src[i:j], "\n"), nil
+		text := src[i:j]
+		return word{kind: k, text: text, literal: isLiteralText(text)}, j, line + strings.Count(src[i:j], "\n"), nil
 	}
 }
 

@@ -51,6 +51,11 @@ type Config struct {
 	// Program is Turbine code (Tcl) loaded into every rank's interpreter
 	// before the run; typically STC compiler output defining procs.
 	Program string
+	// ProgramScript, if non-nil, is the pre-compiled form of Program
+	// (see stc.Output.Script). Ranks evaluate it directly, sharing one
+	// parse across the whole deployment instead of re-parsing the program
+	// once per rank at startup. Takes precedence over Program.
+	ProgramScript *tcl.Script
 	// Main is the Tcl fragment evaluated on engine rank 0 to seed the
 	// run (typically a proc defined by Program).
 	Main string
@@ -169,7 +174,11 @@ func Run(c *mpi.Comm, cfg *Config) error {
 			return fmt.Errorf("turbine: setup on rank %d: %w", c.Rank(), err)
 		}
 	}
-	if cfg.Program != "" {
+	if cfg.ProgramScript != nil {
+		if _, err := in.EvalScript(cfg.ProgramScript); err != nil {
+			return fmt.Errorf("turbine: loading program on rank %d: %w", c.Rank(), err)
+		}
+	} else if cfg.Program != "" {
 		if _, err := in.Eval(cfg.Program); err != nil {
 			return fmt.Errorf("turbine: loading program on rank %d: %w", c.Rank(), err)
 		}
