@@ -650,6 +650,49 @@ func BenchmarkTclEval(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// T2 — repeated interlanguage fragments, the §III-C hot path: ensemble
+// runs evaluate the same python()/r() code string once per task, so
+// steady-state fragment evaluation must be parse-free (the embedded
+// interpreters memoize source -> parsed program, like the Tcl layer).
+// ---------------------------------------------------------------------
+
+func BenchmarkInterpFragment(b *testing.B) {
+	const pyCode = `
+y = 0
+for k in range(10):
+    y = y + k * k`
+	const rCode = `
+v <- 1:10
+s <- sum(v * v)`
+	b.Run("python", func(b *testing.B) {
+		h := pylite.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := h.EvalFragment(pyCode, "y")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != "285" {
+				b.Fatalf("out = %q", out)
+			}
+		}
+	})
+	b.Run("r", func(b *testing.B) {
+		h := rlite.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := h.EvalFragment(rCode, "s")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != "385" {
+				b.Fatalf("out = %q", out)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
 // C5 — §II-B: "evaluate Swift semantics in a distributed manner (no
 // bottleneck)": adding control ranks (engines/servers) must not slow a
 // fixed workload, and relieves saturation under control-heavy load.

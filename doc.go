@@ -47,7 +47,38 @@
 // Caching is keyed purely on source text and stores only parse results —
 // never values, bindings, or namespace state — so behaviour under upvar,
 // uplevel, catch, and proc redefinition is unchanged; see
-// internal/tcl/cache_test.go for the invariants.
+// internal/tcl/cache_test.go for the invariants. The bounded cache type
+// itself lives in internal/memo and is shared by every embedded
+// interpreter: internal/pylite and internal/rlite memoize fragment
+// parses the same way (invariants in their cache_test.go files), so
+// repeated python(...)/r(...) fragments — the per-task hot path of
+// ensemble workloads — are parse-free in the steady state too.
+//
+// # The interlanguage engine layer (internal/lang)
+//
+// Every embedded language is wired in through one subsystem. An Engine
+// is Name + EvalFragment(code, expr) + Reset + an eval counter; a
+// Registration couples an Engine factory with the Swift-level arity of
+// the builtin. The rest of the system derives from the registry:
+//
+//   - internal/swift.LookupBuiltin synthesizes the leaf builtin
+//     name(code, expr) -> string for any registered language, so the
+//     type checker needs no per-language table entries;
+//   - the generated prelude's sw:leaf dispatches unknown leaf names to
+//     the Tcl command <name>::eval;
+//   - core.RunCompiled iterates lang.Registered() at rank setup and
+//     installs each <name>::eval via lang.Install, which creates the
+//     engine lazily on first use, applies the retain/reinit state policy
+//     (paper §III-C) after every fragment, and counts evaluations per
+//     language into Result.Evals (counters flow from the engines through
+//     the registry — there are no per-language atomics in core).
+//
+// The standard registrations (python, r, tcl, sh) live in
+// internal/lang/engines.go; adding a language is exactly one
+// lang.Register call, proven end to end by the toy-engine test in
+// internal/core/lang_e2e_test.go, which registers a language in a test
+// and calls it from Swift source with no edits to the checker, the
+// prelude, or core.
 //
 // Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
 // interpreter alone; BenchmarkC5ControlScaling and

@@ -10,8 +10,10 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/lang"
 	"repro/internal/nativelib"
 	"repro/internal/tcl"
 )
@@ -38,12 +40,15 @@ string pysum = python("s = sum(range(1, 101))", "s");
 string rstat = r("v <- c(2, 4, 4, 4, 5, 5, 7, 9)", "round(sd(v), 3)");
 
 int tprod = tclmul(6, 7);
+// The tcl(...) builtin runs in its own embedded Tcl engine, like
+// python/r — distinct from the rank's Turbine runtime interpreter.
+string tpow = tcl("expr {2 ** 8}");
 float w2 = wave(2);
 string banner = shout("hello");
 
 printf("python: sum(1..100) = %s", pysum);
 printf("r: sd(sample) = %s", rstat);
-printf("tcl: 6*7 = %i", tprod);
+printf("tcl: 6*7 = %i, 2**8 = %s", tprod, tpow);
 printf("native: waveform(2) = %f via %s", w2, simver());
 printf("shell: %s", banner);
 `
@@ -67,7 +72,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "interlang:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("--\nlanguages exercised: Swift, Tcl, C(native), Python, R, shell\n")
-	fmt.Printf("leaf tasks %d | python evals %d | R evals %d | spawns %d | elapsed %v\n",
-		res.LeafTasks, res.PythonEvals, res.REvals, res.Spawns, res.Elapsed)
+	// The embedded-language roster comes from the lang registry — the
+	// same registry that drove type checking and dispatch above.
+	var names []string
+	for _, reg := range lang.Registered() {
+		names = append(names, fmt.Sprintf("%s(%d evals)", reg.Name, res.Evals[reg.Name]))
+	}
+	fmt.Printf("--\nlanguages exercised: Swift, C(native), %s\n", strings.Join(names, ", "))
+	fmt.Printf("leaf tasks %d | spawns %d | elapsed %v\n",
+		res.LeafTasks, res.Spawns, res.Elapsed)
 }

@@ -524,21 +524,20 @@ func TestUniqueIDsDistinct(t *testing.T) {
 	})
 }
 
-// sync_ids is a tiny concurrent set for the uniqueness test.
+// sync_ids is a tiny concurrent set for the uniqueness test. (Its old
+// lazily-initialised channel lock raced when several rank goroutines hit
+// the first add concurrently; a mutex has no init window.)
 type sync_ids struct {
-	mu  atomic.Int64
+	mu  sync.Mutex
 	set map[int64]bool
-	l   chan struct{}
 }
 
 func (s *sync_ids) add(id int64) bool {
-	if s.l == nil {
-		s.l = make(chan struct{}, 1)
-		s.l <- struct{}{}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.set == nil {
 		s.set = map[int64]bool{}
 	}
-	<-s.l
-	defer func() { s.l <- struct{}{} }()
 	if s.set[id] {
 		return false
 	}

@@ -120,36 +120,41 @@ type Stats struct {
 	Notifications atomic.Int64 // data-store notifications generated
 	DataOps       atomic.Int64 // create/store/retrieve/container operations
 	TokenRounds   atomic.Int64 // Safra termination-detection rounds begun
+	// TargetedDropped counts targeted work items discarded because the
+	// target client had already departed (received NO_MORE_WORK).
+	TargetedDropped atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		PutsLocal:     s.PutsLocal.Load(),
-		PutsForwarded: s.PutsForwarded.Load(),
-		GetsServed:    s.GetsServed.Load(),
-		GetsParked:    s.GetsParked.Load(),
-		StealReqs:     s.StealReqs.Load(),
-		StealHits:     s.StealHits.Load(),
-		ItemsStolen:   s.ItemsStolen.Load(),
-		Notifications: s.Notifications.Load(),
-		DataOps:       s.DataOps.Load(),
-		TokenRounds:   s.TokenRounds.Load(),
+		PutsLocal:       s.PutsLocal.Load(),
+		PutsForwarded:   s.PutsForwarded.Load(),
+		GetsServed:      s.GetsServed.Load(),
+		GetsParked:      s.GetsParked.Load(),
+		StealReqs:       s.StealReqs.Load(),
+		StealHits:       s.StealHits.Load(),
+		ItemsStolen:     s.ItemsStolen.Load(),
+		Notifications:   s.Notifications.Load(),
+		DataOps:         s.DataOps.Load(),
+		TokenRounds:     s.TokenRounds.Load(),
+		TargetedDropped: s.TargetedDropped.Load(),
 	}
 }
 
 // StatsSnapshot is an immutable copy of Stats.
 type StatsSnapshot struct {
-	PutsLocal     int64
-	PutsForwarded int64
-	GetsServed    int64
-	GetsParked    int64
-	StealReqs     int64
-	StealHits     int64
-	ItemsStolen   int64
-	Notifications int64
-	DataOps       int64
-	TokenRounds   int64
+	PutsLocal       int64
+	PutsForwarded   int64
+	GetsServed      int64
+	GetsParked      int64
+	StealReqs       int64
+	StealHits       int64
+	ItemsStolen     int64
+	Notifications   int64
+	DataOps         int64
+	TokenRounds     int64
+	TargetedDropped int64
 }
 
 // Serve runs the ADLB server protocol on the calling rank until global

@@ -46,8 +46,9 @@ type server struct {
 
 	untargeted map[int]*workQueue
 	targeted   map[targetKey]*workQueue
-	parked     map[int]int // client rank -> requested work type
-	parkOrder  []int       // FIFO of parked client ranks
+	parked     map[int]int  // client rank -> requested work type
+	parkOrder  []int        // FIFO of parked client ranks
+	departed   map[int]bool // clients told NO_MORE_WORK; targeted queues GC'd
 
 	store  map[int64]*datum
 	nextID int64
@@ -80,6 +81,7 @@ func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
 		untargeted: make(map[int]*workQueue),
 		targeted:   make(map[targetKey]*workQueue),
 		parked:     make(map[int]int),
+		departed:   make(map[int]bool),
 		store:      make(map[int64]*datum),
 		nextID:     int64(l.Servers + idx), // ids ≡ idx (mod Servers), skipping id 0
 		stealRR:    (idx + 1) % l.Servers,
@@ -229,6 +231,15 @@ func (s *server) handlePut(d *decoder, client int) error {
 // acceptWork delivers w to a parked client if one matches, else enqueues.
 func (s *server) acceptWork(w workItem) {
 	if w.Target != AnyRank {
+		if s.departed[w.Target] {
+			// The target has been told NO_MORE_WORK and will never Get
+			// again; queueing would strand the item (and its payload)
+			// until process exit. Drop it, visibly.
+			if s.stats() != nil {
+				s.stats().TargetedDropped.Add(1)
+			}
+			return
+		}
 		if t, ok := s.parked[w.Target]; ok && t == w.Type {
 			s.deliver(w.Target, w)
 			return
@@ -290,18 +301,47 @@ func (s *server) unpark(client int) {
 	}
 }
 
+// clientDeparted records that a client has been handed NO_MORE_WORK and
+// garbage-collects its targeted queues: nothing queued for it can ever
+// be delivered, so the items (and their payloads) are dropped and
+// counted rather than stranded until process exit.
+func (s *server) clientDeparted(client int) {
+	if s.departed[client] {
+		// Idempotent: a client re-Getting after NO_MORE_WORK must not
+		// advance doneCount toward the exit condition a second time.
+		return
+	}
+	s.doneCount++
+	s.departed[client] = true
+	for k, q := range s.targeted {
+		if k.target != client {
+			continue
+		}
+		if s.stats() != nil {
+			s.stats().TargetedDropped.Add(int64(q.len()))
+		}
+		delete(s.targeted, k)
+	}
+}
+
 func (s *server) handleGet(d *decoder, client int) error {
 	typ := int(d.i32())
 	if d.err != nil {
 		return d.err
 	}
 	if s.draining {
-		s.doneCount++
+		s.clientDeparted(client)
 		return s.respond(client, func(e *encoder) { e.u8(stNoMoreWork) })
 	}
-	// Targeted work for this client first.
-	if q, ok := s.targeted[targetKey{typ: typ, target: client}]; ok {
+	// Targeted work for this client first. An emptied queue leaves the
+	// map immediately: long runs touch many (type, target) pairs, and the
+	// map must not accumulate one dead queue per pair ever touched.
+	k := targetKey{typ: typ, target: client}
+	if q, ok := s.targeted[k]; ok {
 		if w, ok := q.pop(); ok {
+			if q.len() == 0 {
+				delete(s.targeted, k)
+			}
 			if s.stats() != nil {
 				s.stats().GetsServed.Add(1)
 			}
@@ -310,6 +350,7 @@ func (s *server) handleGet(d *decoder, client int) error {
 				encodeWorkItem(e, w)
 			})
 		}
+		delete(s.targeted, k)
 	}
 	if q, ok := s.untargeted[typ]; ok {
 		if w, ok := q.pop(); ok {
@@ -807,7 +848,7 @@ func (s *server) beginDrain() {
 			continue
 		}
 		delete(s.parked, r)
-		s.doneCount++
+		s.clientDeparted(r)
 		if err := s.respond(r, func(e *encoder) { e.u8(stNoMoreWork) }); err != nil {
 			s.c.World().Abort(err)
 			return

@@ -24,16 +24,14 @@ import (
 	"io"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/adlb"
+	"repro/internal/lang"
 	"repro/internal/mpi"
 	"repro/internal/nativelib"
 	"repro/internal/pfs"
 	"repro/internal/pkgs"
-	"repro/internal/pylite"
-	"repro/internal/rlite"
 	"repro/internal/shell"
 	"repro/internal/stc"
 	"repro/internal/swig"
@@ -43,18 +41,19 @@ import (
 
 // InterpPolicy selects what happens to embedded interpreter state between
 // leaf tasks (paper §III-C): retain it — fast, but tasks can observe
-// previous tasks' globals — or reinitialise for a clean slate.
-type InterpPolicy int
+// previous tasks' globals — or reinitialise for a clean slate. It is the
+// lang-layer policy re-exported for the public Config.
+type InterpPolicy = lang.Policy
 
 // Interpreter state policies.
 const (
 	// PolicyRetain keeps interpreter state across tasks (the default;
 	// "old interpreter state can also be used to store useful data if
 	// the programmer is careful").
-	PolicyRetain InterpPolicy = iota
+	PolicyRetain = lang.PolicyRetain
 	// PolicyReinit finalises and reinitialises the interpreter after
 	// every task, clearing any state.
-	PolicyReinit
+	PolicyReinit = lang.PolicyReinit
 )
 
 // Config describes one run.
@@ -135,7 +134,13 @@ type Result struct {
 	// LeafTasks and ControlTasks count executed tasks.
 	LeafTasks    int64
 	ControlTasks int64
-	// PythonEvals and REvals count embedded-interpreter invocations.
+	// Evals counts embedded-engine fragment evaluations per language,
+	// aggregated from the lang registry's installed engines across all
+	// ranks (keys are registration names: "python", "r", "tcl", "sh",
+	// plus any language registered by the host program).
+	Evals map[string]int64
+	// PythonEvals and REvals are Evals["python"] and Evals["r"],
+	// retained as convenience fields.
 	PythonEvals int64
 	REvals      int64
 	// Spawns counts simulated process launches by app functions.
@@ -188,7 +193,10 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 		sys.RegisterProgram(name, prog)
 	}
 
-	var pyEvals, rEvals atomic.Int64
+	// One eval-counter slot per registered language, shared by all ranks;
+	// the per-rank engines installed below report into it.
+	counters := lang.NewCounters()
+	langs := lang.Registered()
 
 	// Compile the Turbine program once; every rank (and every repeated
 	// run of the same Output) shares the parsed form.
@@ -221,14 +229,21 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 				}
 				return "", fmt.Errorf("core: no filesystem mounted for %q", path)
 			}
-			registerPython(in, cfg.Policy, sink, &pyEvals)
-			registerR(in, cfg.Policy, sink, &rEvals)
-			registerShell(in, sys)
+			// Install every registered embedded language on this rank:
+			// the engine is created lazily on first <name>::eval call,
+			// the state policy applies uniformly, and evaluations are
+			// counted per language.
+			host := lang.Host{Out: sink, Shell: sys}
+			for _, reg := range langs {
+				lang.Install(in, reg, host, cfg.Policy, counters)
+			}
 			for _, lib := range cfg.NativeLibs {
 				if _, err := swig.Bind(in, lib); err != nil {
 					return err
 				}
-				in.Eval("package provide " + lib.Name)
+				if _, err := in.Eval("package provide " + lib.Name); err != nil {
+					return fmt.Errorf("core: providing native library %q: %w", lib.Name, err)
+				}
 			}
 			if cfg.TclSetup != nil {
 				return cfg.TclSetup(in)
@@ -247,79 +262,16 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	evals := counters.Snapshot()
 	return &Result{
 		Stdout:       sink.buf.String(),
 		Elapsed:      time.Since(start),
 		ADLB:         cfg.Stats.Snapshot(),
 		LeafTasks:    cfg.TurbineStats.LeafTasks.Load(),
 		ControlTasks: cfg.TurbineStats.ControlTasks.Load(),
-		PythonEvals:  pyEvals.Load(),
-		REvals:       rEvals.Load(),
+		Evals:        evals,
+		PythonEvals:  evals["python"],
+		REvals:       evals["r"],
 		Spawns:       sys.Spawns(),
 	}, nil
-}
-
-// registerPython installs the python::eval command backed by a per-rank
-// embedded pylite interpreter, created lazily on first use — exactly the
-// paper's "external interpreter as a native code library" design.
-func registerPython(in *tcl.Interp, policy InterpPolicy, out io.Writer, evals *atomic.Int64) {
-	in.RegisterCommand("python::eval", func(in *tcl.Interp, args []string) (string, error) {
-		if len(args) != 3 {
-			return "", fmt.Errorf("usage: python::eval <code> <expr>")
-		}
-		h, ok := in.ClientData["python"].(*pylite.Interp)
-		if !ok {
-			h = pylite.New()
-			h.Out = out
-			in.ClientData["python"] = h
-		}
-		evals.Add(1)
-		res, err := h.EvalFragment(args[1], args[2])
-		if policy == PolicyReinit {
-			h.Reset()
-		}
-		if err != nil {
-			return "", fmt.Errorf("python: %w", err)
-		}
-		return res, nil
-	})
-}
-
-// registerR installs r::eval backed by a per-rank embedded rlite
-// interpreter.
-func registerR(in *tcl.Interp, policy InterpPolicy, out io.Writer, evals *atomic.Int64) {
-	in.RegisterCommand("r::eval", func(in *tcl.Interp, args []string) (string, error) {
-		if len(args) != 3 {
-			return "", fmt.Errorf("usage: r::eval <code> <expr>")
-		}
-		h, ok := in.ClientData["r"].(*rlite.Interp)
-		if !ok {
-			h = rlite.New()
-			h.Out = out
-			in.ClientData["r"] = h
-		}
-		evals.Add(1)
-		res, err := h.EvalFragment(args[1], args[2])
-		if policy == PolicyReinit {
-			h.Reset()
-		}
-		if err != nil {
-			return "", fmt.Errorf("r: %w", err)
-		}
-		return res, nil
-	})
-}
-
-// registerShell installs sh::exec over the simulated process table.
-func registerShell(in *tcl.Interp, sys *shell.System) {
-	in.RegisterCommand("sh::exec", func(in *tcl.Interp, args []string) (string, error) {
-		if len(args) < 2 {
-			return "", fmt.Errorf("usage: sh::exec <prog> ?args...?")
-		}
-		out, err := sys.Exec(args[1:], "")
-		if err != nil {
-			return "", err
-		}
-		return strings.TrimRight(out, "\n"), nil
-	})
 }

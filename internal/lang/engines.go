@@ -1,0 +1,178 @@
+package lang
+
+// The standard engines: the four language embeddings of the paper
+// (§III-C Python and R, §III-A Tcl, and the shell interface), each an
+// Engine over the corresponding interpreter package. These init-time
+// Register calls are the single wiring site per language — the Swift
+// type checker, the sw:leaf dispatch, and the per-rank installation all
+// derive from the registry.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/memo"
+	"repro/internal/pylite"
+	"repro/internal/rlite"
+	"repro/internal/shell"
+	"repro/internal/tcl"
+)
+
+func init() {
+	Register(Registration{Name: "python", NumArgs: 2, New: newPythonEngine})
+	Register(Registration{Name: "r", NumArgs: 2, New: newREngine})
+	Register(Registration{Name: "tcl", NumArgs: 1, New: newTclEngine})
+	Register(Registration{Name: "sh", NumArgs: 1, Variadic: true, New: newShellEngine})
+}
+
+// pythonEngine embeds a pylite interpreter (the paper's "Python
+// interpreter as a native code library").
+type pythonEngine struct {
+	in    *pylite.Interp
+	evals int64
+}
+
+func newPythonEngine(h Host) Engine {
+	in := pylite.New()
+	if h.Out != nil {
+		in.Out = h.Out
+	}
+	return &pythonEngine{in: in}
+}
+
+func (e *pythonEngine) Name() string { return "python" }
+
+func (e *pythonEngine) EvalFragment(code, expr string) (string, error) {
+	e.evals++
+	return e.in.EvalFragment(code, expr)
+}
+
+func (e *pythonEngine) Reset()       { e.in.Reset() }
+func (e *pythonEngine) Evals() int64 { return e.evals }
+
+// rEngine embeds an rlite interpreter (linking libR into the runtime).
+type rEngine struct {
+	in    *rlite.Interp
+	evals int64
+}
+
+func newREngine(h Host) Engine {
+	in := rlite.New()
+	if h.Out != nil {
+		in.Out = h.Out
+	}
+	return &rEngine{in: in}
+}
+
+func (e *rEngine) Name() string { return "r" }
+
+func (e *rEngine) EvalFragment(code, expr string) (string, error) {
+	e.evals++
+	return e.in.EvalFragment(code, expr)
+}
+
+func (e *rEngine) Reset()       { e.in.Reset() }
+func (e *rEngine) Evals() int64 { return e.evals }
+
+// tclEngine embeds a dedicated Tcl interpreter per rank, distinct from
+// the rank's Turbine runtime interpreter: tcl(...) fragments get the
+// same isolation and retain/reinit state policy as the other embedded
+// languages (and cannot reach into the runtime's procs or rules). The
+// engine owns its fragment cache (source -> *tcl.Script) rather than
+// relying on the interpreter's internal one, so — like pylite and
+// rlite — Reset discards state, not parses, and PolicyReinit stays
+// parse-free for repeated fragments.
+type tclEngine struct {
+	out   io.Writer
+	in    *tcl.Interp
+	progs *memo.Cache[*tcl.Script]
+	evals int64
+}
+
+// tclProgCacheSize bounds the engine's fragment cache (see pylite).
+const tclProgCacheSize = 256
+
+func newTclEngine(h Host) Engine {
+	e := &tclEngine{out: h.Out, progs: memo.New[*tcl.Script](tclProgCacheSize)}
+	e.Reset()
+	return e
+}
+
+func (e *tclEngine) Name() string { return "tcl" }
+
+func (e *tclEngine) EvalFragment(code, expr string) (string, error) {
+	e.evals++
+	res, err := e.evalCached(code)
+	if err != nil {
+		return "", err
+	}
+	if strings.TrimSpace(expr) != "" {
+		return e.evalCached(expr)
+	}
+	return res, nil
+}
+
+// evalCached evaluates a fragment through the engine's compile-once
+// cache; *tcl.Script is immutable and interpreter-independent, so cached
+// parses replay safely against the post-Reset interpreter.
+func (e *tclEngine) evalCached(src string) (string, error) {
+	s, err := e.progs.GetOrCompute(src, func() (*tcl.Script, error) {
+		return tcl.CompileScript(src)
+	})
+	if err != nil {
+		return "", err
+	}
+	return e.in.EvalScript(s)
+}
+
+// Reset recreates the embedded interpreter, discarding all procs and
+// variables defined by previous fragments (but not the fragment cache).
+func (e *tclEngine) Reset() {
+	e.in = tcl.New()
+	if e.out != nil {
+		e.in.Out = e.out
+	}
+}
+
+func (e *tclEngine) Evals() int64 { return e.evals }
+
+// shellEngine runs argv through the simulated process table (the app
+// function / sh(...) interface; §III-C notes BG/Q machines forbid it).
+// The shell holds no per-task interpreter state, so Reset is a no-op.
+type shellEngine struct {
+	sys   *shell.System
+	evals int64
+}
+
+func newShellEngine(h Host) Engine {
+	sys := h.Shell
+	if sys == nil {
+		sys = shell.NewSystem(shell.ModeCluster, nil)
+	}
+	return &shellEngine{sys: sys}
+}
+
+func (e *shellEngine) Name() string { return "sh" }
+
+// EvalFragment executes code as a Tcl-list-packed argv (see packArgs);
+// expr is unused. The trailing newline of the captured stdout is
+// stripped, matching command-substitution conventions.
+func (e *shellEngine) EvalFragment(code, _ string) (string, error) {
+	e.evals++
+	argv, err := tcl.ParseList(code)
+	if err != nil {
+		return "", fmt.Errorf("sh: bad argv list: %w", err)
+	}
+	if len(argv) == 0 {
+		return "", fmt.Errorf("sh: empty command")
+	}
+	out, err := e.sys.Exec(argv, "")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(out, "\n"), nil
+}
+
+func (e *shellEngine) Reset()       {}
+func (e *shellEngine) Evals() int64 { return e.evals }

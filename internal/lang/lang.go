@@ -1,0 +1,232 @@
+// Package lang is the language-agnostic embedding subsystem of the
+// reproduction: the single place where an interpreted language is wired
+// into the Swift/T runtime. The paper's contribution — interlanguage
+// parallel scripting (§III) — embeds Python, R, Tcl, and the shell as
+// in-process libraries callable from Swift leaf tasks; in this repo each
+// of those embeddings is one Engine implementation plus one Register
+// call, and every other layer derives from the registry:
+//
+//   - type checking: internal/swift synthesizes the leaf builtin
+//     (name(code, expr) -> string) from the registration, so a Swift
+//     program may call any registered language;
+//   - dispatch: the generated prelude's sw:leaf routes unknown leaf
+//     names to the Tcl command <name>::eval, which Install registers on
+//     every rank;
+//   - execution: core.RunCompiled iterates Registered() at rank setup
+//     and installs each engine lazily, with the paper's retain/reinit
+//     state policy (§III-C) and per-language eval counters applied
+//     uniformly.
+//
+// Adding a language therefore touches exactly one registration site; see
+// the toy-engine test in internal/core for the end-to-end proof.
+package lang
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/shell"
+	"repro/internal/tcl"
+)
+
+// Policy selects what happens to embedded interpreter state between leaf
+// tasks (paper §III-C): retain it — fast, but tasks can observe previous
+// tasks' globals — or reinitialise for a clean slate.
+type Policy int
+
+// Interpreter state policies.
+const (
+	// PolicyRetain keeps interpreter state across tasks (the default;
+	// "old interpreter state can also be used to store useful data if
+	// the programmer is careful").
+	PolicyRetain Policy = iota
+	// PolicyReinit finalises and reinitialises the interpreter after
+	// every task, clearing any state.
+	PolicyReinit
+)
+
+// Engine is one embedded language engine instance. Each rank owns its
+// own engines (created lazily on first use, like loading an interpreter
+// library into the process), so no locking is needed inside an Engine.
+type Engine interface {
+	// Name is the language name: the Swift builtin, the Tcl dispatch
+	// command <name>::eval, and the counter key are all derived from it.
+	Name() string
+	// EvalFragment executes code, then evaluates expr and returns its
+	// string rendering — the Swift name(code, expr) contract. Engines
+	// whose surface is narrower map onto it: the tcl engine evaluates
+	// code (and expr, when present) as scripts; the sh engine receives
+	// the argv packed as a Tcl list in code with expr empty.
+	EvalFragment(code, expr string) (string, error)
+	// Reset discards interpreter state (PolicyReinit). Engines without
+	// retained state may make this a no-op.
+	Reset()
+	// Evals reports how many fragments this engine instance has
+	// evaluated.
+	Evals() int64
+}
+
+// Host is what the runtime provides an engine factory when a rank
+// creates its engine instance.
+type Host struct {
+	// Out receives the language's program output (print/cat/puts/echo).
+	Out io.Writer
+	// Shell is the simulated machine's process table, for engines that
+	// launch processes (nil outside a core run; such engines create a
+	// default system lazily).
+	Shell *shell.System
+}
+
+// Registration describes one embedded language.
+type Registration struct {
+	// Name is the language name; it must be a valid Swift identifier.
+	Name string
+	// NumArgs is the number of fixed string arguments of the Swift
+	// builtin (2 for python(code, expr), 1 for tcl(code)).
+	NumArgs int
+	// Variadic permits extra string arguments beyond NumArgs (sh). The
+	// full argument list reaches the engine packed as a Tcl list in
+	// code.
+	Variadic bool
+	// New creates the per-rank engine instance.
+	New func(h Host) Engine
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds a language to the registry. Registering a name twice
+// panics: languages are process-global, like Tcl package names.
+func Register(reg Registration) {
+	if reg.Name == "" || reg.New == nil {
+		panic("lang: Register needs a Name and a New factory")
+	}
+	if reg.NumArgs < 1 || reg.NumArgs > 2 {
+		// EvalFragment carries at most (code, expr); wider fixed arity
+		// has nowhere to go. Variadic languages receive the argv as a
+		// packed list instead.
+		panic(fmt.Sprintf("lang: Register(%q): NumArgs must be 1 or 2", reg.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[reg.Name]; dup {
+		panic(fmt.Sprintf("lang: language %q registered twice", reg.Name))
+	}
+	registry[reg.Name] = reg
+}
+
+// Unregister removes a language (for tests that register toy engines).
+func Unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+}
+
+// Lookup finds a registration by language name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	reg, ok := registry[name]
+	return reg, ok
+}
+
+// Registered returns a snapshot of all registrations, sorted by name.
+func Registered() []Registration {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Registration, 0, len(registry))
+	for _, reg := range registry {
+		out = append(out, reg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counters aggregates per-language fragment-evaluation counts across all
+// ranks of a run. The language set is fixed at creation (one slot per
+// registered language), so Add is a lock-free map read plus an atomic
+// increment and is safe from every rank goroutine concurrently.
+type Counters struct {
+	m map[string]*atomic.Int64
+}
+
+// NewCounters creates one counter per currently-registered language.
+func NewCounters() *Counters {
+	c := &Counters{m: make(map[string]*atomic.Int64)}
+	for _, reg := range Registered() {
+		c.m[reg.Name] = &atomic.Int64{}
+	}
+	return c
+}
+
+// AddN counts n evaluations of the named language. Unknown names (a
+// language registered after the run started) are ignored.
+func (c *Counters) AddN(name string, n int64) {
+	if ctr, ok := c.m[name]; ok {
+		ctr.Add(n)
+	}
+}
+
+// Snapshot returns the current per-language counts.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.m))
+	for name, ctr := range c.m {
+		out[name] = ctr.Load()
+	}
+	return out
+}
+
+// Install registers the Tcl dispatch command <name>::eval for one
+// language on one rank's interpreter. The engine is created lazily on
+// first use (the paper's "load the interpreter library on demand"), the
+// state policy is applied after every fragment, and each evaluation is
+// counted under the language name.
+func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *Counters) {
+	var eng Engine // one instance per rank, created on first call
+	in.RegisterCommand(reg.Name+"::eval", func(ti *tcl.Interp, args []string) (string, error) {
+		code, expr, err := packArgs(reg, args[1:])
+		if err != nil {
+			return "", err
+		}
+		if eng == nil {
+			eng = reg.New(h)
+		}
+		before := eng.Evals()
+		res, err := eng.EvalFragment(code, expr)
+		if counters != nil {
+			// The engine's own counter is the source of truth; the
+			// run-wide aggregate advances by whatever it reports.
+			counters.AddN(reg.Name, eng.Evals()-before)
+		}
+		if policy == PolicyReinit {
+			eng.Reset()
+		}
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", reg.Name, err)
+		}
+		return res, nil
+	})
+}
+
+// packArgs maps the Tcl-level argument words of <name>::eval onto the
+// Engine.EvalFragment(code, expr) contract: variadic languages get the
+// whole argv packed as a Tcl list in code, two-argument languages get
+// (code, expr), one-argument languages get (code, "").
+func packArgs(reg Registration, argv []string) (code, expr string, err error) {
+	if len(argv) < reg.NumArgs || (!reg.Variadic && len(argv) != reg.NumArgs) {
+		return "", "", fmt.Errorf("usage: %s::eval takes %d argument(s), got %d",
+			reg.Name, reg.NumArgs, len(argv))
+	}
+	if reg.Variadic {
+		return tcl.FormatList(argv), "", nil
+	}
+	if reg.NumArgs >= 2 {
+		return argv[0], argv[1], nil
+	}
+	return argv[0], "", nil
+}

@@ -1,0 +1,191 @@
+package lang
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/tcl"
+)
+
+// stateCases exercises the paper's §III-C retain/reinit semantics
+// through the Engine interface for every stateful registered language:
+// a fragment binds g, a later fragment reads it (Retain), and Reset
+// clears it (Reinit). The shell holds no interpreter state and is
+// covered separately.
+var stateCases = []struct {
+	name string
+	set  string // fragment that binds g = 41
+	read string // expr that reads g back
+	want string
+}{
+	{"python", "g = 41", "g", "41"},
+	{"r", "g <- 41", "g", "41"},
+	{"tcl", "set g 41", "set g", "41"},
+}
+
+func TestEngineStateRetainAndReset(t *testing.T) {
+	for _, tc := range stateCases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, ok := Lookup(tc.name)
+			if !ok {
+				t.Fatalf("language %q not registered", tc.name)
+			}
+			eng := reg.New(Host{Out: io.Discard})
+			if eng.Name() != tc.name {
+				t.Fatalf("Name() = %q", eng.Name())
+			}
+			if _, err := eng.EvalFragment(tc.set, ""); err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.EvalFragment("", tc.read)
+			if err != nil {
+				t.Fatalf("retained state unreadable: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("retained read = %q, want %q", got, tc.want)
+			}
+			eng.Reset()
+			if _, err := eng.EvalFragment("", tc.read); err == nil {
+				t.Fatalf("%s: state survived Reset", tc.name)
+			}
+			if n := eng.Evals(); n != 3 {
+				t.Fatalf("Evals() = %d, want 3", n)
+			}
+		})
+	}
+}
+
+func TestShellEngineStatelessAndResetSafe(t *testing.T) {
+	reg, ok := Lookup("sh")
+	if !ok {
+		t.Fatal("sh not registered")
+	}
+	eng := reg.New(Host{}) // no host shell: engine creates a default one
+	argv := tcl.FormatList([]string{"echo", "hello", "world"})
+	out, err := eng.EvalFragment(argv, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello world" {
+		t.Fatalf("out = %q", out)
+	}
+	eng.Reset() // must be a harmless no-op
+	if out, err = eng.EvalFragment(argv, ""); err != nil || out != "hello world" {
+		t.Fatalf("after Reset: %q, %v", out, err)
+	}
+	if n := eng.Evals(); n != 2 {
+		t.Fatalf("Evals() = %d, want 2", n)
+	}
+}
+
+func TestTclEngineFragmentCacheSurvivesReset(t *testing.T) {
+	// Like pylite/rlite, Reset must discard interpreter state but not
+	// parses: under PolicyReinit a repeated tcl() fragment stays
+	// compile-once.
+	reg, _ := Lookup("tcl")
+	eng := reg.New(Host{Out: io.Discard}).(*tclEngine)
+	const frag = "set g 41; expr {$g + 1}"
+	for i := 0; i < 5; i++ {
+		out, err := eng.EvalFragment(frag, "")
+		if err != nil || out != "42" {
+			t.Fatalf("out = %q, %v", out, err)
+		}
+		eng.Reset()
+	}
+	if n := eng.progs.Len(); n != 1 {
+		t.Fatalf("fragment cache = %d entries, want 1 (survived Reset)", n)
+	}
+	if _, err := eng.EvalFragment("set g", ""); err == nil {
+		t.Fatal("state survived Reset")
+	}
+}
+
+func TestInstallAppliesPolicyPerFragment(t *testing.T) {
+	// Through the Tcl dispatch command (the path leaf tasks take), the
+	// reinit policy must clear state after every fragment, for every
+	// stateful language, without any per-language code.
+	for _, tc := range stateCases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, _ := Lookup(tc.name)
+			counters := NewCounters()
+			// Build dispatch calls matching the registration's arity:
+			// two-argument languages take (code, expr), one-argument
+			// languages take a single fragment.
+			setCall := tcl.FormatList([]string{reg.Name + "::eval", tc.set})
+			readCall := tcl.FormatList([]string{reg.Name + "::eval", tc.read})
+			if reg.NumArgs == 2 {
+				setCall = tcl.FormatList([]string{reg.Name + "::eval", tc.set, ""})
+				readCall = tcl.FormatList([]string{reg.Name + "::eval", "", tc.read})
+			}
+
+			retain := tcl.New()
+			Install(retain, reg, Host{Out: io.Discard}, PolicyRetain, counters)
+			if _, err := retain.Eval(setCall); err != nil {
+				t.Fatal(err)
+			}
+			got, err := retain.Eval(readCall)
+			if err != nil || got != tc.want {
+				t.Fatalf("retain read = %q, %v", got, err)
+			}
+
+			reinit := tcl.New()
+			Install(reinit, reg, Host{Out: io.Discard}, PolicyReinit, counters)
+			if _, err := reinit.Eval(setCall); err != nil {
+				t.Fatal(err)
+			}
+			if out, err := reinit.Eval(readCall); err == nil {
+				t.Fatalf("reinit: state survived the fragment boundary (got %q)", out)
+			}
+			if n := counters.Snapshot()[tc.name]; n != 4 {
+				t.Fatalf("counter = %d, want 4", n)
+			}
+		})
+	}
+}
+
+func TestInstallArityErrors(t *testing.T) {
+	reg, _ := Lookup("python")
+	in := tcl.New()
+	Install(in, reg, Host{Out: io.Discard}, PolicyRetain, nil)
+	if _, err := in.Eval(`python::eval onlyone`); err == nil ||
+		!strings.Contains(err.Error(), "takes 2 argument(s)") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	if _, ok := Lookup("toylang"); ok {
+		t.Fatal("toylang pre-registered")
+	}
+	reg := Registration{Name: "toylang", NumArgs: 1, New: func(h Host) Engine { return nil }}
+	Register(reg)
+	defer Unregister("toylang")
+	if _, ok := Lookup("toylang"); !ok {
+		t.Fatal("toylang not found after Register")
+	}
+	found := false
+	for _, r := range Registered() {
+		if r.Name == "toylang" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("toylang missing from Registered()")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(reg)
+}
+
+func TestRegisterRejectsWideFixedArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumArgs=3 did not panic")
+		}
+	}()
+	Register(Registration{Name: "wide", NumArgs: 3, New: func(h Host) Engine { return nil }})
+}

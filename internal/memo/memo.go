@@ -1,0 +1,73 @@
+// Package memo provides the bounded string-keyed memoization cache used
+// by every embedded interpreter's compile-once pipeline: internal/tcl
+// memoizes source -> *Script and expression ASTs, and internal/pylite and
+// internal/rlite memoize source -> parsed program, so a fragment that is
+// evaluated once per task is parsed exactly once per rank.
+//
+// The cache deliberately stores only parse results keyed by source text —
+// never values or bindings — so cached entries are immutable and safe to
+// replay against any interpreter state. Eviction is FIFO: the workloads
+// in this repo have tens of distinct fragment shapes, so the bound exists
+// to cap pathological programs (e.g. generated one-shot scripts), not to
+// tune hit rates.
+package memo
+
+// Cache is a bounded string-keyed memoization cache with FIFO eviction.
+// It is not safe for concurrent use; each interpreter owns its own.
+type Cache[V any] struct {
+	max   int
+	m     map[string]V
+	order []string // insertion order, oldest first
+}
+
+// New creates a cache bounded to max entries. Non-positive bounds are
+// clamped to 1 (Put on a zero-capacity cache would have nothing to
+// evict).
+func New[V any](max int) *Cache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache[V]{max: max, m: make(map[string]V, 64)}
+}
+
+// Get looks up a key.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put inserts a key, evicting the oldest entry when full. Re-putting an
+// existing key replaces the value without disturbing insertion order.
+func (c *Cache[V]) Put(key string, v V) {
+	if _, exists := c.m[key]; exists {
+		c.m[key] = v
+		return
+	}
+	if len(c.m) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.m[key] = v
+	c.order = append(c.order, key)
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int { return len(c.m) }
+
+// GetOrCompute returns the cached value for key, computing and caching
+// it on a miss. A failed compute is returned without entering the cache,
+// so parse errors are never memoized — the one memoization policy every
+// interpreter shares, kept in one place.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
+	if v, ok := c.m[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.Put(key, v)
+	return v, nil
+}

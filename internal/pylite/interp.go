@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/memo"
 )
 
 // Value is a pylite runtime value: nil (None), bool, int64, float64,
@@ -103,11 +105,29 @@ type Interp struct {
 	// (loading an interpreter library is not free on a real system);
 	// benchmarks use it to model retain-vs-reinit trade-offs.
 	InitCost func()
+	// Compile-once fragment caches (source -> parsed form, bounded FIFO;
+	// see internal/memo). Ensemble workloads evaluate the same python()
+	// fragment once per task, so the steady state must be parse-free.
+	// The caches hold immutable ASTs keyed by source text only, so they
+	// survive Reset: reinitialisation discards state, not parses.
+	progs *memo.Cache[[]pstmt]
+	exprs *memo.Cache[pexpr]
 }
+
+// Fragment-cache bounds; the interlanguage workloads in this repo use
+// tens of distinct fragment shapes per run.
+const (
+	defaultProgCacheSize = 256
+	defaultExprCacheSize = 256
+)
 
 // New creates an interpreter with builtins installed.
 func New() *Interp {
-	in := &Interp{Out: os.Stdout}
+	in := &Interp{
+		Out:   os.Stdout,
+		progs: memo.New[[]pstmt](defaultProgCacheSize),
+		exprs: memo.New[pexpr](defaultExprCacheSize),
+	}
 	in.reset()
 	return in
 }
@@ -138,9 +158,13 @@ func (continueErr) Error() string { return "pylite: continue outside loop" }
 func (returnErr) Error() string   { return "pylite: return outside function" }
 
 // Exec runs a block of statements against the persistent globals.
+// Parsing is memoized: each distinct source string is parsed once per
+// interpreter and the immutable statement list is replayed thereafter.
 func (in *Interp) Exec(code string) error {
 	in.EvalCount++
-	stmts, err := parseModule(code)
+	stmts, err := in.progs.GetOrCompute(code, func() ([]pstmt, error) {
+		return parseModule(code)
+	})
 	if err != nil {
 		return err
 	}
@@ -152,14 +176,23 @@ func (in *Interp) Exec(code string) error {
 	return nil
 }
 
-// EvalExpr evaluates a single expression against the globals.
+// EvalExpr evaluates a single expression against the globals, memoizing
+// the parsed expression by source text.
 func (in *Interp) EvalExpr(expr string) (Value, error) {
 	in.EvalCount++
-	e, err := parseExprString(expr)
+	e, err := in.exprs.GetOrCompute(expr, func() (pexpr, error) {
+		return parseExprString(expr)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return in.eval(e, in.globals)
+}
+
+// CacheStats reports the number of memoized programs and expressions,
+// for tests and diagnostics.
+func (in *Interp) CacheStats() (progs, exprs int) {
+	return in.progs.Len(), in.exprs.Len()
 }
 
 // EvalFragment is the Swift/T python(code, expr) entry point: execute

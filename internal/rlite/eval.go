@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/memo"
 )
 
 // Value is an rlite runtime value: *NumVec, *StrVec, *BoolVec, *RFunc,
@@ -72,11 +74,20 @@ type Interp struct {
 	EvalCount int
 	// InitCost simulates interpreter initialisation cost (see pylite).
 	InitCost func()
+	// progs is the compile-once fragment cache (source -> parsed program,
+	// bounded FIFO; see internal/memo). It holds immutable ASTs keyed by
+	// source text only, so it survives Reset: reinitialisation discards
+	// interpreter state, not parses.
+	progs *memo.Cache[[]rexpr]
 }
+
+// defaultProgCacheSize bounds the fragment cache; interlanguage
+// workloads in this repo use tens of distinct fragment shapes per run.
+const defaultProgCacheSize = 256
 
 // New creates an interpreter.
 func New() *Interp {
-	in := &Interp{Out: os.Stdout}
+	in := &Interp{Out: os.Stdout, progs: memo.New[[]rexpr](defaultProgCacheSize)}
 	in.reset()
 	return in
 }
@@ -100,15 +111,19 @@ func (rNextErr) Error() string   { return "rlite: next outside loop" }
 func (rReturnErr) Error() string { return "rlite: return outside function" }
 
 // Eval executes a chunk of R code, returning the value of the last
-// expression.
+// expression. Parsing is memoized: each distinct source string is parsed
+// once per interpreter and the immutable program is replayed thereafter.
 func (in *Interp) Eval(code string) (Value, error) {
 	in.EvalCount++
-	prog, err := parseR(code)
+	prog, err := in.progs.GetOrCompute(code, func() ([]rexpr, error) {
+		return parseR(code)
+	})
 	if err != nil {
 		return nil, err
 	}
 	var last Value = Null{}
 	for _, e := range prog {
+		var err error
 		last, err = in.eval(e, in.globals)
 		if err != nil {
 			return nil, err
@@ -116,6 +131,10 @@ func (in *Interp) Eval(code string) (Value, error) {
 	}
 	return last, nil
 }
+
+// CacheStats reports the number of memoized programs, for tests and
+// diagnostics.
+func (in *Interp) CacheStats() (progs int) { return in.progs.Len() }
 
 // EvalFragment is the Swift/T r(code, expr) entry point: evaluate code,
 // then expr, returning the deparsed result.

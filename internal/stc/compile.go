@@ -428,7 +428,7 @@ func fmtFloatLit(f float64) string {
 
 // compileCallInto compiles a single-output call storing into outRef.
 func (c *compiler) compileCallInto(e *emitter, sc *genScope, outRef string, outT swift.Type, call *swift.Call) error {
-	if b, ok := swift.Builtins[call.Name]; ok {
+	if b := swift.LookupBuiltin(call.Name); b != nil {
 		return c.compileBuiltin(e, sc, outRef, outT, call, b)
 	}
 	f := c.prog.FindFunc(call.Name)
@@ -518,7 +518,7 @@ func (c *compiler) compileBuiltin(e *emitter, sc *genScope, outRef string, outT 
 // compileCallStmt compiles a call in statement position (printf, trace,
 // zero-output functions, or ignored single-output calls).
 func (c *compiler) compileCallStmt(e *emitter, sc *genScope, call *swift.Call) error {
-	if b, ok := swift.Builtins[call.Name]; ok {
+	if b := swift.LookupBuiltin(call.Name); b != nil {
 		switch b.Name {
 		case "printf", "trace":
 			var refs, types []string
@@ -885,8 +885,9 @@ func (c *compiler) compileTemplateFunc(f *swift.FuncDef) (string, error) {
 }
 
 // compileAppFunc emits the worker proc for an app (shell) function: the
-// command words are assembled and passed to sh::exec; stdout feeds the
-// single string output, if any.
+// command words are assembled and passed to the shell engine's sh::eval
+// command (the same lang-registry dispatch the sh(...) builtin uses);
+// stdout feeds the single string output, if any.
 func (c *compiler) compileAppFunc(f *swift.FuncDef) (string, error) {
 	if len(f.Outs) > 1 || (len(f.Outs) == 1 && f.Outs[0].Type != (swift.Type{Base: swift.TString})) {
 		return "", swift.Errorf(f.Tok.Pos(), "app %q: output must be a single string (stdout)", f.Name)
@@ -911,7 +912,7 @@ func (c *compiler) compileAppFunc(f *swift.FuncDef) (string, error) {
 			words = append(words, "$in_"+x.Name)
 		}
 	}
-	e.linef("set stdout_val [sh::exec %s]", strings.Join(words, " "))
+	e.linef("set stdout_val [sh::eval %s]", strings.Join(words, " "))
 	if len(f.Outs) == 1 {
 		e.linef("turbine::store_string $td_%s $stdout_val", f.Outs[0].Name)
 	}

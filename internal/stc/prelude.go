@@ -103,18 +103,17 @@ proc sw:builtin {name out outtype types ids} {
     turbine::store_$outtype $out $v
 }
 
-# Worker-side leaf builtin dispatch: embedded interpreters, shell, blobs.
+# Worker-side leaf builtin dispatch: blob interchange is handled here;
+# everything else is an embedded language from the lang registry, whose
+# per-rank installation provides the <name>::eval command (so a newly
+# registered language needs no prelude edits).
 proc sw:leaf {name out outtype types ids} {
     set vals [sw:vals $types $ids]
     switch -exact -- $name {
-        python { set v [python::eval [lindex $vals 0] [lindex $vals 1]] }
-        r      { set v [r::eval [lindex $vals 0] [lindex $vals 1]] }
-        tcl    { set v [uplevel #0 [lindex $vals 0]] }
-        sh     { set v [sh::exec {*}$vals] }
         blob_from_string { set v [lindex $vals 0] }
         string_from_blob { set v [lindex $vals 0] }
         blob_size        { set v [string length [lindex $vals 0]] }
-        default { error "sw:leaf: unknown leaf builtin $name" }
+        default          { set v [${name}::eval {*}$vals] }
     }
     turbine::store_$outtype $out $v
 }

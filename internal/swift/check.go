@@ -1,5 +1,7 @@
 package swift
 
+import "repro/internal/lang"
+
 // Builtin describes a function built into the language runtime. Variadic
 // builtins (printf, trace, strcat) accept any argument types after the
 // fixed prefix.
@@ -35,17 +37,30 @@ var Builtins = map[string]*Builtin{
 	// the paper's §IV future-work item of translating complex data
 	// types across languages (feeds Python/R vector literals).
 	"join_array": {Name: "join_array", Ins: []Type{{Base: TInvalid, Array: true}, {Base: TString}}, Out: Type{Base: TString}},
-	// Interlanguage leaf builtins (paper §III-C): evaluate a code
-	// fragment in an embedded interpreter and return the value of the
-	// result expression as a string.
-	"python": {Name: "python", Ins: []Type{{Base: TString}, {Base: TString}}, Out: Type{Base: TString}, Leaf: true},
-	"r":      {Name: "r", Ins: []Type{{Base: TString}, {Base: TString}}, Out: Type{Base: TString}, Leaf: true},
-	"tcl":    {Name: "tcl", Ins: []Type{{Base: TString}}, Out: Type{Base: TString}, Leaf: true},
-	"sh":     {Name: "sh", Ins: []Type{{Base: TString}}, Variadic: true, Out: Type{Base: TString}, Leaf: true},
 	// Blob interchange builtins (paper §III-B, blobutils).
 	"blob_from_string": {Name: "blob_from_string", Ins: []Type{{Base: TString}}, Out: Type{Base: TBlob}, Leaf: true},
 	"string_from_blob": {Name: "string_from_blob", Ins: []Type{{Base: TBlob}}, Out: Type{Base: TString}, Leaf: true},
 	"blob_size":        {Name: "blob_size", Ins: []Type{{Base: TBlob}}, Out: Type{Base: TInt}, Leaf: true},
+}
+
+// LookupBuiltin resolves a builtin by name: the static table above, or an
+// interlanguage leaf builtin synthesized from the embedded-language
+// registry (paper §III-C: name(code, expr...) evaluates a fragment in the
+// embedded interpreter and returns the result expression as a string).
+// Deriving the latter from internal/lang means a newly registered
+// language is immediately callable from Swift with no checker edits.
+func LookupBuiltin(name string) *Builtin {
+	if b, ok := Builtins[name]; ok {
+		return b
+	}
+	if reg, ok := lang.Lookup(name); ok {
+		ins := make([]Type, reg.NumArgs)
+		for i := range ins {
+			ins[i] = Type{Base: TString}
+		}
+		return &Builtin{Name: name, Ins: ins, Variadic: reg.Variadic, Out: Type{Base: TString}, Leaf: true}
+	}
+	return nil
 }
 
 // scope is one lexical scope of variable declarations.
@@ -84,7 +99,7 @@ func Check(prog *Program) (*Checker, error) {
 	// Function names must be unique and not collide with builtins.
 	seen := map[string]bool{}
 	for _, f := range prog.Funcs {
-		if Builtins[f.Name] != nil {
+		if LookupBuiltin(f.Name) != nil {
 			return nil, Errorf(f.Tok.Pos(), "function %q collides with a builtin", f.Name)
 		}
 		if seen[f.Name] {
@@ -409,7 +424,7 @@ func numeric(t Type) bool {
 // with zero or one output are allowed; in expression position exactly one
 // output is required.
 func (c *Checker) checkCall(call *Call, sc *scope, stmt bool) (Type, error) {
-	if b, ok := Builtins[call.Name]; ok {
+	if b := LookupBuiltin(call.Name); b != nil {
 		if err := c.checkBuiltinArgs(call, b, sc); err != nil {
 			return Type{}, err
 		}

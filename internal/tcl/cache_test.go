@@ -280,19 +280,19 @@ func TestProcCallDoesNotReparseBody(t *testing.T) {
 func TestMemoCacheFIFOEviction(t *testing.T) {
 	c := newMemoCache[int](3)
 	for i := 0; i < 5; i++ {
-		c.put(fmt.Sprintf("k%d", i), i)
+		c.Put(fmt.Sprintf("k%d", i), i)
 	}
-	if c.len() != 3 {
-		t.Fatalf("len = %d, want 3", c.len())
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
 	}
 	// Oldest two evicted, newest three resident.
 	for i := 0; i < 2; i++ {
-		if _, ok := c.get(fmt.Sprintf("k%d", i)); ok {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
 			t.Fatalf("k%d should have been evicted", i)
 		}
 	}
 	for i := 2; i < 5; i++ {
-		if v, ok := c.get(fmt.Sprintf("k%d", i)); !ok || v != i {
+		if v, ok := c.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
 			t.Fatalf("k%d missing after eviction", i)
 		}
 	}

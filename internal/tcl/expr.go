@@ -390,20 +390,18 @@ func (in *Interp) EvalExprBool(src string) (bool, error) {
 
 // compileExpr returns the memoized AST for src, parsing on a miss.
 func (in *Interp) compileExpr(src string) (exprNode, error) {
-	if n, ok := in.exprs.get(src); ok {
+	return in.exprs.GetOrCompute(src, func() (exprNode, error) {
+		p := &exprParser{src: src}
+		n, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos < len(p.src) {
+			return nil, fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
+		}
 		return n, nil
-	}
-	p := &exprParser{src: src}
-	n, err := p.parseTernary()
-	if err != nil {
-		return nil, err
-	}
-	p.skipSpace()
-	if p.pos < len(p.src) {
-		return nil, fmt.Errorf("tcl: expr: trailing garbage %q in %q", p.src[p.pos:], src)
-	}
-	in.exprs.put(src, n)
-	return n, nil
+	})
 }
 
 // ---- parser ----

@@ -271,15 +271,9 @@ func (in *Interp) Eval(src string) (string, error) {
 // Parse errors are not cached; erroneous scripts are rare and re-parsing
 // them keeps the cache free of dead entries.
 func (in *Interp) compile(src string) (*Script, error) {
-	if s, ok := in.scripts.get(src); ok {
-		return s, nil
-	}
-	s, err := CompileScript(src)
-	if err != nil {
-		return nil, err
-	}
-	in.scripts.put(src, s)
-	return s, nil
+	return in.scripts.GetOrCompute(src, func() (*Script, error) {
+		return CompileScript(src)
+	})
 }
 
 // EvalScript evaluates an already-compiled script. The script may be

@@ -1,5 +1,7 @@
 package tcl
 
+import "repro/internal/memo"
+
 // Compile-once support: scripts and expressions are parsed to an
 // immutable compiled form that can be evaluated any number of times, by
 // any interpreter. This is the analogue of Tcl's bytecode compiler for
@@ -46,42 +48,15 @@ func (s *Script) Source() string { return s.src }
 // Commands returns the number of commands in the compiled script.
 func (s *Script) Commands() int { return len(s.cmds) }
 
-// memoCache is a bounded string-keyed memoization cache with FIFO
-// eviction. Each interpreter owns one for scripts and one for compiled
+// memoCache is the shared bounded memoization cache (internal/memo).
+// Each interpreter owns one for scripts and one for compiled
 // expressions; a bounded cache keeps pathological workloads (e.g.
 // generated one-shot scripts with unique text) from growing memory
 // without limit while the steady-state working set — loop bodies, rule
 // actions, conditions — stays resident.
-type memoCache[V any] struct {
-	max   int
-	m     map[string]V
-	order []string // insertion order, oldest first
-}
+type memoCache[V any] = memo.Cache[V]
 
-func newMemoCache[V any](max int) *memoCache[V] {
-	return &memoCache[V]{max: max, m: make(map[string]V, 64)}
-}
-
-func (c *memoCache[V]) get(key string) (V, bool) {
-	v, ok := c.m[key]
-	return v, ok
-}
-
-func (c *memoCache[V]) put(key string, v V) {
-	if _, exists := c.m[key]; exists {
-		c.m[key] = v
-		return
-	}
-	if len(c.m) >= c.max {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.m, oldest)
-	}
-	c.m[key] = v
-	c.order = append(c.order, key)
-}
-
-func (c *memoCache[V]) len() int { return len(c.m) }
+func newMemoCache[V any](max int) *memoCache[V] { return memo.New[V](max) }
 
 // Default cache bounds. The Turbine workloads in this repo stay well
 // under these: a compiled program has tens of distinct procs and rule
@@ -94,5 +69,5 @@ const (
 // CacheStats reports the current number of memoized scripts and
 // expressions, for tests and diagnostics.
 func (in *Interp) CacheStats() (scripts, exprs int) {
-	return in.scripts.len(), in.exprs.len()
+	return in.scripts.Len(), in.exprs.Len()
 }

@@ -45,8 +45,9 @@ type Config struct {
 	// DisableSteal forwards to adlb.Config.DisableSteal.
 	DisableSteal bool
 	// Setup, if non-nil, runs on every rank's interpreter before
-	// execution begins; used to register language extensions (python::*,
-	// R::*, SWIG-generated wrappers) and user packages.
+	// execution begins; used to install the embedded-language engines
+	// from the lang registry (the <name>::eval dispatch commands),
+	// SWIG-generated wrappers, and user packages.
 	Setup func(in *tcl.Interp, env *Env) error
 	// Program is Turbine code (Tcl) loaded into every rank's interpreter
 	// before the run; typically STC compiler output defining procs.
