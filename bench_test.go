@@ -20,6 +20,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/blob"
 	"repro/internal/core"
+	"repro/internal/lang"
 	"repro/internal/mpi"
 	"repro/internal/nativelib"
 	"repro/internal/pfs"
@@ -687,6 +688,71 @@ s <- sum(v * v)`
 			}
 			if out != "385" {
 				b.Fatalf("out = %q", out)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Typed fragment arguments (Engine v2): a bulk float vector reaching an
+// engine as a typed blob argument (pre-bound as argv1, zero-copy Vec
+// view) versus the pre-redesign route of rendering the vector into the
+// fragment source as a decimal list literal and re-parsing it. Each
+// iteration perturbs the data, as distinct ensemble tasks would, so the
+// string path pays its real per-task render+parse cost.
+// ---------------------------------------------------------------------
+
+func BenchmarkTypedFragment(b *testing.B) {
+	const n = 100_000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 0.5 * float64(i)
+	}
+	reg, ok := lang.Lookup("python")
+	if !ok {
+		b.Fatal("python not registered")
+	}
+	b.Run("typed-blob-arg", func(b *testing.B) {
+		eng := reg.New(lang.Host{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data[i%n] = float64(i)
+			res, err := eng.Eval(lang.Call{
+				Code: "", Expr: "sum(argv1)",
+				Args: []lang.Value{lang.Floats(data)},
+				Want: lang.KindFloat,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.AsFloat(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("string-rendered", func(b *testing.B) {
+		eng := reg.New(lang.Host{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data[i%n] = float64(i)
+			var src strings.Builder
+			src.WriteString("v = [")
+			for j, x := range data {
+				if j > 0 {
+					src.WriteByte(',')
+				}
+				src.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+			}
+			src.WriteString("]")
+			res, err := eng.Eval(lang.Call{
+				Code: src.String(), Expr: "sum(v)",
+				Want: lang.KindFloat,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.AsFloat(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

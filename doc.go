@@ -54,37 +54,69 @@
 // repeated python(...)/r(...) fragments — the per-task hot path of
 // ensemble workloads — are parse-free in the steady state too.
 //
-// # The interlanguage engine layer (internal/lang)
+// # The interlanguage engine layer (internal/lang): typed calls
 //
-// Every embedded language is wired in through one subsystem. An Engine
-// is Name + EvalFragment(code, expr) + Reset + an eval counter; a
-// Registration couples an Engine factory with the Swift-level arity of
-// the builtin. The rest of the system derives from the registry:
+// Every embedded language is wired in through one subsystem, and calls
+// into it are typed end to end (Engine v2). The value model is
+// lang.Value, a tagged union of string, int, float, and blob — blobs
+// carry their payload bytes plus Fortran dims and an element kind
+// (internal/blob.Elem), the blobutils contract of §III-B made explicit.
+// An Engine is Name + Eval(Call) (Value, error) + Reset + an eval
+// counter, where Call{Code, Expr, Args, Want} is one typed request: Args
+// are pre-bound in the target interpreter as the variables argv1..argvN
+// before Code runs, and the Expr result returns as a typed Value, not a
+// rendering. A Registration couples the Engine factory with a Signature
+// — fixed string arity (code/expr), variadic typed extras, and a result
+// spec (ResultDynamic lets the Swift assignment context choose the
+// result type). The rest of the system derives from the registry:
 //
 //   - internal/swift.LookupBuiltin synthesizes the leaf builtin
-//     name(code, expr) -> string for any registered language, so the
-//     type checker needs no per-language table entries;
-//   - the generated prelude's sw:leaf dispatches unknown leaf names to
-//     the Tcl command <name>::eval;
+//     name(code, expr, args...) for any registered language from its
+//     Signature; extra arguments may be string, int, float, or blob, and
+//     `blob v = python(...)` / `float f = python(...)` type the result
+//     by context (Checker.checkExprAs), defaulting to string;
+//   - the compiler emits sw:leafcall actions carrying TD ids only; the
+//     prelude proc expands them to <name>::call, the typed dispatch
+//     surface, so blob arguments pass by data-store reference and no
+//     value renders into the action string (sw:leaf and <name>::eval
+//     remain as the string surface for app functions and direct Tcl
+//     callers);
+//   - <name>::call moves arguments and results through lang.DataPlane
+//     (implemented by turbine.Env.DataPlane over the rank's ADLB
+//     client); blob values cross the data store with dims and element
+//     kind riding alongside the payload (adlb.Value.Dims/Elem), and
+//     element bytes are never formatted as text anywhere on the route;
 //   - core.RunCompiled iterates lang.Registered() at rank setup and
-//     installs each <name>::eval via lang.Install, which creates the
-//     engine lazily on first use, applies the retain/reinit state policy
-//     (paper §III-C) after every fragment, and counts evaluations per
-//     language into Result.Evals (counters flow from the engines through
-//     the registry — there are no per-language atomics in core).
+//     installs both surfaces via lang.Install, which creates the engine
+//     lazily on first use, applies the retain/reinit state policy (paper
+//     §III-C) after every fragment, and counts evaluations per language
+//     into Result.Evals.
 //
-// The standard registrations (python, r, tcl, sh) live in
-// internal/lang/engines.go; adding a language is exactly one
-// lang.Register call, proven end to end by the toy-engine test in
-// internal/core/lang_e2e_test.go, which registers a language in a test
-// and calls it from Swift source with no edits to the checker, the
-// prelude, or core.
+// Inside the interpreters, blob arguments become native vectors: pylite
+// binds them as Vec — a zero-copy, list-like view over the packed bytes
+// (the SLIRP technique), mutable in place, returned bit-exact — and
+// rlite decodes them into real R numeric vectors, repacking results
+// under the incoming prototype's element kind and dims when values
+// permit (blob.PackLike), so float32/int32 identity round-trips stay
+// bit-exact. The strings-only Tcl engine binds raw payload bytes and
+// reattaches argument metadata to unmodified results.
+//
+// Declaring a new language means stating its Signature in one
+// lang.Register call: Fixed (how many leading string args), Variadic
+// (typed extras allowed), and Result (a pinned kind, or ResultDynamic
+// for context typing). Nothing else changes — the checker, prelude, and
+// core all derive from the registration, proven end to end by the
+// toy-engine test (internal/core/lang_e2e_test.go) and the typed probe
+// engines in internal/core/typed_roundtrip_test.go, which move blobs
+// Swift -> python/r/tcl -> Swift bit-exact.
 //
 // Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
-// interpreter alone; BenchmarkC5ControlScaling and
-// BenchmarkFig2WorkerScaling measure the end-to-end effect. Compare
-// before/after with `go test -bench=. -run=NONE -count=10 | benchstat`.
-// CHANGES.md records the numbers for each PR.
+// interpreter alone; BenchmarkTypedFragment compares a typed blob
+// argument against the old render-into-source route for a 1e5-element
+// vector; BenchmarkC5ControlScaling and BenchmarkFig2WorkerScaling
+// measure the end-to-end effect. Compare before/after with `go test
+// -bench=. -run=NONE -count=10 | benchstat`. CHANGES.md records the
+// numbers for each PR.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduction of the paper's figures and claims.

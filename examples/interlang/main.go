@@ -46,11 +46,21 @@ string tpow = tcl("expr {2 ** 8}");
 float w2 = wave(2);
 string banner = shout("hello");
 
+// Typed interlanguage calls (Engine v2): a float vector born in Python
+// crosses to R and back as a packed blob — pre-bound as argv1 in each
+// engine, entering as a native list/vector, with no string rendering of
+// element data anywhere on the route.
+blob xs = python("v = map(lambda i: 0.25 * i, range(16))", "v");
+blob scaled = r("y <- argv1 * 2 + 1", "y", xs);
+float total = python("", "sum(argv1)", scaled);
+int nbytes = blob_size(scaled);
+
 printf("python: sum(1..100) = %s", pysum);
 printf("r: sd(sample) = %s", rstat);
 printf("tcl: 6*7 = %i, 2**8 = %s", tprod, tpow);
 printf("native: waveform(2) = %f via %s", w2, simver());
 printf("shell: %s", banner);
+printf("blob pipeline: sum(2*xs + 1) = %f over %i packed bytes", total, nbytes);
 `
 
 func main() {

@@ -188,6 +188,66 @@ func TestPriorityOrder(t *testing.T) {
 	})
 }
 
+func TestPriorityAwareParkedMatching(t *testing.T) {
+	// Regression for FIFO-of-arrival delivery to parked clients: when a
+	// batch of items (a steal response) lands while a client is parked,
+	// the client must receive the highest-priority queued item, not the
+	// first-arrived one. Exercised white-box: rank 1 hosts a server
+	// struct whose queue is filled low-priority-first with a client
+	// already parked; rank 0 plays the parked client and asserts on the
+	// delivered item.
+	w, err := mpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := time.AfterFunc(30*time.Second, func() {
+		w.Abort(fmt.Errorf("test watchdog: world hung"))
+	})
+	defer fail.Stop()
+	item := func(prio int, tag byte) workItem {
+		return workItem{Type: typeWork, Priority: prio, Target: AnyRank, Payload: []byte{tag}}
+	}
+	err = w.Run(func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			// The parked client: wait for the single delivery.
+			data, st, ok, err := c.RecvTimeout(mpi.AnySource, mpi.AnyTag, 10*time.Second)
+			if err != nil || !ok {
+				return fmt.Errorf("recv: ok=%v err=%v", ok, err)
+			}
+			d := &decoder{buf: data}
+			if st.Tag != tagResponse || d.u8() != stOK {
+				return fmt.Errorf("unexpected response tag=%d", st.Tag)
+			}
+			got := decodeWorkItem(d)
+			if d.err != nil {
+				return d.err
+			}
+			if got.Priority != 5 || got.Payload[0] != 'H' {
+				return fmt.Errorf("parked client got priority %d (%q), want the highest-priority item", got.Priority, got.Payload)
+			}
+			return nil
+		}
+		s := newServer(c, testConfig(1), NewLayout(2, 1))
+		s.parked[0] = typeWork
+		s.parkOrder = []int{0}
+		// Batch arrives lowest-priority first — the adversarial arrival
+		// order for FIFO-of-arrival matching.
+		if s.enqueue(item(1, 'L')) && s.enqueue(item(5, 'H')) && s.enqueue(item(3, 'M')) {
+			s.matchParked(typeWork, AnyRank)
+		}
+		if len(s.parked) != 0 {
+			return fmt.Errorf("client still parked after matching")
+		}
+		if q := s.untargeted[typeWork]; q == nil || q.len() != 2 {
+			return fmt.Errorf("expected the two lower-priority items to stay queued")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTargetedPut(t *testing.T) {
 	// 3 clients: rank 0 sends targeted work to rank 2; ranks 1 and 2 Get.
 	// Only rank 2 may receive it.

@@ -111,21 +111,48 @@ func (t DataType) String() string {
 
 // Value is a typed datum in the data store. The Bytes field carries the
 // canonical encoding: 8-byte little-endian for integers and floats (IEEE
-// bits), UTF-8 for strings, raw bytes for blobs.
+// bits), UTF-8 for strings, raw bytes for blobs. Blob values additionally
+// carry layout metadata — logical Fortran extents and an element-kind
+// tag — so bulk numeric data keeps its shape and type across the store
+// without the payload ever being re-encoded (the blobutils contract: a
+// pointer + length pair reinterpreted at a given element type).
 type Value struct {
 	Type  DataType
 	Bytes []byte
+	Dims  []int // blob only: logical extents, column-major
+	Elem  uint8 // blob only: element kind (blob.Elem; 0 = raw bytes)
 }
 
 func encodeValue(e *encoder, v Value) {
 	e.u8(uint8(v.Type))
 	e.bytes(v.Bytes)
+	if v.Type == TypeBlob {
+		e.u8(v.Elem)
+		e.u32(uint32(len(v.Dims)))
+		for _, d := range v.Dims {
+			e.i64(int64(d))
+		}
+	}
 }
 
 func decodeValue(d *decoder) Value {
 	var v Value
 	v.Type = DataType(d.u8())
 	v.Bytes = append([]byte(nil), d.bytes()...)
+	if v.Type == TypeBlob {
+		v.Elem = d.u8()
+		n := int(d.u32())
+		if d.err == nil && (n < 0 || d.off+8*n > len(d.buf)) {
+			d.fail("blob dims")
+			return v
+		}
+		if n > 0 && d.err == nil {
+			v.Dims = make([]int, n)
+			for i := range v.Dims {
+				v.Dims[i] = int(d.i64())
+			}
+		}
+	}
 	return v
 }
 

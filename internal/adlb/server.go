@@ -228,8 +228,22 @@ func (s *server) handlePut(d *decoder, client int) error {
 	return s.respond(client, func(e *encoder) { e.u8(stOK) })
 }
 
-// acceptWork delivers w to a parked client if one matches, else enqueues.
+// acceptWork enqueues w and immediately matches parked clients against
+// the queue. Enqueue-then-match (rather than handing w itself to a
+// parked client) makes delivery priority-aware by construction: a parked
+// client always receives the highest-priority queued item, never merely
+// the most recently arrived one.
 func (s *server) acceptWork(w workItem) {
+	if !s.enqueue(w) {
+		return
+	}
+	s.matchParked(w.Type, w.Target)
+}
+
+// enqueue adds w to the appropriate queue (no delivery). It reports
+// whether the item was queued; targeted items at departed clients are
+// dropped and counted instead of stranded.
+func (s *server) enqueue(w workItem) bool {
 	if w.Target != AnyRank {
 		if s.departed[w.Target] {
 			// The target has been told NO_MORE_WORK and will never Get
@@ -238,11 +252,7 @@ func (s *server) acceptWork(w workItem) {
 			if s.stats() != nil {
 				s.stats().TargetedDropped.Add(1)
 			}
-			return
-		}
-		if t, ok := s.parked[w.Target]; ok && t == w.Type {
-			s.deliver(w.Target, w)
-			return
+			return false
 		}
 		k := targetKey{typ: w.Type, target: w.Target}
 		q := s.targeted[k]
@@ -251,14 +261,7 @@ func (s *server) acceptWork(w workItem) {
 			s.targeted[k] = q
 		}
 		q.push(w)
-		return
-	}
-	// Untargeted: first parked client (FIFO) wanting this type wins.
-	for _, r := range s.parkOrder {
-		if t, ok := s.parked[r]; ok && t == w.Type {
-			s.deliver(r, w)
-			return
-		}
+		return true
 	}
 	q := s.untargeted[w.Type]
 	if q == nil {
@@ -266,6 +269,49 @@ func (s *server) acceptWork(w workItem) {
 		s.untargeted[w.Type] = q
 	}
 	q.push(w)
+	return true
+}
+
+// matchParked hands queued items of (typ, target) to matching parked
+// clients, longest-parked client first, highest-priority item first
+// (priority-aware parked matching: when a batch — e.g. a steal response
+// — lands while clients are parked, each client must receive the best
+// queued item, not the batch's arrival order).
+func (s *server) matchParked(typ, target int) {
+	if target != AnyRank {
+		k := targetKey{typ: typ, target: target}
+		q := s.targeted[k]
+		if q == nil {
+			return
+		}
+		if t, ok := s.parked[target]; ok && t == typ {
+			if w, ok := q.pop(); ok {
+				s.deliver(target, w)
+			}
+		}
+		if q.len() == 0 {
+			delete(s.targeted, k)
+		}
+		return
+	}
+	q := s.untargeted[typ]
+	if q == nil {
+		return
+	}
+	for q.len() > 0 {
+		client, ok := -1, false
+		for _, r := range s.parkOrder {
+			if t, p := s.parked[r]; p && t == typ {
+				client, ok = r, true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		w, _ := q.pop()
+		s.deliver(client, w)
+	}
 }
 
 // deliver answers a parked (or newly parked) client's Get with work.
@@ -712,12 +758,27 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 			}
 		}
 		s.stealWait = s.stealBackoff
+		// Enqueue the whole batch before matching any parked client:
+		// item-by-item acceptance would hand the first-arrived item to
+		// the longest-parked client even when a higher-priority sibling
+		// is later in the same response.
+		touched := map[targetKey]bool{}
+		var order []targetKey
 		for i := 0; i < n; i++ {
 			w := decodeWorkItem(d)
 			if d.err != nil {
 				return d.err
 			}
-			s.acceptWork(w)
+			if s.enqueue(w) {
+				k := targetKey{typ: w.Type, target: w.Target}
+				if !touched[k] {
+					touched[k] = true
+					order = append(order, k)
+				}
+			}
+		}
+		for _, k := range order {
+			s.matchParked(k.typ, k.target)
 		}
 		return nil
 

@@ -16,15 +16,59 @@ import (
 	"math"
 )
 
+// Elem identifies the element interpretation of a blob's bytes — the
+// typed view blobutils would obtain by casting the void* to a typed
+// pointer. ElemBytes means the payload is uninterpreted.
+type Elem uint8
+
+// Element kinds.
+const (
+	ElemBytes Elem = iota
+	ElemF64
+	ElemF32
+	ElemI32
+	ElemI64
+)
+
+// Size returns the byte width of one element.
+func (e Elem) Size() int {
+	switch e {
+	case ElemF64, ElemI64:
+		return 8
+	case ElemF32, ElemI32:
+		return 4
+	}
+	return 1
+}
+
+func (e Elem) String() string {
+	switch e {
+	case ElemF64:
+		return "float64"
+	case ElemF32:
+		return "float32"
+	case ElemI32:
+		return "int32"
+	case ElemI64:
+		return "int64"
+	}
+	return "bytes"
+}
+
 // Blob is a binary large object: raw bytes plus an optional logical shape
-// for multidimensional array data. A nil Dims means a flat buffer.
+// for multidimensional array data and an element interpretation. A nil
+// Dims means a flat buffer; ElemBytes means uninterpreted payload.
 type Blob struct {
 	Data []byte
 	Dims []int // logical extents; Fortran (column-major) order when set
+	Elem Elem  // element view of Data (ElemBytes if unknown)
 }
 
 // New wraps raw bytes as a flat blob.
 func New(data []byte) Blob { return Blob{Data: data} }
+
+// Count returns the number of elements under the blob's element view.
+func (b Blob) Count() int { return len(b.Data) / b.Elem.Size() }
 
 // Len returns the byte length.
 func (b Blob) Len() int { return len(b.Data) }
@@ -44,7 +88,28 @@ func FromFloat64s(v []float64) Blob {
 	for i, f := range v {
 		binary.LittleEndian.PutUint64(data[8*i:], math.Float64bits(f))
 	}
-	return Blob{Data: data}
+	return Blob{Data: data, Elem: ElemF64}
+}
+
+// FromFloat32s packs a float32 slice into a blob (the C float* view).
+func FromFloat32s(v []float32) Blob {
+	data := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(data[4*i:], math.Float32bits(f))
+	}
+	return Blob{Data: data, Elem: ElemF32}
+}
+
+// ToFloat32s reinterprets a blob as a float32 slice.
+func ToFloat32s(b Blob) ([]float32, error) {
+	if len(b.Data)%4 != 0 {
+		return nil, fmt.Errorf("blob: %d bytes is not a whole number of float32s", len(b.Data))
+	}
+	out := make([]float32, len(b.Data)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b.Data[4*i:]))
+	}
+	return out, nil
 }
 
 // ToFloat64s reinterprets a blob as a float64 slice.
@@ -65,7 +130,7 @@ func FromInt32s(v []int32) Blob {
 	for i, n := range v {
 		binary.LittleEndian.PutUint32(data[4*i:], uint32(n))
 	}
-	return Blob{Data: data}
+	return Blob{Data: data, Elem: ElemI32}
 }
 
 // ToInt32s reinterprets a blob as an int32 slice.
@@ -86,7 +151,7 @@ func FromInt64s(v []int64) Blob {
 	for i, n := range v {
 		binary.LittleEndian.PutUint64(data[8*i:], uint64(n))
 	}
-	return Blob{Data: data}
+	return Blob{Data: data, Elem: ElemI64}
 }
 
 // ToInt64s reinterprets a blob as an int64 slice.
@@ -117,6 +182,115 @@ func ToString(b Blob) string {
 		}
 	}
 	return string(b.Data)
+}
+
+// Floats decodes the blob's elements as float64s under its element view
+// (float kinds widen exactly; integer kinds and raw bytes convert).
+func (b Blob) Floats() ([]float64, error) {
+	switch b.Elem {
+	case ElemF64:
+		return ToFloat64s(Blob{Data: b.Data})
+	case ElemF32:
+		v, err := ToFloat32s(Blob{Data: b.Data})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(v))
+		for i, f := range v {
+			out[i] = float64(f)
+		}
+		return out, nil
+	case ElemI32:
+		v, err := ToInt32s(Blob{Data: b.Data})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(v))
+		for i, n := range v {
+			out[i] = float64(n)
+		}
+		return out, nil
+	case ElemI64:
+		v, err := ToInt64s(Blob{Data: b.Data})
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(v))
+		for i, n := range v {
+			out[i] = float64(n)
+		}
+		return out, nil
+	}
+	out := make([]float64, len(b.Data))
+	for i, c := range b.Data {
+		out[i] = float64(c)
+	}
+	return out, nil
+}
+
+// PackLike packs xs into a blob, preferring the prototype's element view
+// and dims when the length matches and every value is exactly
+// representable under it; otherwise it falls back to a flat float64
+// blob. This keeps identity round-trips through an interpreter bit-exact
+// for narrow element kinds (float32/int32) without widening them.
+func PackLike(xs []float64, proto Blob) Blob {
+	if proto.Elem != ElemF64 && len(xs) != proto.Count() {
+		return FromFloat64s(xs)
+	}
+	var out Blob
+	switch proto.Elem {
+	case ElemF32:
+		v := make([]float32, len(xs))
+		for i, x := range xs {
+			f := float32(x)
+			if float64(f) != x {
+				return FromFloat64s(xs)
+			}
+			v[i] = f
+		}
+		out = FromFloat32s(v)
+	case ElemI32:
+		v := make([]int32, len(xs))
+		for i, x := range xs {
+			n := int32(x)
+			if float64(n) != x {
+				return FromFloat64s(xs)
+			}
+			v[i] = n
+		}
+		out = FromInt32s(v)
+	case ElemI64:
+		v := make([]int64, len(xs))
+		for i, x := range xs {
+			n := int64(x)
+			if float64(n) != x {
+				return FromFloat64s(xs)
+			}
+			v[i] = n
+		}
+		out = FromInt64s(v)
+	case ElemBytes:
+		data := make([]byte, len(xs))
+		for i, x := range xs {
+			c := byte(x)
+			if float64(c) != x {
+				return FromFloat64s(xs)
+			}
+			data[i] = c
+		}
+		out = Blob{Data: data}
+	default:
+		out = FromFloat64s(xs)
+	}
+	if n := 1; proto.Dims != nil {
+		for _, d := range proto.Dims {
+			n *= d
+		}
+		if n == len(xs) {
+			out.Dims = append([]int(nil), proto.Dims...)
+		}
+	}
+	return out
 }
 
 // Matrix is a dense 2-D float64 array in Fortran (column-major) layout,

@@ -230,12 +230,16 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 				return "", fmt.Errorf("core: no filesystem mounted for %q", path)
 			}
 			// Install every registered embedded language on this rank:
-			// the engine is created lazily on first <name>::eval call,
-			// the state policy applies uniformly, and evaluations are
-			// counted per language.
+			// the engine is created lazily on the first <name>::eval or
+			// <name>::call, the state policy applies uniformly, and
+			// evaluations are counted per language. The rank's data
+			// plane gives the typed surface direct store access, so
+			// compiled interlanguage calls move arguments and results
+			// without string rendering.
 			host := lang.Host{Out: sink, Shell: sys}
+			dp := env.DataPlane()
 			for _, reg := range langs {
-				lang.Install(in, reg, host, cfg.Policy, counters)
+				lang.Install(in, reg, host, cfg.Policy, counters, dp)
 			}
 			for _, lib := range cfg.NativeLibs {
 				if _, err := swig.Bind(in, lib); err != nil {

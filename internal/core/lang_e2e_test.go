@@ -14,9 +14,9 @@ import (
 	"repro/internal/lang"
 )
 
-// revEngine is a toy language: code names a variable to bind, expr is
-// text to reverse and remember. State persists across fragments so the
-// retain/reinit policy is observable.
+// revEngine is a toy language on the typed Engine v2 contract: code
+// names a variable to bind, expr is text to reverse and remember. State
+// persists across fragments so the retain/reinit policy is observable.
 type revEngine struct {
 	vars  map[string]string
 	evals int64
@@ -28,28 +28,28 @@ func newRevEngine(h lang.Host) lang.Engine {
 
 func (e *revEngine) Name() string { return "rev" }
 
-func (e *revEngine) EvalFragment(code, expr string) (string, error) {
+func (e *revEngine) Eval(c lang.Call) (lang.Value, error) {
 	e.evals++
-	b := []byte(expr)
+	b := []byte(c.Expr)
 	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
 		b[i], b[j] = b[j], b[i]
 	}
 	out := string(b)
-	if code != "" {
-		e.vars[code] = out
+	if c.Code != "" {
+		e.vars[c.Code] = out
 	}
-	if prev, ok := e.vars[expr]; ok {
+	if prev, ok := e.vars[c.Expr]; ok {
 		// A bare variable name in expr recalls the stored value.
-		return prev, nil
+		return lang.Str(prev), nil
 	}
-	return out, nil
+	return lang.Str(out), nil
 }
 
 func (e *revEngine) Reset()       { e.vars = map[string]string{} }
 func (e *revEngine) Evals() int64 { return e.evals }
 
 func TestToyEngineEndToEnd(t *testing.T) {
-	lang.Register(lang.Registration{Name: "rev", NumArgs: 2, New: newRevEngine})
+	lang.Register(lang.Registration{Name: "rev", Sig: lang.Signature{Fixed: 2}, New: newRevEngine})
 	defer lang.Unregister("rev")
 
 	res, err := Run(`
@@ -78,7 +78,7 @@ func TestToyEngineUnknownAfterUnregister(t *testing.T) {
 }
 
 func TestToyEnginePolicyReinit(t *testing.T) {
-	lang.Register(lang.Registration{Name: "rev", NumArgs: 2, New: newRevEngine})
+	lang.Register(lang.Registration{Name: "rev", Sig: lang.Signature{Fixed: 2}, New: newRevEngine})
 	defer lang.Unregister("rev")
 
 	// Under Retain the second task recalls the "x" binding stored by the

@@ -4,14 +4,22 @@ package lang
 // (§III-C Python and R, §III-A Tcl, and the shell interface), each an
 // Engine over the corresponding interpreter package. These init-time
 // Register calls are the single wiring site per language — the Swift
-// type checker, the sw:leaf dispatch, and the per-rank installation all
-// derive from the registry.
+// type checker, the compiled sw:leafcall dispatch, and the per-rank
+// installation all derive from the registry.
+//
+// All four speak the typed calling convention: extra arguments bind as
+// argv1..argvN before the fragment runs (blob arguments become native
+// vectors), and results return typed. Only the Tcl and shell engines —
+// whose surfaces are strings by nature — render argument values, and
+// even they pass blob payloads as raw bytes, never as formatted element
+// text.
 
 import (
 	"fmt"
 	"io"
 	"strings"
 
+	"repro/internal/blob"
 	"repro/internal/memo"
 	"repro/internal/pylite"
 	"repro/internal/rlite"
@@ -20,17 +28,33 @@ import (
 )
 
 func init() {
-	Register(Registration{Name: "python", NumArgs: 2, New: newPythonEngine})
-	Register(Registration{Name: "r", NumArgs: 2, New: newREngine})
-	Register(Registration{Name: "tcl", NumArgs: 1, New: newTclEngine})
-	Register(Registration{Name: "sh", NumArgs: 1, Variadic: true, New: newShellEngine})
+	Register(Registration{Name: "python", Sig: Signature{Fixed: 2, Variadic: true}, New: newPythonEngine})
+	Register(Registration{Name: "r", Sig: Signature{Fixed: 2, Variadic: true}, New: newREngine})
+	Register(Registration{Name: "tcl", Sig: Signature{Fixed: 1, Variadic: true}, New: newTclEngine})
+	Register(Registration{Name: "sh", Sig: Signature{Fixed: 1, Variadic: true, Result: ResultString}, New: newShellEngine})
 }
+
+// argName is the pre-bound variable name of extra argument i (0-based).
+func argName(i int) string { return fmt.Sprintf("argv%d", i+1) }
 
 // pythonEngine embeds a pylite interpreter (the paper's "Python
 // interpreter as a native code library").
 type pythonEngine struct {
 	in    *pylite.Interp
+	argn  int // argv bindings currently installed (see unbindStale)
 	evals int64
+}
+
+// Stale argv bindings must not leak between tasks: under PolicyRetain a
+// fragment referencing argvN beyond its own argument count would
+// otherwise silently read a previous task's data instead of failing.
+// Each engine unbinds argv(n+1)..argv(prev) after binding its n args.
+
+func (e *pythonEngine) unbindStale(n int) {
+	for i := n; i < e.argn; i++ {
+		e.in.DelGlobal(argName(i))
+	}
+	e.argn = n
 }
 
 func newPythonEngine(h Host) Engine {
@@ -43,18 +67,109 @@ func newPythonEngine(h Host) Engine {
 
 func (e *pythonEngine) Name() string { return "python" }
 
-func (e *pythonEngine) EvalFragment(code, expr string) (string, error) {
+func (e *pythonEngine) Eval(c Call) (Value, error) {
 	e.evals++
-	return e.in.EvalFragment(code, expr)
+	// Convert every argument before binding any: a failure mid-list must
+	// not leave a partial argv set behind (nothing is bound, argn is
+	// untouched, and the previous task's bindings get cleaned next time).
+	vals := make([]pylite.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := pyValue(a)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+	}
+	for i, v := range vals {
+		e.in.SetGlobal(argName(i), v)
+	}
+	e.unbindStale(len(c.Args))
+	if strings.TrimSpace(c.Code) != "" {
+		if err := e.in.Exec(c.Code); err != nil {
+			return Value{}, err
+		}
+	}
+	if strings.TrimSpace(c.Expr) == "" {
+		return Str(""), nil
+	}
+	v, err := e.in.EvalExpr(c.Expr)
+	if err != nil {
+		return Value{}, err
+	}
+	return pyResult(v, c.Want)
 }
 
 func (e *pythonEngine) Reset()       { e.in.Reset() }
 func (e *pythonEngine) Evals() int64 { return e.evals }
 
+// pyValue converts a typed argument into its Python binding: scalars
+// enter as native numbers/strings, blobs as zero-copy Vec views.
+func pyValue(a Value) (pylite.Value, error) {
+	switch a.Kind() {
+	case KindInt:
+		n, err := a.AsInt()
+		return n, err
+	case KindFloat:
+		f, err := a.AsFloat()
+		return f, err
+	case KindBlob:
+		return pylite.NewVec(a.AsBlob())
+	}
+	return a.Render(), nil
+}
+
+// pyResult converts an expression result back into a typed value. A Vec
+// leaves with its backing blob intact (bit-exact, dims and element kind
+// preserved); a fresh numeric list packs into a blob only when the
+// caller wants one, and renders as text otherwise (the historical
+// string behaviour).
+func pyResult(v pylite.Value, want Kind) (Value, error) {
+	switch x := v.(type) {
+	case int64:
+		return Int(x), nil
+	case float64:
+		return Float(x), nil
+	case string:
+		return Str(x), nil
+	case *pylite.Vec:
+		if want == KindBlob {
+			return BlobOf(x.B), nil
+		}
+		// Rendered like a list in string/number contexts, matching how
+		// fresh lists (and R vectors) behave there.
+	case bool:
+		if want == KindInt || want == KindFloat {
+			if x {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		}
+	case *pylite.List:
+		if want == KindBlob {
+			b, err := pylite.PackValues(x.Items)
+			if err != nil {
+				return Value{}, err
+			}
+			return BlobOf(b), nil
+		}
+	case nil:
+		return Str(""), nil
+	}
+	return Str(pylite.Str(v)), nil
+}
+
 // rEngine embeds an rlite interpreter (linking libR into the runtime).
 type rEngine struct {
 	in    *rlite.Interp
+	argn  int
 	evals int64
+}
+
+func (e *rEngine) unbindStale(n int) {
+	for i := n; i < e.argn; i++ {
+		e.in.DelGlobal(argName(i))
+	}
+	e.argn = n
 }
 
 func newREngine(h Host) Engine {
@@ -67,13 +182,93 @@ func newREngine(h Host) Engine {
 
 func (e *rEngine) Name() string { return "r" }
 
-func (e *rEngine) EvalFragment(code, expr string) (string, error) {
+func (e *rEngine) Eval(c Call) (Value, error) {
 	e.evals++
-	return e.in.EvalFragment(code, expr)
+	// bound maps each blob argument's decoded vector back to its source
+	// blob: a result that IS a bound vector (identity, including through
+	// assignments — R names share the vector object) leaves bit-exact
+	// under its own metadata, never another argument's.
+	bound := map[*rlite.NumVec]blob.Blob{}
+	var protos []blob.Blob
+	// Convert every argument before binding any (see pythonEngine.Eval).
+	vals := make([]rlite.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := rValue(a)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+	}
+	for i, v := range vals {
+		e.in.SetGlobal(argName(i), v)
+		if a := c.Args[i]; a.Kind() == KindBlob {
+			b := a.AsBlob()
+			protos = append(protos, b)
+			if nv, ok := v.(*rlite.NumVec); ok {
+				bound[nv] = b
+			}
+		}
+	}
+	e.unbindStale(len(c.Args))
+	if strings.TrimSpace(c.Code) != "" {
+		if _, err := e.in.Eval(c.Code); err != nil {
+			return Value{}, err
+		}
+	}
+	if strings.TrimSpace(c.Expr) == "" {
+		return Str(""), nil
+	}
+	v, err := e.in.Eval(c.Expr)
+	if err != nil {
+		return Value{}, err
+	}
+	return rResult(v, c.Want, bound, protos)
 }
 
 func (e *rEngine) Reset()       { e.in.Reset() }
 func (e *rEngine) Evals() int64 { return e.evals }
+
+// rValue converts a typed argument into its R binding: numbers become
+// length-1 numeric vectors, blobs decode into real numeric vectors so R
+// fragments apply native vectorised arithmetic to them.
+func rValue(a Value) (rlite.Value, error) {
+	switch a.Kind() {
+	case KindInt:
+		n, err := a.AsInt()
+		return rlite.Num(float64(n)), err
+	case KindFloat:
+		f, err := a.AsFloat()
+		return rlite.Num(f), err
+	case KindBlob:
+		return rlite.NumVecFromBlob(a.AsBlob())
+	}
+	return rlite.Chr(a.Render()), nil
+}
+
+// rResult converts an R result back into a typed value. Numeric vectors
+// pack into blobs when a blob is wanted: a vector that is (still) a
+// bound argument repacks under that argument's own element kind and dims
+// (identity round-trips stay bit-exact); a fresh vector adopts the sole
+// blob argument's prototype when there is exactly one — with several,
+// provenance is ambiguous and the safe flat float64 form wins. Scalars
+// return as numbers; everything else deparses.
+func rResult(v rlite.Value, want Kind, bound map[*rlite.NumVec]blob.Blob, protos []blob.Blob) (Value, error) {
+	if nv, ok := v.(*rlite.NumVec); ok {
+		switch {
+		case want == KindBlob:
+			proto := blob.Blob{Elem: blob.ElemF64}
+			if src, ok := bound[nv]; ok {
+				proto = src
+			} else if len(protos) == 1 {
+				proto = protos[0]
+			}
+			return BlobOf(blob.PackLike(nv.V, proto)), nil
+		case (want == KindInt || want == KindFloat) && len(nv.V) == 1:
+			return Float(nv.V[0]), nil
+		}
+	}
+	return Str(rlite.Deparse(v)), nil
+}
 
 // tclEngine embeds a dedicated Tcl interpreter per rank, distinct from
 // the rank's Turbine runtime interpreter: tcl(...) fragments get the
@@ -87,7 +282,16 @@ type tclEngine struct {
 	out   io.Writer
 	in    *tcl.Interp
 	progs *memo.Cache[*tcl.Script]
+	argn  int
 	evals int64
+}
+
+func (e *tclEngine) unbindStale(n int) {
+	for i := n; i < e.argn; i++ {
+		// Already-absent variables (e.g. after Reset) are fine to skip.
+		_ = e.in.UnsetVar(argName(i))
+	}
+	e.argn = n
 }
 
 // tclProgCacheSize bounds the engine's fragment cache (see pylite).
@@ -101,16 +305,75 @@ func newTclEngine(h Host) Engine {
 
 func (e *tclEngine) Name() string { return "tcl" }
 
-func (e *tclEngine) EvalFragment(code, expr string) (string, error) {
+// Eval binds extra arguments as argv1..argvN (Tcl values are strings;
+// blob payloads bind as their raw bytes, uninterpreted), evaluates Code
+// through the compile-once cache, and returns the result. When a blob is
+// wanted and the result bytes are an unmodified argument payload, the
+// argument's dims and element kind reattach, keeping identity
+// round-trips bit-exact even through a strings-only language.
+func (e *tclEngine) Eval(c Call) (Value, error) {
 	e.evals++
-	res, err := e.evalCached(code)
+	for i, a := range c.Args {
+		if err := e.in.SetVar(argName(i), a.Render()); err != nil {
+			// args 0..i-1 bound; record them so the next call cleans up.
+			if i > e.argn {
+				e.argn = i
+			}
+			return Value{}, err
+		}
+	}
+	e.unbindStale(len(c.Args))
+	res, err := e.evalCached(c.Code)
 	if err != nil {
-		return "", err
+		return Value{}, err
 	}
-	if strings.TrimSpace(expr) != "" {
-		return e.evalCached(expr)
+	if strings.TrimSpace(c.Expr) != "" {
+		if res, err = e.evalCached(c.Expr); err != nil {
+			return Value{}, err
+		}
 	}
-	return res, nil
+	if c.Want == KindBlob {
+		// Reattach metadata only when unambiguous: if two arguments own
+		// the same payload bytes but disagree on dims/element kind, a
+		// first-match pick could hand back the wrong view — raw bytes
+		// are the honest answer then.
+		var match *Value
+		ambiguous := false
+		for i := range c.Args {
+			a := c.Args[i]
+			if a.Kind() != KindBlob {
+				continue
+			}
+			b := a.AsBlob()
+			if string(b.Data) != res {
+				continue
+			}
+			if match == nil {
+				m := a
+				match = &m
+			} else if !sameBlobMeta(match.AsBlob(), b) {
+				ambiguous = true
+			}
+		}
+		if match != nil && !ambiguous {
+			return *match, nil
+		}
+		return BlobOf(blob.New([]byte(res))), nil
+	}
+	return Str(res), nil
+}
+
+// sameBlobMeta reports whether two blobs agree on element kind and dims.
+func sameBlobMeta(a, b blob.Blob) bool {
+	if a.Elem != b.Elem || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // evalCached evaluates a fragment through the engine's compile-once
@@ -137,42 +400,56 @@ func (e *tclEngine) Reset() {
 
 func (e *tclEngine) Evals() int64 { return e.evals }
 
-// shellEngine runs argv through the simulated process table (the app
+// shellEngine runs commands through the simulated process table (the app
 // function / sh(...) interface; §III-C notes BG/Q machines forbid it).
-// The shell holds no per-task interpreter state, so Reset is a no-op.
 type shellEngine struct {
-	sys   *shell.System
+	sys *shell.System
+	// owned marks an engine-created default system (no host machine was
+	// provided); only owned state may be discarded on Reset.
+	owned bool
 	evals int64
 }
 
 func newShellEngine(h Host) Engine {
-	sys := h.Shell
-	if sys == nil {
-		sys = shell.NewSystem(shell.ModeCluster, nil)
+	e := &shellEngine{sys: h.Shell}
+	if e.sys == nil {
+		e.owned = true
+		e.Reset()
 	}
-	return &shellEngine{sys: sys}
+	return e
 }
 
 func (e *shellEngine) Name() string { return "sh" }
 
-// EvalFragment executes code as a Tcl-list-packed argv (see packArgs);
-// expr is unused. The trailing newline of the captured stdout is
-// stripped, matching command-substitution conventions.
-func (e *shellEngine) EvalFragment(code, _ string) (string, error) {
+// Eval executes Code as the command word with Args as its argv; Expr is
+// unused. The trailing newline of the captured stdout is stripped,
+// matching command-substitution conventions.
+func (e *shellEngine) Eval(c Call) (Value, error) {
 	e.evals++
-	argv, err := tcl.ParseList(code)
-	if err != nil {
-		return "", fmt.Errorf("sh: bad argv list: %w", err)
+	if strings.TrimSpace(c.Code) == "" {
+		return Value{}, fmt.Errorf("sh: empty command")
 	}
-	if len(argv) == 0 {
-		return "", fmt.Errorf("sh: empty command")
+	argv := make([]string, 0, 1+len(c.Args))
+	argv = append(argv, c.Code)
+	for _, a := range c.Args {
+		argv = append(argv, a.Render())
 	}
 	out, err := e.sys.Exec(argv, "")
 	if err != nil {
-		return "", err
+		return Value{}, err
 	}
-	return strings.TrimRight(out, "\n"), nil
+	return Str(strings.TrimRight(out, "\n")), nil
 }
 
-func (e *shellEngine) Reset()       {}
+// Reset discards simulated shell state: an engine-owned process table
+// (and its spawn accounting) is recreated from scratch, so PolicyReinit
+// cannot leak state across tasks. A host-provided System is the
+// machine shared by every rank and is deliberately left intact — one
+// task's reinitialisation must not wipe the cluster.
+func (e *shellEngine) Reset() {
+	if e.owned {
+		e.sys = shell.NewSystem(shell.ModeCluster, nil)
+	}
+}
+
 func (e *shellEngine) Evals() int64 { return e.evals }

@@ -7,15 +7,18 @@
 // call, and every other layer derives from the registry:
 //
 //   - type checking: internal/swift synthesizes the leaf builtin
-//     (name(code, expr) -> string) from the registration, so a Swift
-//     program may call any registered language;
-//   - dispatch: the generated prelude's sw:leaf routes unknown leaf
-//     names to the Tcl command <name>::eval, which Install registers on
-//     every rank;
+//     (name(code, expr, args...) with typed extra arguments and a
+//     context-typed result) from the registration's Signature, so a
+//     Swift program may call any registered language;
+//   - dispatch: the compiler emits sw:leafcall actions that route to the
+//     Tcl command <name>::call — TD ids only, no rendered values — and
+//     the prelude's sw:leaf string fallback routes to <name>::eval; both
+//     are registered per rank by Install;
 //   - execution: core.RunCompiled iterates Registered() at rank setup
 //     and installs each engine lazily, with the paper's retain/reinit
 //     state policy (§III-C) and per-language eval counters applied
-//     uniformly.
+//     uniformly; the typed surface moves arguments and results through
+//     the DataPlane, so blob element data never renders as text.
 //
 // Adding a language therefore touches exactly one registration site; see
 // the toy-engine test in internal/core for the end-to-end proof.
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -48,19 +52,35 @@ const (
 	PolicyReinit
 )
 
+// Call is one typed fragment-evaluation request (Engine v2): execute
+// Code, then evaluate Expr and return its value. Args are pre-bound in
+// the target interpreter as the variables argv1..argvN before Code runs
+// (blob args become native vectors — a Python list-like view, an R
+// numeric vector — with no string rendering of element data). Want is
+// the kind the caller will store the result as; engines use it to
+// disambiguate results with several faithful encodings (a Python list is
+// a blob only when a blob is wanted, a rendering otherwise).
+type Call struct {
+	Code string
+	Expr string
+	Args []Value
+	Want Kind
+}
+
 // Engine is one embedded language engine instance. Each rank owns its
 // own engines (created lazily on first use, like loading an interpreter
 // library into the process), so no locking is needed inside an Engine.
 type Engine interface {
 	// Name is the language name: the Swift builtin, the Tcl dispatch
-	// command <name>::eval, and the counter key are all derived from it.
+	// commands <name>::eval and <name>::call, and the counter key are
+	// all derived from it.
 	Name() string
-	// EvalFragment executes code, then evaluates expr and returns its
-	// string rendering — the Swift name(code, expr) contract. Engines
-	// whose surface is narrower map onto it: the tcl engine evaluates
-	// code (and expr, when present) as scripts; the sh engine receives
-	// the argv packed as a Tcl list in code with expr empty.
-	EvalFragment(code, expr string) (string, error)
+	// Eval executes one typed request and returns the typed result: the
+	// Swift name(code, expr, args...) contract. Engines whose surface is
+	// narrower map onto it: the tcl engine evaluates Code (its single
+	// fixed argument) as a script; the sh engine treats Code as the
+	// command word and Args as its argv.
+	Eval(c Call) (Value, error)
 	// Reset discards interpreter state (PolicyReinit). Engines without
 	// retained state may make this a no-op.
 	Reset()
@@ -80,17 +100,44 @@ type Host struct {
 	Shell *shell.System
 }
 
+// ResultSpec pins the Swift-level result type of a language's leaf
+// builtin. ResultDynamic (the zero value) lets the assignment context
+// choose — `blob v = python(...)` types as blob, `float f = python(...)`
+// as float — defaulting to string when unconstrained.
+type ResultSpec uint8
+
+// Result specs.
+const (
+	ResultDynamic ResultSpec = iota
+	ResultString
+	ResultInt
+	ResultFloat
+	ResultBlob
+)
+
+// Signature is the Swift-level calling convention of a language's leaf
+// builtin — the registry's description of arg and return types, from
+// which the type checker synthesizes the builtin and the compiler emits
+// the typed dispatch.
+type Signature struct {
+	// Fixed is the number of fixed string arguments: 2 for
+	// python(code, expr), 1 for tcl(code) and sh(cmd).
+	Fixed int
+	// Variadic permits extra typed arguments (string, int, float, or
+	// blob) after the fixed prefix; they reach the engine as Call.Args
+	// and are pre-bound in the interpreter as argv1..argvN.
+	Variadic bool
+	// Result pins the builtin's result type; ResultDynamic defers to the
+	// Swift assignment context.
+	Result ResultSpec
+}
+
 // Registration describes one embedded language.
 type Registration struct {
 	// Name is the language name; it must be a valid Swift identifier.
 	Name string
-	// NumArgs is the number of fixed string arguments of the Swift
-	// builtin (2 for python(code, expr), 1 for tcl(code)).
-	NumArgs int
-	// Variadic permits extra string arguments beyond NumArgs (sh). The
-	// full argument list reaches the engine packed as a Tcl list in
-	// code.
-	Variadic bool
+	// Sig is the Swift-level signature of the leaf builtin.
+	Sig Signature
 	// New creates the per-rank engine instance.
 	New func(h Host) Engine
 }
@@ -106,11 +153,10 @@ func Register(reg Registration) {
 	if reg.Name == "" || reg.New == nil {
 		panic("lang: Register needs a Name and a New factory")
 	}
-	if reg.NumArgs < 1 || reg.NumArgs > 2 {
-		// EvalFragment carries at most (code, expr); wider fixed arity
-		// has nowhere to go. Variadic languages receive the argv as a
-		// packed list instead.
-		panic(fmt.Sprintf("lang: Register(%q): NumArgs must be 1 or 2", reg.Name))
+	if reg.Sig.Fixed < 1 || reg.Sig.Fixed > 2 {
+		// Call carries at most (Code, Expr); wider fixed arity has
+		// nowhere to go. Extra data travels as typed Args instead.
+		panic(fmt.Sprintf("lang: Register(%q): Sig.Fixed must be 1 or 2", reg.Name))
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -181,23 +227,39 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return out
 }
 
-// Install registers the Tcl dispatch command <name>::eval for one
-// language on one rank's interpreter. The engine is created lazily on
-// first use (the paper's "load the interpreter library on demand"), the
-// state policy is applied after every fragment, and each evaluation is
-// counted under the language name.
-func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *Counters) {
+// DataPlane is the typed data-store surface Install uses to move
+// arguments and results between turbine data (TDs) and engines without
+// rendering element data through strings: blob arguments pass by
+// data-store reference (only their ids appear in the dispatch action)
+// and the payload bytes flow store -> engine -> store directly. The
+// Turbine layer implements it over the rank's ADLB client.
+type DataPlane interface {
+	// Load retrieves a closed TD as a typed Value (blob TDs keep their
+	// dims and element kind).
+	Load(id int64) (Value, error)
+	// StoreAs stores a typed value into a TD of the named turbine type
+	// ("integer", "float", "string", "blob", "void"), converting where
+	// the kinds differ.
+	StoreAs(id int64, td string, v Value) error
+}
+
+// Install registers the Tcl dispatch commands for one language on one
+// rank's interpreter: <name>::eval, the string surface used by sh
+// app-function code and direct Tcl callers, and — when a DataPlane is
+// available — <name>::call, the typed surface the compiled sw:leafcall
+// dispatch uses (out id, out type, then one TD id per argument). Both
+// share a single engine instance created lazily on first use (the
+// paper's "load the interpreter library on demand"); the state policy is
+// applied after every fragment, and each evaluation is counted under the
+// language name.
+func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *Counters, dp DataPlane) {
 	var eng Engine // one instance per rank, created on first call
-	in.RegisterCommand(reg.Name+"::eval", func(ti *tcl.Interp, args []string) (string, error) {
-		code, expr, err := packArgs(reg, args[1:])
-		if err != nil {
-			return "", err
-		}
+	run := func(c Call) (Value, error) {
 		if eng == nil {
 			eng = reg.New(h)
 		}
 		before := eng.Evals()
-		res, err := eng.EvalFragment(code, expr)
+		res, err := eng.Eval(c)
 		if counters != nil {
 			// The engine's own counter is the source of truth; the
 			// run-wide aggregate advances by whatever it reports.
@@ -207,26 +269,92 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 			eng.Reset()
 		}
 		if err != nil {
-			return "", fmt.Errorf("%s: %w", reg.Name, err)
+			return Value{}, fmt.Errorf("%s: %w", reg.Name, err)
 		}
 		return res, nil
+	}
+
+	in.RegisterCommand(reg.Name+"::eval", func(ti *tcl.Interp, args []string) (string, error) {
+		vals := make([]Value, len(args)-1)
+		for i, a := range args[1:] {
+			vals[i] = Str(a)
+		}
+		c, err := buildCall(reg, vals, KindString)
+		if err != nil {
+			return "", err
+		}
+		res, err := run(c)
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+
+	if dp == nil {
+		return
+	}
+	in.RegisterCommand(reg.Name+"::call", func(ti *tcl.Interp, args []string) (string, error) {
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: %s::call <out> <outtype> <argid>...", reg.Name)
+		}
+		out, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("%s::call: bad out id %q", reg.Name, args[1])
+		}
+		outtype := args[2]
+		vals := make([]Value, len(args)-3)
+		for i, idStr := range args[3:] {
+			id, err := strconv.ParseInt(idStr, 10, 64)
+			if err != nil {
+				return "", fmt.Errorf("%s::call: bad arg id %q", reg.Name, idStr)
+			}
+			if vals[i], err = dp.Load(id); err != nil {
+				return "", err
+			}
+		}
+		c, err := buildCall(reg, vals, wantOf(outtype))
+		if err != nil {
+			return "", err
+		}
+		res, err := run(c)
+		if err != nil {
+			return "", err
+		}
+		return "", dp.StoreAs(out, outtype, res)
 	})
 }
 
-// packArgs maps the Tcl-level argument words of <name>::eval onto the
-// Engine.EvalFragment(code, expr) contract: variadic languages get the
-// whole argv packed as a Tcl list in code, two-argument languages get
-// (code, expr), one-argument languages get (code, "").
-func packArgs(reg Registration, argv []string) (code, expr string, err error) {
-	if len(argv) < reg.NumArgs || (!reg.Variadic && len(argv) != reg.NumArgs) {
-		return "", "", fmt.Errorf("usage: %s::eval takes %d argument(s), got %d",
-			reg.Name, reg.NumArgs, len(argv))
+// buildCall maps an argument vector onto the Call contract per the
+// registration's signature: the fixed prefix renders to Code (and Expr
+// for two-argument languages), the rest stay typed in Args.
+func buildCall(reg Registration, vals []Value, want Kind) (Call, error) {
+	if len(vals) < reg.Sig.Fixed || (!reg.Sig.Variadic && len(vals) != reg.Sig.Fixed) {
+		return Call{}, fmt.Errorf("usage: %s takes %d argument(s), got %d",
+			reg.Name, reg.Sig.Fixed, len(vals))
 	}
-	if reg.Variadic {
-		return tcl.FormatList(argv), "", nil
+	c := Call{Code: vals[0].Render(), Want: want}
+	rest := vals[1:]
+	if reg.Sig.Fixed >= 2 {
+		c.Expr = vals[1].Render()
+		rest = vals[2:]
 	}
-	if reg.NumArgs >= 2 {
-		return argv[0], argv[1], nil
+	if len(rest) > 0 {
+		c.Args = append([]Value(nil), rest...)
 	}
-	return argv[0], "", nil
+	return c, nil
+}
+
+// wantOf maps a turbine type name to the result kind engines should aim
+// for. Unknown and void destinations want a string (which StoreAs then
+// discards for void).
+func wantOf(td string) Kind {
+	switch td {
+	case "integer":
+		return KindInt
+	case "float":
+		return KindFloat
+	case "blob":
+		return KindBlob
+	}
+	return KindString
 }

@@ -5,14 +5,19 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/blob"
+	"repro/internal/shell"
 	"repro/internal/tcl"
 )
+
+// frag builds the common two-word request: run code, evaluate expr.
+func frag(code, expr string) Call { return Call{Code: code, Expr: expr} }
 
 // stateCases exercises the paper's §III-C retain/reinit semantics
 // through the Engine interface for every stateful registered language:
 // a fragment binds g, a later fragment reads it (Retain), and Reset
-// clears it (Reinit). The shell holds no interpreter state and is
-// covered separately.
+// clears it (Reinit). The shell holds per-engine state only when it owns
+// its system and is covered separately.
 var stateCases = []struct {
 	name string
 	set  string // fragment that binds g = 41
@@ -22,6 +27,18 @@ var stateCases = []struct {
 	{"python", "g = 41", "g", "41"},
 	{"r", "g <- 41", "g", "41"},
 	{"tcl", "set g 41", "set g", "41"},
+}
+
+// call builds the dispatch request for a registration: two-argument
+// languages take (code, expr), one-argument languages a single fragment.
+func dispatchCall(reg Registration, code, expr string) Call {
+	if reg.Sig.Fixed == 2 {
+		return frag(code, expr)
+	}
+	if code == "" {
+		return Call{Code: expr}
+	}
+	return Call{Code: code}
 }
 
 func TestEngineStateRetainAndReset(t *testing.T) {
@@ -35,18 +52,18 @@ func TestEngineStateRetainAndReset(t *testing.T) {
 			if eng.Name() != tc.name {
 				t.Fatalf("Name() = %q", eng.Name())
 			}
-			if _, err := eng.EvalFragment(tc.set, ""); err != nil {
+			if _, err := eng.Eval(dispatchCall(reg, tc.set, "")); err != nil {
 				t.Fatal(err)
 			}
-			got, err := eng.EvalFragment("", tc.read)
+			got, err := eng.Eval(dispatchCall(reg, "", tc.read))
 			if err != nil {
 				t.Fatalf("retained state unreadable: %v", err)
 			}
-			if got != tc.want {
-				t.Fatalf("retained read = %q, want %q", got, tc.want)
+			if got.Render() != tc.want {
+				t.Fatalf("retained read = %q, want %q", got.Render(), tc.want)
 			}
 			eng.Reset()
-			if _, err := eng.EvalFragment("", tc.read); err == nil {
+			if _, err := eng.Eval(dispatchCall(reg, "", tc.read)); err == nil {
 				t.Fatalf("%s: state survived Reset", tc.name)
 			}
 			if n := eng.Evals(); n != 3 {
@@ -56,26 +73,66 @@ func TestEngineStateRetainAndReset(t *testing.T) {
 	}
 }
 
-func TestShellEngineStatelessAndResetSafe(t *testing.T) {
+func TestShellEngineExecAndEvals(t *testing.T) {
 	reg, ok := Lookup("sh")
 	if !ok {
 		t.Fatal("sh not registered")
 	}
 	eng := reg.New(Host{}) // no host shell: engine creates a default one
-	argv := tcl.FormatList([]string{"echo", "hello", "world"})
-	out, err := eng.EvalFragment(argv, "")
+	c := Call{Code: "echo", Args: []Value{Str("hello"), Str("world")}}
+	out, err := eng.Eval(c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != "hello world" {
-		t.Fatalf("out = %q", out)
+	if out.Render() != "hello world" {
+		t.Fatalf("out = %q", out.Render())
 	}
-	eng.Reset() // must be a harmless no-op
-	if out, err = eng.EvalFragment(argv, ""); err != nil || out != "hello world" {
-		t.Fatalf("after Reset: %q, %v", out, err)
+	eng.Reset()
+	if out, err = eng.Eval(c); err != nil || out.Render() != "hello world" {
+		t.Fatalf("after Reset: %q, %v", out.Render(), err)
 	}
 	if n := eng.Evals(); n != 2 {
 		t.Fatalf("Evals() = %d, want 2", n)
+	}
+}
+
+func TestShellEngineResetClearsOwnedState(t *testing.T) {
+	// The PolicyReinit invariant: simulated shell state accumulated by
+	// previous tasks (the engine-owned process table and its spawn
+	// accounting) must not survive Reset.
+	reg, _ := Lookup("sh")
+	eng := reg.New(Host{}).(*shellEngine)
+	if _, err := eng.Eval(Call{Code: "echo", Args: []Value{Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.sys.Spawns() == 0 {
+		t.Fatal("no spawn recorded")
+	}
+	before := eng.sys
+	eng.Reset()
+	if eng.sys == before {
+		t.Fatal("Reset kept the owned system instance")
+	}
+	if n := eng.sys.Spawns(); n != 0 {
+		t.Fatalf("spawn state survived Reset: %d", n)
+	}
+}
+
+func TestShellEngineResetKeepsHostSystem(t *testing.T) {
+	// A host-provided System is the machine shared by every rank; one
+	// engine's reinitialisation must not wipe it.
+	sys := shell.NewSystem(shell.ModeCluster, nil)
+	reg, _ := Lookup("sh")
+	eng := reg.New(Host{Shell: sys}).(*shellEngine)
+	if _, err := eng.Eval(Call{Code: "echo", Args: []Value{Str("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Reset()
+	if eng.sys != sys {
+		t.Fatal("Reset replaced the host-provided system")
+	}
+	if sys.Spawns() != 1 {
+		t.Fatalf("host spawn accounting = %d, want 1", sys.Spawns())
 	}
 }
 
@@ -85,26 +142,257 @@ func TestTclEngineFragmentCacheSurvivesReset(t *testing.T) {
 	// compile-once.
 	reg, _ := Lookup("tcl")
 	eng := reg.New(Host{Out: io.Discard}).(*tclEngine)
-	const frag = "set g 41; expr {$g + 1}"
+	const fragSrc = "set g 41; expr {$g + 1}"
 	for i := 0; i < 5; i++ {
-		out, err := eng.EvalFragment(frag, "")
-		if err != nil || out != "42" {
-			t.Fatalf("out = %q, %v", out, err)
+		out, err := eng.Eval(Call{Code: fragSrc})
+		if err != nil || out.Render() != "42" {
+			t.Fatalf("out = %q, %v", out.Render(), err)
 		}
 		eng.Reset()
 	}
 	if n := eng.progs.Len(); n != 1 {
 		t.Fatalf("fragment cache = %d entries, want 1 (survived Reset)", n)
 	}
-	if _, err := eng.EvalFragment("set g", ""); err == nil {
+	if _, err := eng.Eval(Call{Code: "set g"}); err == nil {
 		t.Fatal("state survived Reset")
 	}
 }
 
+// typedArgCases: a blob float vector pre-bound as argv1 must enter each
+// engine as a native vector — summable without any rendering of element
+// data — and scalar args must bind typed as well.
+func TestTypedArgsBindAsNativeVectors(t *testing.T) {
+	arg := Floats([]float64{1.5, 2.25, 3.25})
+	cases := []struct {
+		name string
+		c    Call
+	}{
+		{"python", Call{Code: "s = sum(argv1) + argv2", Expr: "s", Args: []Value{arg, Int(3)}, Want: KindFloat}},
+		{"r", Call{Code: "s <- sum(argv1) + argv2", Expr: "s", Args: []Value{arg, Int(3)}, Want: KindFloat}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, _ := Lookup(tc.name)
+			eng := reg.New(Host{Out: io.Discard})
+			res, err := eng.Eval(tc.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := res.AsFloat()
+			if err != nil || f != 10.0 {
+				t.Fatalf("sum = %v (%v), want 10", f, err)
+			}
+		})
+	}
+}
+
+func TestPythonVecRoundTripBitExact(t *testing.T) {
+	// A blob bound into Python and returned unmodified must come back
+	// bit-exact with dims and element kind intact (zero-copy Vec).
+	b := blob.FromFloat32s([]float32{1.5, -2.5, 3.75, 0.125, 9, 10})
+	b.Dims = []int{2, 3}
+	reg, _ := Lookup("python")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "", Expr: "argv1", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if string(got.Data) != string(b.Data) || got.Elem != blob.ElemF32 ||
+		len(got.Dims) != 2 || got.Dims[0] != 2 || got.Dims[1] != 3 {
+		t.Fatalf("round trip mangled blob: %+v", got)
+	}
+}
+
+func TestPythonVecRendersAsListInStringContext(t *testing.T) {
+	// A vector result in a string context must render like a list — raw
+	// payload bytes would be garbage to printf — matching fresh lists
+	// and the R engine's deparse behaviour.
+	reg, _ := Lookup("python")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Expr: "argv1", Args: []Value{Floats([]float64{1.5, 2.5})}, Want: KindString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Render(); got != "[1.5, 2.5]" {
+		t.Fatalf("string-context vector = %q", got)
+	}
+}
+
+func TestPythonVecMutatesInPlaceTyped(t *testing.T) {
+	b := blob.FromInt32s([]int32{10, 20, 30})
+	reg, _ := Lookup("python")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "argv1[1] = 21", Expr: "argv1", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := blob.ToInt32s(blob.Blob{Data: res.AsBlob().Data})
+	if err != nil || v[1] != 21 || res.AsBlob().Elem != blob.ElemI32 {
+		t.Fatalf("mutation lost: %v, %v", v, err)
+	}
+}
+
+func TestREngineRepacksLikePrototype(t *testing.T) {
+	// An R identity fragment over an int32 blob must return int32 bytes
+	// (PackLike prefers the argument prototype), and arithmetic results
+	// that leave the int32 domain must fall back to float64.
+	b := blob.FromInt32s([]int32{1, 2, 3})
+	b.Dims = []int{3, 1}
+	reg, _ := Lookup("r")
+
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "x <- argv1", Expr: "x", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if string(got.Data) != string(b.Data) || got.Elem != blob.ElemI32 || len(got.Dims) != 2 {
+		t.Fatalf("identity not bit-exact: %+v", got)
+	}
+
+	res, err = eng.Eval(Call{Code: "", Expr: "argv1 / 2", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = res.AsBlob()
+	if got.Elem != blob.ElemF64 {
+		t.Fatalf("fractional result elem = %v, want float64", got.Elem)
+	}
+	xs, _ := got.Floats()
+	if len(xs) != 3 || xs[0] != 0.5 || xs[2] != 1.5 {
+		t.Fatalf("halved = %v", xs)
+	}
+}
+
+func TestStaleArgvBindingsDoNotLeakAcrossCalls(t *testing.T) {
+	// Under PolicyRetain a task referencing argvN beyond its own arg
+	// count must fail, not silently read a previous task's argument.
+	cases := []struct {
+		name  string
+		first Call
+		then  Call
+	}{
+		{"python", frag("a = argv1 + argv2", ""), Call{Code: "", Expr: "argv2", Args: []Value{Int(7)}}},
+		{"r", frag("a <- argv1 + argv2", ""), Call{Code: "", Expr: "argv2", Args: []Value{Int(7)}}},
+		{"tcl", Call{Code: "expr {$argv1 + $argv2}"}, Call{Code: "set argv2", Args: []Value{Int(7)}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, _ := Lookup(tc.name)
+			eng := reg.New(Host{Out: io.Discard})
+			tc.first.Args = []Value{Int(1), Int(2)}
+			if _, err := eng.Eval(tc.first); err != nil {
+				t.Fatal(err)
+			}
+			if out, err := eng.Eval(tc.then); err == nil {
+				t.Fatalf("stale argv2 leaked into the next task: %q", out.Render())
+			}
+		})
+	}
+}
+
+func TestFailedBindingLeavesNoArgvBehind(t *testing.T) {
+	// A conversion failure mid-argument-list must not leave a partial
+	// argv set bound: the next task would silently read it.
+	bad := BlobOf(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemF64}) // ragged payload
+	for _, name := range []string{"python", "r"} {
+		t.Run(name, func(t *testing.T) {
+			reg, _ := Lookup(name)
+			eng := reg.New(Host{Out: io.Discard})
+			if _, err := eng.Eval(Call{Args: []Value{Floats([]float64{42}), bad}}); err == nil {
+				t.Fatal("ragged blob accepted")
+			}
+			if out, err := eng.Eval(dispatchCall(reg, "", "argv1")); err == nil {
+				t.Fatalf("argv1 from the failed call leaked: %q", out.Render())
+			}
+		})
+	}
+}
+
+func TestREngineRejectsInexactInt64(t *testing.T) {
+	// R numerics are doubles: an int64 beyond 2^53 would round silently
+	// and then repack to the wrong integer; it must be refused instead.
+	huge := BlobOf(blob.FromInt64s([]int64{1<<53 + 1}))
+	reg, _ := Lookup("r")
+	eng := reg.New(Host{Out: io.Discard})
+	_, err := eng.Eval(Call{Code: "", Expr: "argv1", Args: []Value{huge}, Want: KindBlob})
+	if err == nil || !strings.Contains(err.Error(), "not exactly representable") {
+		t.Fatalf("err = %v", err)
+	}
+	// Values inside the exact range stay fine.
+	ok := BlobOf(blob.FromInt64s([]int64{1 << 53, -(1 << 53)}))
+	if _, err := eng.Eval(Call{Code: "", Expr: "argv1", Args: []Value{ok}, Want: KindBlob}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREngineMultiBlobArgsKeepTheirOwnMetadata(t *testing.T) {
+	// With several blob arguments, a result that is one of them must
+	// repack under ITS element view, never the first argument's.
+	a := BlobOf(blob.FromInt32s([]int32{9, 9, 9}))
+	b := blob.FromFloat64s([]float64{1, 2, 3})
+	reg, _ := Lookup("r")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Expr: "argv2", Args: []Value{a, BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if got.Elem != blob.ElemF64 || string(got.Data) != string(b.Data) {
+		t.Fatalf("argv2 repacked under wrong view: %+v", got)
+	}
+	// A fresh vector with multiple blob args is ambiguous: safe float64.
+	res, err = eng.Eval(Call{Expr: "argv1 + 1", Args: []Value{a, BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AsBlob(); got.Elem != blob.ElemF64 {
+		t.Fatalf("ambiguous fresh vector elem = %v, want float64", got.Elem)
+	}
+}
+
+func TestTclEngineBlobPassthrough(t *testing.T) {
+	// Tcl is strings-only: blob args bind as raw payload bytes, and an
+	// unmodified result reattaches the argument's metadata.
+	b := blob.FromFloat64s([]float64{1, 2})
+	b.Dims = []int{2}
+	reg, _ := Lookup("tcl")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "set argv1", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if string(got.Data) != string(b.Data) || got.Elem != blob.ElemF64 || len(got.Dims) != 1 {
+		t.Fatalf("passthrough mangled blob: %+v", got)
+	}
+}
+
+func TestTclEngineAmbiguousReattachFallsBackToRawBytes(t *testing.T) {
+	// Two blob args with identical payload bytes but conflicting
+	// metadata: reattaching either view would be a guess, so the result
+	// must come back as raw bytes.
+	data := []float32{1.5, 2.5}
+	a := blob.FromFloat32s(data)           // 8 bytes, ElemF32
+	b := blob.Blob{Data: append([]byte(nil), a.Data...), Elem: blob.ElemF64}
+	reg, _ := Lookup("tcl")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "set argv2", Args: []Value{BlobOf(a), BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if got.Elem != blob.ElemBytes || string(got.Data) != string(a.Data) {
+		t.Fatalf("ambiguous reattach: %+v", got)
+	}
+}
+
 func TestInstallAppliesPolicyPerFragment(t *testing.T) {
-	// Through the Tcl dispatch command (the path leaf tasks take), the
-	// reinit policy must clear state after every fragment, for every
-	// stateful language, without any per-language code.
+	// Through the Tcl dispatch command (the string surface leaf tasks
+	// fall back to), the reinit policy must clear state after every
+	// fragment, for every stateful language, without any per-language
+	// code.
 	for _, tc := range stateCases {
 		t.Run(tc.name, func(t *testing.T) {
 			reg, _ := Lookup(tc.name)
@@ -114,13 +402,13 @@ func TestInstallAppliesPolicyPerFragment(t *testing.T) {
 			// languages take a single fragment.
 			setCall := tcl.FormatList([]string{reg.Name + "::eval", tc.set})
 			readCall := tcl.FormatList([]string{reg.Name + "::eval", tc.read})
-			if reg.NumArgs == 2 {
+			if reg.Sig.Fixed == 2 {
 				setCall = tcl.FormatList([]string{reg.Name + "::eval", tc.set, ""})
 				readCall = tcl.FormatList([]string{reg.Name + "::eval", "", tc.read})
 			}
 
 			retain := tcl.New()
-			Install(retain, reg, Host{Out: io.Discard}, PolicyRetain, counters)
+			Install(retain, reg, Host{Out: io.Discard}, PolicyRetain, counters, nil)
 			if _, err := retain.Eval(setCall); err != nil {
 				t.Fatal(err)
 			}
@@ -130,7 +418,7 @@ func TestInstallAppliesPolicyPerFragment(t *testing.T) {
 			}
 
 			reinit := tcl.New()
-			Install(reinit, reg, Host{Out: io.Discard}, PolicyReinit, counters)
+			Install(reinit, reg, Host{Out: io.Discard}, PolicyReinit, counters, nil)
 			if _, err := reinit.Eval(setCall); err != nil {
 				t.Fatal(err)
 			}
@@ -144,10 +432,62 @@ func TestInstallAppliesPolicyPerFragment(t *testing.T) {
 	}
 }
 
+// memPlane is an in-memory DataPlane for exercising the typed dispatch
+// surface without a Turbine deployment.
+type memPlane struct {
+	vals map[int64]Value
+	tds  map[int64]string
+}
+
+func newMemPlane() *memPlane {
+	return &memPlane{vals: map[int64]Value{}, tds: map[int64]string{}}
+}
+
+func (p *memPlane) Load(id int64) (Value, error) {
+	v, ok := p.vals[id]
+	if !ok {
+		return Value{}, io.EOF
+	}
+	return v, nil
+}
+
+func (p *memPlane) StoreAs(id int64, td string, v Value) error {
+	p.vals[id] = v
+	p.tds[id] = td
+	return nil
+}
+
+func TestInstallTypedCallSurface(t *testing.T) {
+	// python::call moves a blob argument from the plane into the engine
+	// and the typed result back, with only ids in the Tcl words.
+	reg, _ := Lookup("python")
+	dp := newMemPlane()
+	dp.vals[1] = Str("total = sum(argv1)")
+	dp.vals[2] = Str("total")
+	dp.vals[3] = Floats([]float64{1, 2, 3.5})
+	in := tcl.New()
+	counters := NewCounters()
+	Install(in, reg, Host{Out: io.Discard}, PolicyRetain, counters, dp)
+	if _, err := in.Eval("python::call 9 float 1 2 3"); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := dp.vals[9]
+	if !ok || dp.tds[9] != "float" {
+		t.Fatalf("result not stored: %v %q", ok, dp.tds[9])
+	}
+	f, err := res.AsFloat()
+	if err != nil || f != 6.5 {
+		t.Fatalf("sum = %v (%v), want 6.5", f, err)
+	}
+	if n := counters.Snapshot()["python"]; n != 1 {
+		t.Fatalf("counter = %d, want 1", n)
+	}
+}
+
 func TestInstallArityErrors(t *testing.T) {
 	reg, _ := Lookup("python")
 	in := tcl.New()
-	Install(in, reg, Host{Out: io.Discard}, PolicyRetain, nil)
+	Install(in, reg, Host{Out: io.Discard}, PolicyRetain, nil, nil)
 	if _, err := in.Eval(`python::eval onlyone`); err == nil ||
 		!strings.Contains(err.Error(), "takes 2 argument(s)") {
 		t.Fatalf("err = %v", err)
@@ -158,7 +498,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	if _, ok := Lookup("toylang"); ok {
 		t.Fatal("toylang pre-registered")
 	}
-	reg := Registration{Name: "toylang", NumArgs: 1, New: func(h Host) Engine { return nil }}
+	reg := Registration{Name: "toylang", Sig: Signature{Fixed: 1}, New: func(h Host) Engine { return nil }}
 	Register(reg)
 	defer Unregister("toylang")
 	if _, ok := Lookup("toylang"); !ok {
@@ -184,8 +524,40 @@ func TestRegistryLifecycle(t *testing.T) {
 func TestRegisterRejectsWideFixedArity(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("NumArgs=3 did not panic")
+			t.Fatal("Fixed=3 did not panic")
 		}
 	}()
-	Register(Registration{Name: "wide", NumArgs: 3, New: func(h Host) Engine { return nil }})
+	Register(Registration{Name: "wide", Sig: Signature{Fixed: 3}, New: func(h Host) Engine { return nil }})
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Int(42).Render(); got != "42" {
+		t.Fatalf("int render = %q", got)
+	}
+	if got := Float(2.0).Render(); got != "2.0" {
+		t.Fatalf("float render = %q", got)
+	}
+	if n, err := Str(" 7 ").AsInt(); err != nil || n != 7 {
+		t.Fatalf("str->int = %d, %v", n, err)
+	}
+	if n, err := Float(3.0).AsInt(); err != nil || n != 3 {
+		t.Fatalf("integral float->int = %d, %v", n, err)
+	}
+	if _, err := Float(3.5).AsInt(); err == nil {
+		t.Fatal("3.5 converted to int")
+	}
+	if f, err := Int(3).AsFloat(); err != nil || f != 3.0 {
+		t.Fatalf("int->float = %v, %v", f, err)
+	}
+	if _, err := Floats([]float64{1}).AsInt(); err == nil {
+		t.Fatal("blob converted to int")
+	}
+	b := Int(5).AsBlob()
+	if b.Elem != blob.ElemI64 || b.Count() != 1 {
+		t.Fatalf("int->blob = %+v", b)
+	}
+	var zero Value
+	if zero.Kind() != KindString || zero.Render() != "" {
+		t.Fatal("zero Value is not the empty string")
+	}
 }

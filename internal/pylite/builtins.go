@@ -30,6 +30,8 @@ func init() {
 				return int64(len(x)), nil
 			case *List:
 				return int64(len(x.Items)), nil
+			case *Vec:
+				return int64(x.Len()), nil
 			case *Dict:
 				return int64(x.Len()), nil
 			}
@@ -76,6 +78,11 @@ func init() {
 		"sum": Builtin(func(in *Interp, args []Value) (Value, error) {
 			if len(args) != 1 {
 				return nil, fmt.Errorf("pylite: sum() takes 1 argument")
+			}
+			if v, ok := args[0].(*Vec); ok {
+				// Packed vectors sum straight off the backing bytes —
+				// no per-element boxing.
+				return v.Sum(), nil
 			}
 			items, err := iterate(args[0])
 			if err != nil {

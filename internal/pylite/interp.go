@@ -148,6 +148,10 @@ func (in *Interp) Reset() { in.reset() }
 // as a C embedding would via the CPython API.
 func (in *Interp) SetGlobal(name string, v Value) { in.globals.vars[name] = v }
 
+// DelGlobal removes a global binding (a no-op if absent); hosts use it
+// to unbind stale pre-bound arguments between fragments.
+func (in *Interp) DelGlobal(name string) { delete(in.globals.vars, name) }
+
 // control-flow sentinels
 type breakErr struct{}
 type continueErr struct{}
@@ -397,6 +401,12 @@ func (in *Interp) assign(st *sAssign, e *env) error {
 			}
 			o.Items[i] = v
 			return nil
+		case *Vec:
+			i, err := listIndex(idx, o.Len())
+			if err != nil {
+				return err
+			}
+			return o.SetAt(i, v)
 		case *Dict:
 			if !hashable(idx) {
 				return fmt.Errorf("pylite: unhashable key %s", Repr(idx))
@@ -436,6 +446,8 @@ func iterate(v Value) ([]Value, error) {
 	switch s := v.(type) {
 	case *List:
 		return append([]Value(nil), s.Items...), nil
+	case *Vec:
+		return s.items(), nil
 	case string:
 		out := make([]Value, 0, len(s))
 		for _, r := range s {
@@ -462,6 +474,8 @@ func truthy(v Value) bool {
 		return x != ""
 	case *List:
 		return len(x.Items) > 0
+	case *Vec:
+		return x.Len() > 0
 	case *Dict:
 		return x.Len() > 0
 	}
@@ -482,6 +496,8 @@ func typeName(v Value) string {
 		return "str"
 	case *List:
 		return "list"
+	case *Vec:
+		return "vec"
 	case *Dict:
 		return "dict"
 	case *Func:
@@ -752,6 +768,12 @@ func (in *Interp) eval(x pexpr, e *env) (Value, error) {
 				return nil, err
 			}
 			return o.Items[i], nil
+		case *Vec:
+			i, err := listIndex(idx, o.Len())
+			if err != nil {
+				return nil, err
+			}
+			return o.At(i), nil
 		case string:
 			i, err := listIndex(idx, len(o))
 			if err != nil {
@@ -1211,7 +1233,7 @@ func Str(v Value) string {
 		return s
 	case string:
 		return x
-	case *List, *Dict:
+	case *List, *Dict, *Vec:
 		return Repr(v)
 	case *Func:
 		return "<function " + x.name + ">"
@@ -1232,6 +1254,12 @@ func Repr(v Value) string {
 		parts := make([]string, len(x.Items))
 		for i, it := range x.Items {
 			parts[i] = Repr(it)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Vec:
+		parts := make([]string, x.Len())
+		for i := range parts {
+			parts[i] = Repr(x.At(i))
 		}
 		return "[" + strings.Join(parts, ", ") + "]"
 	case *Dict:

@@ -1,0 +1,106 @@
+package pylite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blob"
+)
+
+func vecInterp(t *testing.T, b blob.Blob) *Interp {
+	t.Helper()
+	in := New()
+	v, err := NewVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetGlobal("v", v)
+	return in
+}
+
+func TestVecBehavesLikeList(t *testing.T) {
+	in := vecInterp(t, blob.FromFloat64s([]float64{1.5, 2.5, 3.0}))
+	cases := []struct{ expr, want string }{
+		{"len(v)", "3"},
+		{"v[0]", "1.5"},
+		{"v[-1]", "3.0"},
+		{"sum(v)", "7.0"},
+		{"max(v)", "3.0"},
+		{"str(v)", "[1.5, 2.5, 3.0]"},
+		{"list(v)", "[1.5, 2.5, 3.0]"},
+		{"sorted(v)[0]", "1.5"},
+	}
+	for _, tc := range cases {
+		got, err := in.EvalFragment("", tc.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+	if err := in.Exec("t = 0.0\nfor x in v:\n    t = t + x"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := in.EvalFragment("", "t")
+	if got != "7.0" {
+		t.Fatalf("loop total = %q", got)
+	}
+}
+
+func TestVecIntElems(t *testing.T) {
+	in := vecInterp(t, blob.FromInt32s([]int32{5, -3, 7}))
+	got, err := in.EvalFragment("", "sum(v)")
+	if err != nil || got != "9" {
+		t.Fatalf("int32 sum = %q, %v", got, err)
+	}
+	// Integer element kinds yield Python ints, not floats.
+	got, _ = in.EvalFragment("", "v[1]")
+	if got != "-3" {
+		t.Fatalf("v[1] = %q", got)
+	}
+}
+
+func TestVecMutationWritesBackingBytes(t *testing.T) {
+	b := blob.FromFloat64s([]float64{1, 2, 3})
+	in := vecInterp(t, b)
+	if err := in.Exec("v[1] = 4.5"); err != nil {
+		t.Fatal(err)
+	}
+	xs, err := blob.ToFloat64s(blob.Blob{Data: b.Data})
+	if err != nil || xs[1] != 4.5 {
+		t.Fatalf("backing bytes not updated: %v, %v", xs, err)
+	}
+}
+
+func TestVecRejectsUnrepresentableWrites(t *testing.T) {
+	in := vecInterp(t, blob.FromInt32s([]int32{1, 2}))
+	err := in.Exec("v[0] = 2.5")
+	if err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewVecRejectsRaggedPayload(t *testing.T) {
+	if _, err := NewVec(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemF64}); err == nil {
+		t.Fatal("3 bytes accepted as float64 vector")
+	}
+}
+
+func TestPackValues(t *testing.T) {
+	b, err := PackValues([]Value{int64(1), int64(2)})
+	if err != nil || b.Elem != blob.ElemI64 || b.Count() != 2 {
+		t.Fatalf("int pack = %+v, %v", b, err)
+	}
+	b, err = PackValues([]Value{int64(1), 2.5})
+	if err != nil || b.Elem != blob.ElemF64 {
+		t.Fatalf("mixed pack = %+v, %v", b, err)
+	}
+	xs, _ := blob.ToFloat64s(blob.Blob{Data: b.Data})
+	if xs[0] != 1 || xs[1] != 2.5 {
+		t.Fatalf("mixed values = %v", xs)
+	}
+	if _, err := PackValues([]Value{"nope"}); err == nil {
+		t.Fatal("string packed into numeric blob")
+	}
+}

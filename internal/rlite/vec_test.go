@@ -1,0 +1,38 @@
+package rlite
+
+import (
+	"testing"
+
+	"repro/internal/blob"
+)
+
+func TestNumVecFromBlobEntersAsRealVector(t *testing.T) {
+	in := New()
+	nv, err := NumVecFromBlob(blob.FromFloat64s([]float64{1, 2, 3.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetGlobal("argv1", nv)
+	// Native vectorised arithmetic applies directly to the binding.
+	out, err := in.EvalFragment("y <- argv1 * 2", "sum(y)")
+	if err != nil || out != "13" {
+		t.Fatalf("sum = %q, %v", out, err)
+	}
+}
+
+func TestNumVecFromBlobWidensNarrowKindsExactly(t *testing.T) {
+	nv, err := NumVecFromBlob(blob.FromFloat32s([]float32{0.5, -1.25}))
+	if err != nil || len(nv.V) != 2 || nv.V[0] != 0.5 || nv.V[1] != -1.25 {
+		t.Fatalf("f32 decode = %+v, %v", nv, err)
+	}
+	nv, err = NumVecFromBlob(blob.FromInt32s([]int32{-9, 9}))
+	if err != nil || nv.V[0] != -9 {
+		t.Fatalf("i32 decode = %+v, %v", nv, err)
+	}
+}
+
+func TestNumVecFromBlobRejectsRaggedPayload(t *testing.T) {
+	if _, err := NumVecFromBlob(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemI32}); err == nil {
+		t.Fatal("3 bytes accepted as int32 vector")
+	}
+}

@@ -504,6 +504,16 @@ func (c *compiler) compileBuiltin(e *emitter, sc *genScope, outRef string, outT 
 	}
 	deps := strings.Join(refs, " ")
 	ids := strings.Join(refs, " ")
+	if b.Lang {
+		// Interlanguage leaf call: typed dispatch. The action carries TD
+		// ids only — <name>::call loads arguments from the data store as
+		// typed values (blobs by reference) and stores the typed result,
+		// so no value, and in particular no blob element data, is ever
+		// rendered into the action or through sw:vals.
+		e.linef(`turbine::rule [list %s] "sw:leafcall %s %s %s [list [list %s]]" type work`,
+			deps, b.Name, outRef, tdType(outT), ids)
+		return nil
+	}
 	kind := "sw:builtin"
 	extra := ""
 	if b.Leaf {

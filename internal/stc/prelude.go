@@ -15,8 +15,14 @@ package stc
 const Prelude = `
 # ---- STC runtime prelude (generated; do not edit) ----
 
-# Copy a closed datum into another, with int->float promotion.
+# Copy a closed datum into another, with int->float promotion. Blob to
+# blob copies duplicate the stored value typed (dims and element kind
+# intact) instead of round-tripping the payload through a Tcl string.
 proc sw:copy {dst src srctype dsttype} {
+    if {$srctype eq "blob" && $dsttype eq "blob"} {
+        turbine::copy_blob $dst $src
+        return
+    }
     set v [turbine::retrieve_$srctype $src]
     turbine::store_$dsttype $dst $v
 }
@@ -104,9 +110,9 @@ proc sw:builtin {name out outtype types ids} {
 }
 
 # Worker-side leaf builtin dispatch: blob interchange is handled here;
-# everything else is an embedded language from the lang registry, whose
-# per-rank installation provides the <name>::eval command (so a newly
-# registered language needs no prelude edits).
+# any other leaf name falls back to the embedded-language registry's
+# string surface <name>::eval (compiled interlanguage calls use
+# sw:leafcall below instead).
 proc sw:leaf {name out outtype types ids} {
     set vals [sw:vals $types $ids]
     switch -exact -- $name {
@@ -116,6 +122,16 @@ proc sw:leaf {name out outtype types ids} {
         default          { set v [${name}::eval {*}$vals] }
     }
     turbine::store_$outtype $out $v
+}
+
+# Worker-side typed interlanguage dispatch (Engine v2): only TD ids
+# travel in the action string; <name>::call — installed per rank from the
+# lang registry, so a newly registered language needs no prelude edits —
+# loads the arguments from the data store as typed values (blobs by
+# reference, dims intact), pre-binds them in the engine as argv1..argvN,
+# and stores the typed result directly. No element data renders as text.
+proc sw:leafcall {name out outtype ids} {
+    ${name}::call $out $outtype {*}$ids
 }
 
 # Array element read: fires when the container is closed and the

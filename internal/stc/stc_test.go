@@ -449,6 +449,33 @@ func TestGeneratedCodeIsValidTcl(t *testing.T) {
 	}
 }
 
+func TestInterlanguageCallsCompileToTypedDispatch(t *testing.T) {
+	// Interlanguage leaf calls must go through sw:leafcall (typed: the
+	// action carries TD ids only and <name>::call moves values through
+	// the data plane), never through the string-rendering sw:leaf path.
+	out, err := Compile(`
+		blob v = blob_from_string("x");
+		blob w = python("", "argv1", v);
+		string s = tcl("set argv1", w);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Program, "sw:leafcall python") {
+		t.Fatal("python call not compiled to sw:leafcall")
+	}
+	if !strings.Contains(out.Program, "sw:leafcall tcl") {
+		t.Fatal("tcl call not compiled to sw:leafcall")
+	}
+	if strings.Contains(out.Program, "sw:leaf python") || strings.Contains(out.Program, "sw:leaf tcl") {
+		t.Fatal("interlanguage call still routed through the string sw:leaf path")
+	}
+	// The blob builtins keep the string path.
+	if !strings.Contains(out.Program, "sw:leaf blob_from_string") {
+		t.Fatal("blob_from_string no longer routed through sw:leaf")
+	}
+}
+
 func TestJoinArray(t *testing.T) {
 	got := runSwift(t, `
 		int a[] = [3, 1, 2];

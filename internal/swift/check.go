@@ -13,6 +13,14 @@ type Builtin struct {
 	// Leaf marks builtins that execute as worker leaf tasks (interpreter
 	// and shell calls); the rest run engine-side.
 	Leaf bool
+	// Lang marks leaf builtins synthesized from the embedded-language
+	// registry; the compiler dispatches them through the typed
+	// sw:leafcall path (TD ids only, no rendered values).
+	Lang bool
+	// OutDynamic marks a context-typed result: the assignment target
+	// chooses among string/int/float/blob, defaulting to Out (string)
+	// when unconstrained. See Checker.checkExprAs.
+	OutDynamic bool
 }
 
 // Builtins is the registry of language builtins available to programs.
@@ -45,20 +53,35 @@ var Builtins = map[string]*Builtin{
 
 // LookupBuiltin resolves a builtin by name: the static table above, or an
 // interlanguage leaf builtin synthesized from the embedded-language
-// registry (paper §III-C: name(code, expr...) evaluates a fragment in the
-// embedded interpreter and returns the result expression as a string).
-// Deriving the latter from internal/lang means a newly registered
-// language is immediately callable from Swift with no checker edits.
+// registry (paper §III-C: name(code, expr, args...) evaluates a fragment
+// in the embedded interpreter with the extra arguments — string, int,
+// float, or blob — pre-bound as argv1..argvN, and returns the result
+// expression typed). Deriving the signature from internal/lang means a
+// newly registered language is immediately callable from Swift with no
+// checker edits.
 func LookupBuiltin(name string) *Builtin {
 	if b, ok := Builtins[name]; ok {
 		return b
 	}
 	if reg, ok := lang.Lookup(name); ok {
-		ins := make([]Type, reg.NumArgs)
+		ins := make([]Type, reg.Sig.Fixed)
 		for i := range ins {
 			ins[i] = Type{Base: TString}
 		}
-		return &Builtin{Name: name, Ins: ins, Variadic: reg.Variadic, Out: Type{Base: TString}, Leaf: true}
+		out := Type{Base: TString}
+		dynamic := false
+		switch reg.Sig.Result {
+		case lang.ResultInt:
+			out = Type{Base: TInt}
+		case lang.ResultFloat:
+			out = Type{Base: TFloat}
+		case lang.ResultBlob:
+			out = Type{Base: TBlob}
+		case lang.ResultDynamic:
+			dynamic = true
+		}
+		return &Builtin{Name: name, Ins: ins, Variadic: reg.Sig.Variadic,
+			Out: out, OutDynamic: dynamic, Leaf: true, Lang: true}
 	}
 	return nil
 }
@@ -170,7 +193,7 @@ func (c *Checker) checkStmt(s Stmt, sc *scope) error {
 	switch st := s.(type) {
 	case *Decl:
 		if st.Init != nil {
-			it, err := c.checkExpr(st.Init, sc)
+			it, err := c.checkExprAs(st.Init, sc, st.Type)
 			if err != nil {
 				return err
 			}
@@ -200,7 +223,7 @@ func (c *Checker) checkStmt(s Stmt, sc *scope) error {
 			}
 			lt = Type{Base: lt.Base}
 		}
-		rt, err := c.checkExpr(st.RHS, sc)
+		rt, err := c.checkExprAs(st.RHS, sc, lt)
 		if err != nil {
 			return err
 		}
@@ -270,6 +293,25 @@ func (c *Checker) checkExpr(e Expr, sc *scope) (Type, error) {
 	}
 	c.Types[e] = t
 	return t, nil
+}
+
+// checkExprAs type-checks e in a context expecting the given type. For
+// interlanguage calls with a dynamic result (python(...), r(...), ...)
+// the destination chooses the result type — `blob v = python(...)` types
+// the call as blob, `float f = python(...)` as float — because the typed
+// engine path returns whatever the data store slot demands. All other
+// expressions infer their own type as usual.
+func (c *Checker) checkExprAs(e Expr, sc *scope, want Type) (Type, error) {
+	if call, ok := e.(*Call); ok && !want.Array && want.Base != TVoid && want.Base != TInvalid {
+		if b := LookupBuiltin(call.Name); b != nil && b.OutDynamic {
+			if err := c.checkBuiltinArgs(call, b, sc); err != nil {
+				return Type{}, err
+			}
+			c.Types[e] = want
+			return want, nil
+		}
+	}
+	return c.checkExpr(e, sc)
 }
 
 func (c *Checker) inferExpr(e Expr, sc *scope) (Type, error) {
@@ -442,7 +484,7 @@ func (c *Checker) checkCall(call *Call, sc *scope, stmt bool) (Type, error) {
 		return Type{}, Errorf(call.Pos(), "%q takes %d argument(s), got %d", call.Name, len(f.Ins), len(call.Args))
 	}
 	for i, a := range call.Args {
-		at, err := c.checkExpr(a, sc)
+		at, err := c.checkExprAs(a, sc, f.Ins[i].Type)
 		if err != nil {
 			return Type{}, err
 		}
@@ -474,7 +516,16 @@ func (c *Checker) checkBuiltinArgs(call *Call, b *Builtin, sc *scope) error {
 		return Errorf(call.Pos(), "builtin %q takes %d argument(s), got %d", b.Name, len(b.Ins), len(call.Args))
 	}
 	for i, a := range call.Args {
-		at, err := c.checkExpr(a, sc)
+		var at Type
+		var err error
+		if i < len(b.Ins) && b.Ins[i].Base != TInvalid {
+			// Typed fixed parameter: give nested dynamic interlanguage
+			// calls the context (blob_size(python(...)) types as blob),
+			// like the user-function argument path.
+			at, err = c.checkExprAs(a, sc, b.Ins[i])
+		} else {
+			at, err = c.checkExpr(a, sc)
+		}
 		if err != nil {
 			return err
 		}

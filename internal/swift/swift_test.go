@@ -297,6 +297,46 @@ func TestCheckErrors(t *testing.T) {
 	}
 }
 
+func TestCheckTypedInterlanguageCalls(t *testing.T) {
+	// The leaf builtin synthesized from the lang registry accepts typed
+	// extra arguments after the fixed string prefix, and its result type
+	// follows the assignment context (ResultDynamic).
+	good := []string{
+		`blob v = blob_from_string("x"); blob w = python("", "argv1", v);`,
+		`blob v = blob_from_string("x"); float f = python("", "sum(argv1)", v);`,
+		`int n = python("", "1 + 1");`,
+		`blob v = blob_from_string("x"); string s = r("", "argv1", v, 2, 2.5, "tag");`,
+		`blob v = blob_from_string("x"); blob w = tcl("set argv1", v);`,
+		`string s = sh("echo", "hi", 3);`,
+		// Context typing reaches builtin argument positions too.
+		`blob v = blob_from_string("x"); int n = blob_size(python("", "argv1", v));`,
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		mustCheck(t, src)
+	}
+	// Context typing is recorded on the call for the compiler.
+	prog, err := Parse(`blob v = blob_from_string("x"); blob w = python("", "argv1", v);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := prog.Main[1].(*Decl)
+	if got := ck.Types[decl.Init]; got.Base != TBlob {
+		t.Fatalf("python(...) in blob context typed as %s", got)
+	}
+	// Unconstrained contexts stay strings, and arrays never cross the
+	// interlanguage boundary (pass a blob).
+	checkFails(t, `int a[] = [1]; string s = python("", "x", a);`, "array variadic")
+	checkFails(t, `string s = python("x");`, "at least 2 argument")
+}
+
 func TestCheckTypesRecorded(t *testing.T) {
 	src := "int x = 1 + 2;"
 	p := mustParse(t, src)

@@ -168,6 +168,34 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 		}
 		return string(b), nil
 	})
+	// Typed blob copy: duplicates the stored value wholesale, so dims
+	// and element kind survive copies that never needed the payload as
+	// text (sw:copy uses it for blob -> blob).
+	reg("copy_blob", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: turbine::copy_blob <dst> <src>")
+		}
+		dst, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		src, err := parseInt(args[2])
+		if err != nil {
+			return "", err
+		}
+		v, found, err := cl.Retrieve(src)
+		if err != nil {
+			return "", err
+		}
+		if !found {
+			return "", fmt.Errorf("turbine: copy_blob: no such id %d", src)
+		}
+		if v.Type != adlb.TypeBlob {
+			return "", fmt.Errorf("turbine: copy_blob: id %d is %v", src, v.Type)
+		}
+		return "", cl.Store(dst, v)
+	})
+
 	// Generic retrieve: render by stored type.
 	reg("retrieve", func(in *tcl.Interp, args []string) (string, error) {
 		if len(args) != 2 {

@@ -1,0 +1,83 @@
+package turbine
+
+// The typed data plane: lang.Install's <name>::call commands move
+// interlanguage arguments and results between the ADLB data store and
+// embedded engines through this adapter, so numeric and blob payloads
+// cross the boundary as typed values — blob bytes flow store -> engine
+// -> store with their dims and element kind intact, and nothing is
+// formatted as text unless a string slot demands it.
+
+import (
+	"fmt"
+
+	"repro/internal/adlb"
+	"repro/internal/blob"
+	"repro/internal/lang"
+)
+
+// DataPlane returns the typed Load/StoreAs surface over this rank's
+// ADLB client, for installing embedded-language engines.
+func (e *Env) DataPlane() lang.DataPlane { return dataPlane{cl: e.Client} }
+
+type dataPlane struct {
+	cl *adlb.Client
+}
+
+// Load retrieves a closed TD as a typed value.
+func (p dataPlane) Load(id int64) (lang.Value, error) {
+	v, found, err := p.cl.Retrieve(id)
+	if err != nil {
+		return lang.Value{}, err
+	}
+	if !found {
+		return lang.Value{}, fmt.Errorf("turbine: data plane: no such id %d", id)
+	}
+	switch v.Type {
+	case adlb.TypeInteger:
+		n, err := adlb.AsInt(v)
+		return lang.Int(n), err
+	case adlb.TypeFloat:
+		f, err := adlb.AsFloat(v)
+		return lang.Float(f), err
+	case adlb.TypeString:
+		s, err := adlb.AsString(v)
+		return lang.Str(s), err
+	case adlb.TypeBlob:
+		data, err := adlb.AsBlob(v)
+		if err != nil {
+			return lang.Value{}, err
+		}
+		return lang.BlobOf(blob.Blob{Data: data, Dims: v.Dims, Elem: blob.Elem(v.Elem)}), nil
+	case adlb.TypeVoid:
+		return lang.Str(""), nil
+	}
+	return lang.Value{}, fmt.Errorf("turbine: data plane: id %d has unloadable type %v", id, v.Type)
+}
+
+// StoreAs stores a typed value into a TD of the named turbine type,
+// converting where the kinds differ (numbers parse from strings, blobs
+// wrap raw string bytes; blob metadata survives verbatim).
+func (p dataPlane) StoreAs(id int64, td string, v lang.Value) error {
+	switch td {
+	case "integer":
+		n, err := v.AsInt()
+		if err != nil {
+			return err
+		}
+		return p.cl.Store(id, adlb.IntValue(n))
+	case "float":
+		f, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		return p.cl.Store(id, adlb.FloatValue(f))
+	case "string":
+		return p.cl.Store(id, adlb.StringValue(v.Render()))
+	case "blob":
+		b := v.AsBlob()
+		return p.cl.Store(id, adlb.Value{Type: adlb.TypeBlob, Bytes: b.Data, Dims: b.Dims, Elem: uint8(b.Elem)})
+	case "void":
+		return p.cl.Store(id, adlb.VoidValue())
+	}
+	return fmt.Errorf("turbine: data plane: cannot store %s as %q", v.Kind(), td)
+}
