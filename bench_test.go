@@ -759,6 +759,85 @@ func BenchmarkTypedFragment(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Container pack (vpack) data movement: gathering a 1e4-element array's
+// members off the data store as one batched RPC per owning server versus
+// one Retrieve RPC per element — the traffic shape behind vpack and the
+// reason the container<->vector bridge is viable at array scale.
+// ---------------------------------------------------------------------
+
+func BenchmarkContainerPack(b *testing.B) {
+	const n = 10_000
+	for _, mode := range []string{"batched", "per-element"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := adlb.Config{Servers: 1, Types: 2, NotifyType: 0}
+			w, err := mpi.NewWorld(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = w.Run(func(c *mpi.Comm) error {
+				l := adlb.NewLayout(c.Size(), cfg.Servers)
+				if l.IsServer(c.Rank()) {
+					return adlb.Serve(c, cfg)
+				}
+				cl, err := adlb.NewClient(c, cfg)
+				if err != nil {
+					return err
+				}
+				// Setup: one array's worth of closed float TDs.
+				ids := make([]int64, n)
+				for i := range ids {
+					id, err := cl.Unique()
+					if err != nil {
+						return err
+					}
+					if err := cl.Create(id, adlb.TypeFloat); err != nil {
+						return err
+					}
+					if err := cl.Store(id, adlb.FloatValue(float64(i)*0.5)); err != nil {
+						return err
+					}
+					ids[i] = id
+				}
+				b.ResetTimer()
+				for k := 0; k < b.N; k++ {
+					if mode == "batched" {
+						vals, err := cl.RetrieveBatch(ids)
+						if err != nil {
+							return err
+						}
+						if len(vals) != n {
+							return fmt.Errorf("gathered %d values, want %d", len(vals), n)
+						}
+					} else {
+						for _, id := range ids {
+							v, found, err := cl.Retrieve(id)
+							if err != nil {
+								return err
+							}
+							if !found || v.Type != adlb.TypeFloat {
+								return fmt.Errorf("id %d: found=%v type=%v", id, found, v.Type)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				// Park until NO_MORE_WORK so the server can terminate.
+				for {
+					_, ok, err := cl.Get(1)
+					if err != nil || !ok {
+						return err
+					}
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(n, "elements/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // C5 — §II-B: "evaluate Swift semantics in a distributed manner (no
 // bottleneck)": adding control ranks (engines/servers) must not slow a
 // fixed workload, and relieves saturation under control-heavy load.

@@ -36,7 +36,15 @@
 //
 //   - Substitution fast path. The parser marks words containing no `$`,
 //     `[`, or backslash as literal; evaluation appends their text
-//     directly instead of running substWord.
+//     directly. Non-literal words get a substitution plan compiled at
+//     parse time — the $var/[cmd]/backslash scan runs once, backslash
+//     sequences resolve into literal segments, and evaluation walks the
+//     precomputed segments instead of re-scanning the text per eval.
+//     One grammar serves every substitution path: substWord compiles
+//     and walks a plan, expr variable nodes precompile their reference
+//     into the memoized AST, and malformed constructs become error
+//     segments that raise at first evaluation with the scanner's exact
+//     messages.
 //
 //   - Shared program compilation. stc.Output.Script compiles the
 //     generated Turbine program (prelude included) exactly once, and
@@ -84,8 +92,11 @@
 //   - <name>::call moves arguments and results through lang.DataPlane
 //     (implemented by turbine.Env.DataPlane over the rank's ADLB
 //     client); blob values cross the data store with dims and element
-//     kind riding alongside the payload (adlb.Value.Dims/Elem), and
-//     element bytes are never formatted as text anywhere on the route;
+//     kind riding alongside the payload (adlb.Value.Dims/Elem), element
+//     bytes are never formatted as text anywhere on the route, and the
+//     whole argument vector loads in one batched call (DataPlane.LoadBatch
+//     over adlb.Client.RetrieveBatch: one RPC per owning server, never
+//     one per argument);
 //   - core.RunCompiled iterates lang.Registered() at rank setup and
 //     installs both surfaces via lang.Install, which creates the engine
 //     lazily on first use, applies the retain/reinit state policy (paper
@@ -100,6 +111,25 @@
 // permit (blob.PackLike), so float32/int32 identity round-trips stay
 // bit-exact. The strings-only Tcl engine binds raw payload bytes and
 // reattaches argument metadata to unmodified results.
+//
+// Swift containers reach the typed plane through the container<->vector
+// bridge: vpack(A) gathers a closed int or float array into one blob TD
+// (float arrays pack as float64 vectors, int arrays as int64, dims
+// recorded as [n]), and vunpack(b) scatters a blob back into an array
+// whose element type follows the assignment context — `float A[] =
+// vunpack(b)` decodes under the blob's element kind, `int A[] = ...`
+// requires exactly integral values. Both compile to sw:vpack/sw:vunpack
+// actions carrying TD ids and the element type only; the gather waits on
+// the container and then on its members, runs as a worker leaf task, and
+// moves every element through the batched data plane (RetrieveBatch /
+// StoreVector: one RPC per owning server, one owner-local member datum
+// per element), so a 1e4-element pack is a handful of messages rather
+// than 1e4 — and element data never renders as text. This is what turns
+// typed scalar calls into the paper's §IV array-scale ensembles: scatter
+// a packed vector with vunpack, foreach an interpreter fragment per
+// element, vpack the results, and aggregate the blob in one call
+// (examples/interlang, internal/core/container_roundtrip_test.go,
+// BenchmarkContainerPack).
 //
 // Declaring a new language means stating its Signature in one
 // lang.Register call: Fixed (how many leading string args), Variadic

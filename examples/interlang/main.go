@@ -55,12 +55,29 @@ blob scaled = r("y <- argv1 * 2 + 1", "y", xs);
 float total = python("", "sum(argv1)", scaled);
 int nbytes = blob_size(scaled);
 
+// Container <-> vector bridge: the paper's scatter -> per-fragment
+// compute -> gather ensemble (§IV workflows). A foreach-built parameter
+// array packs into one blob (vpack: batched gather, one RPC per server,
+// dims recorded), R shifts the whole vector in one typed call, vunpack
+// scatters it back into a Swift array, an ensemble of per-element Python
+// fragments squares each value in parallel, and a final vpack feeds the
+// aggregate — element data never renders as text anywhere.
+float params[];
+foreach i in [0:15] { params[i] = itof(i) * 0.5; }
+blob pv = vpack(params);
+blob shifted = r("y <- argv1 * 2 + 1", "y", pv);
+float ys[] = vunpack(shifted);
+float sq[];
+foreach y, i in ys { sq[i] = python("", "argv1 * argv1", y); }
+float esum = python("", "sum(argv1)", vpack(sq));
+
 printf("python: sum(1..100) = %s", pysum);
 printf("r: sd(sample) = %s", rstat);
 printf("tcl: 6*7 = %i, 2**8 = %s", tprod, tpow);
 printf("native: waveform(2) = %f via %s", w2, simver());
 printf("shell: %s", banner);
 printf("blob pipeline: sum(2*xs + 1) = %f over %i packed bytes", total, nbytes);
+printf("ensemble: sum((2*p+1)^2) = %f over %i fragments", esum, size(sq));
 `
 
 func main() {

@@ -54,7 +54,11 @@ func (cl *Client) Comm() *mpi.Comm { return cl.c }
 func (cl *Client) rpc(server int, build func(*encoder)) (*decoder, error) {
 	e := &encoder{}
 	build(e)
-	if err := cl.c.Send(server, tagRequest, e.buf); err != nil {
+	frame, err := e.frame()
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.c.Send(server, tagRequest, frame); err != nil {
 		return nil, err
 	}
 	data, _, err := cl.c.Recv(server, tagResponse)
@@ -91,8 +95,10 @@ func (cl *Client) Put(workType, priority, target int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = checkStatus(d, "put")
-	return err
+	if _, err = checkStatus(d, "put"); err != nil {
+		return err
+	}
+	return d.finish("put response")
 }
 
 // Get blocks until a work item of the requested type is available, and
@@ -111,11 +117,11 @@ func (cl *Client) Get(workType int) (payload []byte, ok bool, err error) {
 		return nil, false, err
 	}
 	if st == stNoMoreWork {
-		return nil, false, nil
+		return nil, false, d.finish("get response")
 	}
 	w := decodeWorkItem(d)
-	if d.err != nil {
-		return nil, false, d.err
+	if err := d.finish("get response"); err != nil {
+		return nil, false, err
 	}
 	// Yield before running the task. Real MPI ranks are separate
 	// processes that progress concurrently; in the simulation, ranks are
@@ -144,8 +150,8 @@ func (cl *Client) Unique() (int64, error) {
 		}
 		cl.idNext = d.i64()
 		cl.idStride = int64(d.i32())
-		if d.err != nil {
-			return 0, d.err
+		if err := d.finish("unique response"); err != nil {
+			return 0, err
 		}
 		cl.idRemain = block
 	}
@@ -166,8 +172,10 @@ func (cl *Client) Create(id int64, typ DataType) error {
 	if err != nil {
 		return err
 	}
-	_, err = checkStatus(d, "create")
-	return err
+	if _, err = checkStatus(d, "create"); err != nil {
+		return err
+	}
+	return d.finish("create response")
 }
 
 // Store writes the value of a single-assignment datum, closing it and
@@ -181,8 +189,10 @@ func (cl *Client) Store(id int64, v Value) error {
 	if err != nil {
 		return err
 	}
-	_, err = checkStatus(d, "store")
-	return err
+	if _, err = checkStatus(d, "store"); err != nil {
+		return err
+	}
+	return d.finish("store response")
 }
 
 // Retrieve fetches a datum's value. found is false if the id is unknown.
@@ -199,10 +209,75 @@ func (cl *Client) Retrieve(id int64) (v Value, found bool, err error) {
 		return Value{}, false, err
 	}
 	if st == stNotFound {
-		return Value{}, false, nil
+		return Value{}, false, d.finish("retrieve response")
 	}
 	v = decodeValue(d)
-	return v, true, d.err
+	return v, true, d.finish("retrieve response")
+}
+
+// RetrieveBatch fetches many closed data in bulk. Ids are grouped by
+// owning server so the whole gather costs one RPC per server touched —
+// O(servers), not O(len(ids)) — which is what makes container->vector
+// packing viable at array scale. Every id must exist and be set; results
+// are returned in the order of ids.
+func (cl *Client) RetrieveBatch(ids []int64) ([]Value, error) {
+	out := make([]Value, len(ids))
+	groups := make(map[int][]int) // owning server rank -> indexes into ids
+	for i, id := range ids {
+		owner := cl.l.OwnerOf(id)
+		groups[owner] = append(groups[owner], i)
+	}
+	for server, idxs := range groups {
+		d, err := cl.rpc(server, func(e *encoder) {
+			e.u8(opRetrieveBatch)
+			e.u32(uint32(len(idxs)))
+			for _, i := range idxs {
+				e.i64(ids[i])
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := checkStatus(d, "retrieve_batch"); err != nil {
+			return nil, err
+		}
+		n := int(d.u32())
+		if d.err == nil && n != len(idxs) {
+			return nil, fmt.Errorf("adlb: retrieve_batch: asked for %d values, got %d", len(idxs), n)
+		}
+		for _, i := range idxs {
+			out[i] = decodeValue(d)
+		}
+		if err := d.finish("retrieve_batch response"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StoreVector appends a vector of element values to a container in a
+// single RPC: the owning server creates one owner-local datum per value,
+// stores it closed, and inserts it at consecutive integer subscripts
+// after any existing members (an empty container gets 0..len(vals)-1).
+// The container's write refcount is untouched — the caller still owns
+// its reference and drops it when construction is complete, exactly as
+// with element-by-element Insert.
+func (cl *Client) StoreVector(container int64, vals []Value) error {
+	d, err := cl.rpc(cl.l.OwnerOf(container), func(e *encoder) {
+		e.u8(opStoreVector)
+		e.i64(container)
+		e.u32(uint32(len(vals)))
+		for _, v := range vals {
+			encodeValue(e, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = checkStatus(d, "store_vector"); err != nil {
+		return err
+	}
+	return d.finish("store_vector response")
 }
 
 // Subscribe registers rank for a close notification on id. If the datum is
@@ -219,7 +294,8 @@ func (cl *Client) Subscribe(id int64, rank int) (closed bool, err error) {
 	if _, err := checkStatus(d, "subscribe"); err != nil {
 		return false, err
 	}
-	return d.boolean(), d.err
+	closed = d.boolean()
+	return closed, d.finish("subscribe response")
 }
 
 // Insert adds an existing datum as a member of a container.
@@ -233,8 +309,10 @@ func (cl *Client) Insert(container int64, subscript string, member int64) error 
 	if err != nil {
 		return err
 	}
-	_, err = checkStatus(d, "insert")
-	return err
+	if _, err = checkStatus(d, "insert"); err != nil {
+		return err
+	}
+	return d.finish("insert response")
 }
 
 // Lookup finds the member id at a subscript. If createType is non-zero and
@@ -256,11 +334,11 @@ func (cl *Client) Lookup(container int64, subscript string, createType DataType)
 		return 0, false, false, err
 	}
 	if st == stNotFound {
-		return 0, false, false, nil
+		return 0, false, false, d.finish("lookup response")
 	}
 	member = d.i64()
 	created = d.boolean()
-	return member, true, created, d.err
+	return member, true, created, d.finish("lookup response")
 }
 
 // Enumerate lists a container's members in insertion order.
@@ -282,7 +360,7 @@ func (cl *Client) Enumerate(container int64) ([]Pair, error) {
 		id := d.i64()
 		pairs = append(pairs, Pair{Subscript: sub, Member: id})
 	}
-	return pairs, d.err
+	return pairs, d.finish("enumerate response")
 }
 
 // WriteRefcount adjusts a container's write refcount. The container closes
@@ -296,8 +374,10 @@ func (cl *Client) WriteRefcount(id int64, delta int) error {
 	if err != nil {
 		return err
 	}
-	_, err = checkStatus(d, "refcount")
-	return err
+	if _, err = checkStatus(d, "refcount"); err != nil {
+		return err
+	}
+	return d.finish("refcount response")
 }
 
 // Exists reports whether id is allocated and closed.
@@ -312,7 +392,8 @@ func (cl *Client) Exists(id int64) (bool, error) {
 	if _, err := checkStatus(d, "exists"); err != nil {
 		return false, err
 	}
-	return d.boolean(), d.err
+	ok := d.boolean()
+	return ok, d.finish("exists response")
 }
 
 // TypeOf returns the declared type of id.
@@ -329,9 +410,10 @@ func (cl *Client) TypeOf(id int64) (DataType, bool, error) {
 		return 0, false, err
 	}
 	if st == stNotFound {
-		return 0, false, nil
+		return 0, false, d.finish("typeof response")
 	}
-	return DataType(d.u8()), true, d.err
+	t := DataType(d.u8())
+	return t, true, d.finish("typeof response")
 }
 
 // ---- typed value helpers ----

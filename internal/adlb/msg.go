@@ -28,6 +28,10 @@ const (
 	opUnique
 	opExists
 	opTypeOf
+	// Batched data-plane ops: the container<->vector bridge needs bulk
+	// element traffic to cost O(servers) RPCs, not O(elements).
+	opRetrieveBatch // many ids -> many values, one RPC per owning server
+	opStoreVector   // container + values -> owner-local member data, one RPC
 )
 
 // Server-to-server opcodes.

@@ -2,6 +2,7 @@ package adlb
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/mpi"
 )
@@ -167,7 +168,11 @@ func (s *server) dispatch(data []byte, st mpi.Status) error {
 func (s *server) respond(client int, build func(*encoder)) error {
 	e := &encoder{}
 	build(e)
-	return s.c.Send(client, tagResponse, e.buf)
+	frame, err := e.frame()
+	if err != nil {
+		return err
+	}
+	return s.c.Send(client, tagResponse, frame)
 }
 
 func (s *server) respondError(client int, msg string) error {
@@ -186,7 +191,8 @@ func (s *server) handleRequest(op uint8, d *decoder, client int) error {
 	case opUnique:
 		return s.handleUnique(d, client)
 	case opCreate, opStore, opRetrieve, opSubscribe, opInsert, opLookup,
-		opEnumerate, opWriteRefcount, opExists, opTypeOf:
+		opEnumerate, opWriteRefcount, opExists, opTypeOf,
+		opRetrieveBatch, opStoreVector:
 		if s.stats() != nil {
 			s.stats().DataOps.Add(1)
 		}
@@ -197,8 +203,8 @@ func (s *server) handleRequest(op uint8, d *decoder, client int) error {
 
 func (s *server) handlePut(d *decoder, client int) error {
 	w := decodeWorkItem(d)
-	if d.err != nil {
-		return d.err
+	if err := d.finish("put request"); err != nil {
+		return err
 	}
 	if w.Type < 0 || w.Type >= s.cfg.Types {
 		return s.respondError(client, fmt.Sprintf("put: invalid work type %d", w.Type))
@@ -372,8 +378,8 @@ func (s *server) clientDeparted(client int) {
 
 func (s *server) handleGet(d *decoder, client int) error {
 	typ := int(d.i32())
-	if d.err != nil {
-		return d.err
+	if err := d.finish("get request"); err != nil {
+		return err
 	}
 	if s.draining {
 		s.clientDeparted(client)
@@ -423,8 +429,8 @@ func (s *server) handleGet(d *decoder, client int) error {
 
 func (s *server) handleUnique(d *decoder, client int) error {
 	count := int64(d.i32())
-	if d.err != nil {
-		return d.err
+	if err := d.finish("unique request"); err != nil {
+		return err
 	}
 	if count < 1 {
 		count = 1
@@ -445,8 +451,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 	case opCreate:
 		id := d.i64()
 		typ := DataType(d.u8())
-		if d.err != nil {
-			return d.err
+		if err := d.finish("create request"); err != nil {
+			return err
 		}
 		if _, exists := s.store[id]; exists {
 			return s.respondError(client, fmt.Sprintf("create: id %d already exists", id))
@@ -462,8 +468,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 	case opStore:
 		id := d.i64()
 		v := decodeValue(d)
-		if d.err != nil {
-			return d.err
+		if err := d.finish("store request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		if !ok {
@@ -485,8 +491,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 
 	case opRetrieve:
 		id := d.i64()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("retrieve request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		if !ok {
@@ -503,8 +509,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 	case opSubscribe:
 		id := d.i64()
 		rank := int(d.i32())
-		if d.err != nil {
-			return d.err
+		if err := d.finish("subscribe request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		if !ok {
@@ -526,8 +532,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 		cid := d.i64()
 		sub := d.str()
 		member := d.i64()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("insert request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[cid]
 		if !ok || dm.typ != TypeContainer {
@@ -547,8 +553,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 		cid := d.i64()
 		sub := d.str()
 		createType := DataType(d.u8()) // 0 = do not create
-		if d.err != nil {
-			return d.err
+		if err := d.finish("lookup request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[cid]
 		if !ok || dm.typ != TypeContainer {
@@ -586,8 +592,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 
 	case opEnumerate:
 		cid := d.i64()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("enumerate request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[cid]
 		if !ok || dm.typ != TypeContainer {
@@ -605,8 +611,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 	case opWriteRefcount:
 		id := d.i64()
 		delta := int(d.i32())
-		if d.err != nil {
-			return d.err
+		if err := d.finish("refcount request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		if !ok {
@@ -627,8 +633,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 
 	case opExists:
 		id := d.i64()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("exists request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		return s.respond(client, func(e *encoder) {
@@ -638,8 +644,8 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 
 	case opTypeOf:
 		id := d.i64()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("typeof request"); err != nil {
+			return err
 		}
 		dm, ok := s.store[id]
 		if !ok {
@@ -649,6 +655,98 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 			e.u8(stOK)
 			e.u8(uint8(dm.typ))
 		})
+
+	case opRetrieveBatch:
+		// Bulk gather: all requested ids are owned here (the client
+		// grouped by owner), so the whole lookup is local and the reply
+		// carries every value in one frame.
+		n := int(d.u32())
+		if d.err == nil && (n < 0 || n > (len(d.buf)-d.off)/8) {
+			// Division keeps the bound overflow-free on 32-bit ints; a
+			// claimed count beyond the frame is malformed input, not an
+			// allocation request.
+			d.fail("retrieve_batch ids")
+		}
+		if d.err != nil {
+			return d.err
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = d.i64()
+		}
+		if err := d.finish("retrieve_batch request"); err != nil {
+			return err
+		}
+		vals := make([]Value, n)
+		for i, id := range ids {
+			dm, ok := s.store[id]
+			if !ok {
+				return s.respondError(client, fmt.Sprintf("retrieve_batch: no such id %d", id))
+			}
+			if !dm.set && dm.typ != TypeContainer {
+				return s.respondError(client, fmt.Sprintf("retrieve_batch: id %d is unset", id))
+			}
+			vals[i] = dm.val
+		}
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			e.u32(uint32(n))
+			for _, v := range vals {
+				encodeValue(e, v)
+			}
+		})
+
+	case opStoreVector:
+		// Bulk scatter into a container: create one owner-local closed
+		// datum per element and insert it at its index, all in one RPC.
+		// The write refcount is the caller's to manage, as with Insert.
+		cid := d.i64()
+		n := int(d.u32())
+		if d.err == nil && (n < 0 || n > len(d.buf)) {
+			// Each encoded value needs >= 5 bytes; an element count
+			// beyond the frame length is a malformed frame, not an
+			// allocation request.
+			d.fail("store_vector count")
+		}
+		if d.err != nil {
+			return d.err
+		}
+		vals := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			vals = append(vals, decodeValue(d))
+			if d.err != nil {
+				return d.err
+			}
+		}
+		if err := d.finish("store_vector request"); err != nil {
+			return err
+		}
+		dm, ok := s.store[cid]
+		if !ok || dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("store_vector: id %d is not a container", cid))
+		}
+		if dm.closed() {
+			return s.respondError(client, fmt.Sprintf("store_vector: container %d is closed", cid))
+		}
+		base := len(dm.order)
+		// Validate every target subscript before mutating anything, so a
+		// failed StoreVector is all-or-nothing: partial member creation
+		// would leave the container in a layout no call described.
+		subs := make([]string, len(vals))
+		for i := range vals {
+			subs[i] = strconv.Itoa(base + i)
+			if _, dup := dm.members[subs[i]]; dup {
+				return s.respondError(client, fmt.Sprintf("store_vector: container %d already has subscript %q", cid, subs[i]))
+			}
+		}
+		for i, v := range vals {
+			id := s.nextID
+			s.nextID += int64(s.l.Servers)
+			s.store[id] = &datum{typ: v.Type, set: true, val: v}
+			dm.members[subs[i]] = id
+			dm.order = append(dm.order, subs[i])
+		}
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
 	}
 	return fmt.Errorf("adlb: unhandled data op %d", op)
 }
@@ -699,10 +797,14 @@ func (s *server) sendServer(dest int, op uint8, counted bool, build func(*encode
 	e := &encoder{}
 	e.u8(op)
 	build(e)
+	frame, err := e.frame()
+	if err != nil {
+		return err
+	}
 	if counted {
 		s.mcount++
 	}
-	return s.c.Send(dest, tagServer, e.buf)
+	return s.c.Send(dest, tagServer, frame)
 }
 
 func (s *server) handleServer(op uint8, d *decoder, source int) error {
@@ -711,8 +813,8 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 		s.mcount--
 		s.black = true
 		w := decodeWorkItem(d)
-		if d.err != nil {
-			return d.err
+		if err := d.finish("put-forward"); err != nil {
+			return err
 		}
 		s.acceptWork(w)
 		if s.stats() != nil {
@@ -723,8 +825,8 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 	case sopStealReq:
 		typ := int(d.i32())
 		requester := int(d.i32())
-		if d.err != nil {
-			return d.err
+		if err := d.finish("steal request"); err != nil {
+			return err
 		}
 		var items []workItem
 		if q, ok := s.untargeted[typ]; ok {
@@ -777,6 +879,9 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 				}
 			}
 		}
+		if err := d.finish("steal response"); err != nil {
+			return err
+		}
 		for _, k := range order {
 			s.matchParked(k.typ, k.target)
 		}
@@ -785,8 +890,8 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 	case sopToken:
 		s.tokenQ = d.i64()
 		s.tokenBlack = d.boolean()
-		if d.err != nil {
-			return d.err
+		if err := d.finish("token"); err != nil {
+			return err
 		}
 		s.haveToken = true
 		if s.quiet() {
@@ -795,6 +900,9 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 		return nil
 
 	case sopShutdown:
+		if err := d.finish("shutdown"); err != nil {
+			return err
+		}
 		s.beginDrain()
 		return nil
 	}

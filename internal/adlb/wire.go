@@ -3,14 +3,26 @@ package adlb
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // The ADLB wire format is a compact, hand-rolled binary encoding: the real
 // library ships C structs over MPI; we ship length-prefixed fields over the
 // simulated transport. All integers are little-endian.
 
+// maxFieldBytes bounds the length of a single length-prefixed field. The
+// prefix is a u32, so anything longer cannot be framed; the encoder
+// rejects it with an error instead of silently truncating the length (and
+// thereby corrupting every field after it). A uint64 so the comparison is
+// exact on 32-bit platforms (where int(^uint32(0)) would wrap negative);
+// a variable only so tests can lower it without allocating 4 GiB payloads.
+var maxFieldBytes uint64 = math.MaxUint32
+
 type encoder struct {
 	buf []byte
+	// err is sticky: the first encoding failure (an unframeable field)
+	// poisons the encoder, and callers must check it before sending.
+	err error
 }
 
 func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
@@ -27,16 +39,41 @@ func (e *encoder) u64(v uint64) {
 func (e *encoder) i32(v int32) { e.u32(uint32(v)) }
 func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
 func (e *encoder) bytes(v []byte) {
+	if uint64(len(v)) > maxFieldBytes {
+		if e.err == nil {
+			e.err = fmt.Errorf("adlb: wire encode: %d-byte field overflows the u32 length prefix", len(v))
+		}
+		return
+	}
 	e.u32(uint32(len(v)))
 	e.buf = append(e.buf, v...)
 }
-func (e *encoder) str(v string) { e.bytes([]byte(v)) }
+func (e *encoder) str(v string) {
+	if uint64(len(v)) > maxFieldBytes {
+		if e.err == nil {
+			e.err = fmt.Errorf("adlb: wire encode: %d-byte string overflows the u32 length prefix", len(v))
+		}
+		return
+	}
+	e.u32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
 func (e *encoder) boolean(v bool) {
 	if v {
 		e.u8(1)
 	} else {
 		e.u8(0)
 	}
+}
+
+// frame returns the encoded message, or the first encoding error. Every
+// send site goes through it so an unframeable field can never reach the
+// transport as a corrupted frame.
+func (e *encoder) frame() ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf, nil
 }
 
 type decoder struct {
@@ -86,7 +123,7 @@ func (d *decoder) i64() int64 { return int64(d.u64()) }
 
 func (d *decoder) bytes() []byte {
 	n := int(d.u32())
-	if d.err != nil || d.off+n > len(d.buf) {
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
 		d.fail("bytes")
 		return nil
 	}
@@ -98,3 +135,18 @@ func (d *decoder) bytes() []byte {
 func (d *decoder) str() string { return string(d.bytes()) }
 
 func (d *decoder) boolean() bool { return d.u8() != 0 }
+
+// finish reports the first decode error, or an error if decoding left
+// trailing bytes unconsumed. A fully decoded message must account for
+// every byte of its frame: trailing garbage means the sender and receiver
+// disagree about the message layout, and silently ignoring it hides
+// framing bugs until they corrupt something subtler.
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("adlb: wire decode: %d trailing byte(s) after %s", len(d.buf)-d.off, what)
+	}
+	return nil
+}

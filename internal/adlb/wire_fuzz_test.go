@@ -1,0 +1,96 @@
+package adlb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the wire codec two ways with the same input:
+//
+//  1. Arbitrary bytes fed straight to the decoders must never panic —
+//     every malformed frame has to surface through decoder.err/finish.
+//  2. A message synthesized from the input must encode and decode back to
+//     itself (round-trip identity), with finish() accepting the clean
+//     frame and rejecting it once a trailing byte is appended.
+//
+// Run with: go test -fuzz=FuzzWireRoundTrip ./internal/adlb
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{}, int64(0), uint8(0))
+	f.Add([]byte("payload"), int64(42), uint8(5))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, int64(-1), uint8(2))
+	e := &encoder{}
+	encodeValue(e, Value{Type: TypeBlob, Bytes: []byte{1, 2}, Dims: []int{2, 1}, Elem: 1})
+	f.Add(e.buf, int64(7), uint8(6))
+
+	f.Fuzz(func(t *testing.T, raw []byte, n int64, tag uint8) {
+		// 1. Decoder robustness: arbitrary input, all decode shapes.
+		for _, run := range []func(d *decoder){
+			func(d *decoder) { decodeWorkItem(d) },
+			func(d *decoder) { decodeValue(d) },
+			func(d *decoder) { d.u8(); d.str(); d.i64(); d.boolean() },
+			func(d *decoder) {
+				count := int(d.u32())
+				for i := 0; i < count && d.err == nil; i++ {
+					decodeValue(d)
+				}
+			},
+		} {
+			d := &decoder{buf: raw}
+			run(d) // must not panic
+			_ = d.finish("fuzz")
+		}
+		DecodeNotification(raw)
+
+		// 2. Round-trip identity for a message built from the input.
+		w := workItem{Type: int(int32(n)), Priority: int(tag), Target: int(int32(n >> 32)), Payload: raw}
+		v := Value{Type: DataType(tag%7 + 1), Bytes: raw}
+		if v.Type == TypeBlob {
+			v.Elem = tag
+			v.Dims = []int{int(int32(n)), 2}
+		}
+		e := &encoder{}
+		encodeWorkItem(e, w)
+		encodeValue(e, v)
+		e.i64(n)
+		e.boolean(tag&1 == 1)
+		frame, err := e.frame()
+		if err != nil {
+			t.Fatalf("encode failed on plausible message: %v", err)
+		}
+
+		d := &decoder{buf: frame}
+		gotW := decodeWorkItem(d)
+		gotV := decodeValue(d)
+		gotN := d.i64()
+		gotB := d.boolean()
+		if err := d.finish("round trip"); err != nil {
+			t.Fatalf("clean round trip rejected: %v", err)
+		}
+		if gotW.Type != w.Type || gotW.Priority != w.Priority || gotW.Target != w.Target ||
+			!bytes.Equal(gotW.Payload, w.Payload) {
+			t.Fatalf("work item round trip: got %+v want %+v", gotW, w)
+		}
+		if gotV.Type != v.Type || !bytes.Equal(gotV.Bytes, v.Bytes) || gotV.Elem != v.Elem ||
+			len(gotV.Dims) != len(v.Dims) {
+			t.Fatalf("value round trip: got %+v want %+v", gotV, v)
+		}
+		for i := range v.Dims {
+			if gotV.Dims[i] != v.Dims[i] {
+				t.Fatalf("dims round trip: got %v want %v", gotV.Dims, v.Dims)
+			}
+		}
+		if gotN != n || gotB != (tag&1 == 1) {
+			t.Fatalf("scalar round trip: got %d/%v want %d/%v", gotN, gotB, n, tag&1 == 1)
+		}
+
+		// Trailing garbage after the same clean frame must fail loudly.
+		d = &decoder{buf: append(append([]byte(nil), frame...), 0x5A)}
+		decodeWorkItem(d)
+		decodeValue(d)
+		d.i64()
+		d.boolean()
+		if err := d.finish("round trip"); err == nil {
+			t.Fatal("trailing garbage accepted")
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package adlb
+
+import (
+	"strings"
+	"testing"
+)
+
+// The encoder must reject fields whose length cannot be framed in the u32
+// prefix instead of silently truncating the length and corrupting every
+// field after it. maxFieldBytes is lowered so the regression does not
+// need a >4 GiB allocation; the check itself is length-based only.
+func TestEncoderRejectsOversizedField(t *testing.T) {
+	saved := maxFieldBytes
+	maxFieldBytes = 16
+	defer func() { maxFieldBytes = saved }()
+
+	t.Run("bytes", func(t *testing.T) {
+		e := &encoder{}
+		e.bytes(make([]byte, 17))
+		if e.err == nil {
+			t.Fatal("oversized bytes field accepted")
+		}
+		if _, err := e.frame(); err == nil {
+			t.Fatal("frame() returned a corrupted frame")
+		}
+	})
+	t.Run("str", func(t *testing.T) {
+		e := &encoder{}
+		e.str(strings.Repeat("x", 17))
+		if e.err == nil {
+			t.Fatal("oversized string field accepted")
+		}
+		if _, err := e.frame(); err == nil {
+			t.Fatal("frame() returned a corrupted frame")
+		}
+	})
+	t.Run("error-is-sticky", func(t *testing.T) {
+		e := &encoder{}
+		e.bytes(make([]byte, 17))
+		first := e.err
+		e.str(strings.Repeat("y", 17))
+		if e.err != first {
+			t.Fatal("second failure overwrote the first error")
+		}
+	})
+	t.Run("at-limit-ok", func(t *testing.T) {
+		e := &encoder{}
+		e.bytes(make([]byte, 16))
+		e.str(strings.Repeat("x", 16))
+		frame, err := e.frame()
+		if err != nil {
+			t.Fatalf("exact-limit field rejected: %v", err)
+		}
+		d := &decoder{buf: frame}
+		if got := d.bytes(); len(got) != 16 {
+			t.Fatalf("bytes round-trip lost data: %d", len(got))
+		}
+		if got := d.str(); len(got) != 16 {
+			t.Fatalf("str round-trip lost data: %d", len(got))
+		}
+		if err := d.finish("wire test"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// A fully decoded message must consume its whole frame: trailing bytes
+// mean sender and receiver disagree about the layout, and finish() turns
+// that from silence into a loud failure.
+func TestDecoderRejectsTrailingGarbage(t *testing.T) {
+	t.Run("work-item", func(t *testing.T) {
+		e := &encoder{}
+		encodeWorkItem(e, workItem{Type: 1, Priority: 2, Target: 3, Payload: []byte("job")})
+		frame, err := e.frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &decoder{buf: frame}
+		if w := decodeWorkItem(d); string(w.Payload) != "job" {
+			t.Fatalf("payload = %q", w.Payload)
+		}
+		if err := d.finish("work item"); err != nil {
+			t.Fatalf("clean frame rejected: %v", err)
+		}
+
+		d = &decoder{buf: append(append([]byte(nil), frame...), 0xAB)}
+		decodeWorkItem(d)
+		if err := d.finish("work item"); err == nil {
+			t.Fatal("trailing garbage accepted after work item")
+		}
+	})
+	t.Run("value", func(t *testing.T) {
+		e := &encoder{}
+		encodeValue(e, Value{Type: TypeBlob, Bytes: []byte{1, 2, 3}, Dims: []int{3}, Elem: 2})
+		frame, err := e.frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &decoder{buf: frame}
+		v := decodeValue(d)
+		if err := d.finish("value"); err != nil {
+			t.Fatalf("clean frame rejected: %v (value %v)", err, v)
+		}
+
+		d = &decoder{buf: append(append([]byte(nil), frame...), 0xCD, 0xEF)}
+		decodeValue(d)
+		if err := d.finish("value"); err == nil {
+			t.Fatal("trailing garbage accepted after value")
+		}
+	})
+	t.Run("truncated-still-fails", func(t *testing.T) {
+		e := &encoder{}
+		encodeValue(e, Value{Type: TypeString, Bytes: []byte("hello")})
+		frame, _ := e.frame()
+		d := &decoder{buf: frame[:len(frame)-2]}
+		decodeValue(d)
+		if err := d.finish("value"); err == nil {
+			t.Fatal("truncated frame accepted")
+		}
+	})
+}

@@ -237,10 +237,22 @@ type DataPlane interface {
 	// Load retrieves a closed TD as a typed Value (blob TDs keep their
 	// dims and element kind).
 	Load(id int64) (Value, error)
+	// LoadBatch retrieves many closed TDs at once, in order. Over ADLB
+	// this costs one RPC per owning server rather than one per id, which
+	// is what makes container-scale gathers (vpack, multi-argument typed
+	// calls) cheap.
+	LoadBatch(ids []int64) ([]Value, error)
 	// StoreAs stores a typed value into a TD of the named turbine type
 	// ("integer", "float", "string", "blob", "void"), converting where
 	// the kinds differ.
 	StoreAs(id int64, td string, v Value) error
+	// StoreVector appends element values of the named turbine type to a
+	// container TD in a single batched store: one closed member TD per
+	// element, at consecutive integer subscripts after any existing
+	// members (0..len(elems)-1 for an empty container). The container's
+	// write refcount is untouched; the caller drops its reference when
+	// construction is complete.
+	StoreVector(container int64, td string, elems []Value) error
 }
 
 // Install registers the Tcl dispatch commands for one language on one
@@ -302,15 +314,19 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 			return "", fmt.Errorf("%s::call: bad out id %q", reg.Name, args[1])
 		}
 		outtype := args[2]
-		vals := make([]Value, len(args)-3)
+		ids := make([]int64, len(args)-3)
 		for i, idStr := range args[3:] {
 			id, err := strconv.ParseInt(idStr, 10, 64)
 			if err != nil {
 				return "", fmt.Errorf("%s::call: bad arg id %q", reg.Name, idStr)
 			}
-			if vals[i], err = dp.Load(id); err != nil {
-				return "", err
-			}
+			ids[i] = id
+		}
+		// One batched load for the whole argument vector: over ADLB this
+		// is one RPC per owning server, not one per argument.
+		vals, err := dp.LoadBatch(ids)
+		if err != nil {
+			return "", err
 		}
 		c, err := buildCall(reg, vals, wantOf(outtype))
 		if err != nil {

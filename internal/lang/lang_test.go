@@ -451,9 +451,31 @@ func (p *memPlane) Load(id int64) (Value, error) {
 	return v, nil
 }
 
+func (p *memPlane) LoadBatch(ids []int64) ([]Value, error) {
+	out := make([]Value, len(ids))
+	for i, id := range ids {
+		v, err := p.Load(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 func (p *memPlane) StoreAs(id int64, td string, v Value) error {
 	p.vals[id] = v
 	p.tds[id] = td
+	return nil
+}
+
+func (p *memPlane) StoreVector(container int64, td string, elems []Value) error {
+	// The in-memory plane has no containers; record the elements under
+	// synthetic member ids so tests can observe what was stored.
+	p.tds[container] = "container/" + td
+	for i, v := range elems {
+		p.vals[container*1000+int64(i)] = v
+	}
 	return nil
 }
 

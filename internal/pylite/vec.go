@@ -51,12 +51,48 @@ func (v *Vec) At(i int) Value {
 
 // SetAt writes element i in place, enforcing exact representability
 // under the vector's element kind (narrowing that would lose bits is an
-// error, not a silent truncation).
+// error, not a silent truncation). Integer inputs into integer element
+// kinds stay on an integer path: routing an int64 through float64 would
+// silently round magnitudes beyond 2^53 — exactly the class of defect
+// the rlite decoder rejects on its side of the boundary.
 func (v *Vec) SetAt(i int, x Value) error {
+	if n, ok := x.(int64); ok {
+		switch v.B.Elem {
+		case blob.ElemI64:
+			binary.LittleEndian.PutUint64(v.B.Data[8*i:], uint64(n))
+			return nil
+		case blob.ElemI32:
+			m := int32(n)
+			if int64(m) != n {
+				return fmt.Errorf("pylite: %d is not representable as int32", n)
+			}
+			binary.LittleEndian.PutUint32(v.B.Data[4*i:], uint32(m))
+			return nil
+		case blob.ElemBytes:
+			if n < 0 || n > 255 {
+				return fmt.Errorf("pylite: %d is not representable as a byte", n)
+			}
+			v.B.Data[i] = byte(n)
+			return nil
+		}
+		// Float element kinds: the integer must be exactly representable
+		// in float64 before the float path may narrow it further. 2^63
+		// is the one round-trip boundary int64(f) cannot probe safely.
+		const twoTo63 = float64(9223372036854775808)
+		f := float64(n)
+		if f == twoTo63 || int64(f) != n {
+			return fmt.Errorf("pylite: %d is not representable as %s", n, v.B.Elem)
+		}
+		return v.setFloat(i, f)
+	}
 	f, err := toFloat(x)
 	if err != nil {
 		return err
 	}
+	return v.setFloat(i, f)
+}
+
+func (v *Vec) setFloat(i int, f float64) error {
 	switch v.B.Elem {
 	case blob.ElemF64:
 		binary.LittleEndian.PutUint64(v.B.Data[8*i:], math.Float64bits(f))

@@ -81,6 +81,28 @@ func TestVecRejectsUnrepresentableWrites(t *testing.T) {
 	}
 }
 
+func TestVecIntWritesStayExactBeyond2to53(t *testing.T) {
+	// Integer assignments into an int64 vector must not route through
+	// float64: 2^53+1 is exactly representable in int64 but rounds to
+	// 2^53 as a float64.
+	const big = int64(1<<53) + 1
+	b := blob.FromInt64s([]int64{0, 0})
+	in := vecInterp(t, b)
+	if err := in.Exec("v[0] = 9007199254740993"); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := blob.ToInt64s(blob.Blob{Data: b.Data})
+	if err != nil || ns[0] != big {
+		t.Fatalf("v[0] = %d, want %d (rounded through float64?)", ns[0], big)
+	}
+	// The same value into a float64 vector must error, not round.
+	in2 := vecInterp(t, blob.FromFloat64s([]float64{0}))
+	err = in2.Exec("v[0] = 9007199254740993")
+	if err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Fatalf("err = %v, want not-representable failure", err)
+	}
+}
+
 func TestNewVecRejectsRaggedPayload(t *testing.T) {
 	if _, err := NewVec(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemF64}); err == nil {
 		t.Fatal("3 bytes accepted as float64 vector")

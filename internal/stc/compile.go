@@ -479,6 +479,31 @@ func (c *compiler) compileBuiltin(e *emitter, sc *genScope, outRef string, outT 
 		e.linef(`turbine::rule [list %s] "sw:asize %s %s"`, aRef, outRef, aRef)
 		return nil
 	}
+	if b.Name == "vpack" {
+		// Container -> blob vector. Phase 1 (sw:vpack) must run
+		// engine-side: it registers the member-wait rule; the gather
+		// itself then runs as a worker leaf task.
+		at := c.ck.Types[call.Args[0]]
+		aRef, err := c.compileExpr(e, sc, call.Args[0])
+		if err != nil {
+			return err
+		}
+		e.linef(`turbine::rule [list %s] "sw:vpack %s %s %s"`,
+			aRef, outRef, tdType(swift.Type{Base: at.Base}), aRef)
+		return nil
+	}
+	if b.Name == "vunpack" {
+		// Blob vector -> container: one worker leaf task scatters the
+		// elements in a single batched store and closes the array. The
+		// element type comes from the assignment context (checkExprAs).
+		bRef, err := c.compileExpr(e, sc, call.Args[0])
+		if err != nil {
+			return err
+		}
+		e.linef(`turbine::rule [list %s] "sw:vunpack %s %s %s" type work`,
+			bRef, outRef, tdType(swift.Type{Base: outT.Base}), bRef)
+		return nil
+	}
 	if b.Name == "join_array" {
 		aRef, err := c.compileExpr(e, sc, call.Args[0])
 		if err != nil {

@@ -134,6 +134,39 @@ proc sw:leafcall {name out outtype ids} {
     ${name}::call $out $outtype {*}$ids
 }
 
+# Container -> vector (vpack): fires when the container closes; chains a
+# rule on all members (which may still be open), then a worker gathers
+# them through the batched data plane (one RPC per owning server, never
+# one per element) and packs one blob TD with dims recorded. Element data
+# never renders as text anywhere on the route.
+proc sw:vpack {out elemtype c} {
+    set pairs [turbine::container_enumerate $c]
+    set members {}
+    foreach {sub m} $pairs {
+        lappend members $m
+    }
+    if {[llength $members] == 0} {
+        turbine::vpack_gather $out $elemtype {}
+        return
+    }
+    # The enumeration rides in the action (subscripts and TD ids only),
+    # so the worker gathers with a single batched load — no second
+    # enumerate RPC.
+    turbine::rule $members "sw:vpack_fire $out $elemtype [list $pairs]" type work
+}
+
+proc sw:vpack_fire {out elemtype pairs} {
+    turbine::vpack_gather $out $elemtype $pairs
+}
+
+# Vector -> container (vunpack): fires when the blob closes; a worker
+# scatters it into one closed member TD per element in a single batched
+# store, then drops the construction reference, closing the array.
+proc sw:vunpack {out elemtype b} {
+    turbine::vunpack $out $elemtype $b
+    turbine::write_refcount $out -1
+}
+
 # Array element read: fires when the container is closed and the
 # subscript value is available; chains a copy rule on the member.
 proc sw:aread {out outtype c sub subtype} {

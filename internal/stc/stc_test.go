@@ -2,6 +2,7 @@ package stc
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -473,6 +474,43 @@ func TestInterlanguageCallsCompileToTypedDispatch(t *testing.T) {
 	// The blob builtins keep the string path.
 	if !strings.Contains(out.Program, "sw:leaf blob_from_string") {
 		t.Fatal("blob_from_string no longer routed through sw:leaf")
+	}
+}
+
+func TestContainerVectorBridgeCompilesToBatchedActions(t *testing.T) {
+	// vpack/vunpack compile to sw:vpack/sw:vunpack actions carrying TD
+	// ids and the element type only — phase 1 of vpack runs engine-side
+	// (it registers the member-wait rule), the gather and the scatter run
+	// as worker leaf tasks on the batched data plane.
+	out, err := Compile(`
+		float xs[];
+		foreach i in [0:7] { xs[i] = itof(i); }
+		blob v = vpack(xs);
+		float ys[] = vunpack(v);
+		int zs[] = vunpack(v);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Program, "sw:vpack ") {
+		t.Fatal("vpack not compiled to sw:vpack")
+	}
+	if !strings.Contains(out.Program, "float") || !strings.Contains(out.Program, "sw:vunpack") {
+		t.Fatal("vunpack not compiled to sw:vunpack")
+	}
+	// The element type rides in the action: float for xs/ys, integer for
+	// the int-context unpack.
+	for _, frag := range []string{"sw:vunpack", "float", "integer"} {
+		if !strings.Contains(out.Program, frag) {
+			t.Fatalf("generated program missing %q", frag)
+		}
+	}
+	vun := regexp.MustCompile(`sw:vunpack \$\w+ (float|integer) \$\w+`)
+	if got := len(vun.FindAllString(out.Program, -1)); got != 2 {
+		t.Fatalf("found %d sw:vunpack actions, want 2\n%s", got, out.Program)
+	}
+	if !strings.Contains(out.Program, `" type work`) {
+		t.Fatal("bridge leaf phases not released as worker tasks")
 	}
 }
 

@@ -21,6 +21,10 @@ type Builtin struct {
 	// chooses among string/int/float/blob, defaulting to Out (string)
 	// when unconstrained. See Checker.checkExprAs.
 	OutDynamic bool
+	// InNumeric restricts "any"-typed (TInvalid) parameters to int or
+	// float bases — the element constraint of the container<->vector
+	// bridge (vpack) and any future bulk-numeric builtin.
+	InNumeric bool
 }
 
 // Builtins is the registry of language builtins available to programs.
@@ -49,6 +53,13 @@ var Builtins = map[string]*Builtin{
 	"blob_from_string": {Name: "blob_from_string", Ins: []Type{{Base: TString}}, Out: Type{Base: TBlob}, Leaf: true},
 	"string_from_blob": {Name: "string_from_blob", Ins: []Type{{Base: TBlob}}, Out: Type{Base: TString}, Leaf: true},
 	"blob_size":        {Name: "blob_size", Ins: []Type{{Base: TBlob}}, Out: Type{Base: TInt}, Leaf: true},
+	// Container<->vector bridge on the typed plane: vpack gathers a
+	// closed numeric array into one blob vector (dims recorded, element
+	// data never rendered); vunpack scatters a blob back into an array.
+	// vunpack's element type follows the assignment context (`int A[] =
+	// vunpack(b)` types as int[]), defaulting to float[].
+	"vpack":   {Name: "vpack", Ins: []Type{{Base: TInvalid, Array: true}}, InNumeric: true, Out: Type{Base: TBlob}},
+	"vunpack": {Name: "vunpack", Ins: []Type{{Base: TBlob}}, Out: Type{Base: TFloat, Array: true}, OutDynamic: true},
 }
 
 // LookupBuiltin resolves a builtin by name: the static table above, or an
@@ -296,14 +307,19 @@ func (c *Checker) checkExpr(e Expr, sc *scope) (Type, error) {
 }
 
 // checkExprAs type-checks e in a context expecting the given type. For
-// interlanguage calls with a dynamic result (python(...), r(...), ...)
-// the destination chooses the result type — `blob v = python(...)` types
-// the call as blob, `float f = python(...)` as float — because the typed
-// engine path returns whatever the data store slot demands. All other
-// expressions infer their own type as usual.
+// builtins with a dynamic result the destination chooses the result type:
+// interlanguage calls (python(...), r(...)) type as the scalar the
+// assignment demands (`blob v = python(...)` as blob, `float f = ...` as
+// float), and vunpack types as the numeric array the assignment demands
+// (`int A[] = vunpack(b)` as int[]). Array-dynamic builtins only follow
+// numeric array contexts; anything else falls back to inference (and its
+// default result type), so `string A[] = vunpack(b)` fails with an
+// ordinary assignability error. All other expressions infer their own
+// type as usual.
 func (c *Checker) checkExprAs(e Expr, sc *scope, want Type) (Type, error) {
-	if call, ok := e.(*Call); ok && !want.Array && want.Base != TVoid && want.Base != TInvalid {
-		if b := LookupBuiltin(call.Name); b != nil && b.OutDynamic {
+	if call, ok := e.(*Call); ok && want.Base != TVoid && want.Base != TInvalid {
+		if b := LookupBuiltin(call.Name); b != nil && b.OutDynamic && want.Array == b.Out.Array &&
+			(!want.Array || want.Base == TInt || want.Base == TFloat) {
 			if err := c.checkBuiltinArgs(call, b, sc); err != nil {
 				return Type{}, err
 			}
@@ -535,6 +551,9 @@ func (c *Checker) checkBuiltinArgs(call *Call, b *Builtin, sc *scope) error {
 				// "any" parameter (toString, size's element type).
 				if want.Array && !at.Array {
 					return Errorf(a.Pos(), "builtin %q argument %d must be an array", b.Name, i+1)
+				}
+				if b.InNumeric && at.Base != TInt && at.Base != TFloat {
+					return Errorf(a.Pos(), "builtin %q needs an int or float array, got %s", b.Name, at)
 				}
 				continue
 			}

@@ -258,6 +258,11 @@ func TestCheckGoodPrograms(t *testing.T) {
 		"string s = toString(42);",
 		"int a[]; foreach i in [0:3] { a[i] = i * i; }",
 		"trace(strcat(\"a\", \"b\"), 1, 2.5);",
+		"float a[] = [1.5, 2.5]; blob v = vpack(a);",
+		"int a[] = [1, 2]; blob v = vpack(a); int n = blob_size(vpack(a));",
+		"blob v = blob_from_string(\"x\"); float a[] = vunpack(v);",
+		"blob v = blob_from_string(\"x\"); int a[] = vunpack(v);",
+		"blob v = blob_from_string(\"x\"); int n = size(vunpack(v));",
 	}
 	for _, src := range good {
 		if _, err := Parse(src); err != nil {
@@ -291,6 +296,10 @@ func TestCheckErrors(t *testing.T) {
 		{"boolean b = !5;", "needs boolean"},
 		{"int x = -\"s\";", "needs numeric"},
 		{"(int o, int p) f(int i) { o = i; p = i; } int x = f(1);", "multi-output"},
+		{"string s[] = [\"a\"]; blob v = vpack(s);", "int or float array"},
+		{"blob v = vpack(1);", "must be an array"},
+		{"blob v = blob_from_string(\"x\"); string a[] = vunpack(v);", "cannot initialise"},
+		{"blob v = blob_from_string(\"x\"); float f = vunpack(v);", "cannot initialise"},
 	}
 	for _, tc := range cases {
 		checkFails(t, tc.src, tc.frag)

@@ -298,6 +298,57 @@ func TestMemoCacheFIFOEviction(t *testing.T) {
 	}
 }
 
+// The parse-time substitution plan must be invisible: a planned word
+// substitutes exactly as the scan-per-eval substWord did, under changing
+// variable state, and malformed words keep failing at evaluation time
+// with the same errors.
+func TestSubstPlanSemantics(t *testing.T) {
+	in := New()
+	mustEval(t, in, `set a 1; set b two; set arr(x) inner; set k x`)
+	cases := []struct{ src, want string }{
+		{`set r "$a"`, "1"},                                // single var segment
+		{`set r "pre-$a-mid-$b-post"`, "pre-1-mid-two-post"}, // mixed literal/var
+		{`set r "${a}x"`, "1x"},                            // braced name
+		{`set r "[string length $b]"`, "3"},                // script segment
+		{`set r "$arr($k)"`, "inner"},                      // array ref, substituted index
+		{`set r "a\tb"`, "a\tb"},                           // backslash resolved at compile
+		{`set r "$ a"`, "$ a"},                             // lone dollar stays literal
+		{`set r "2x[string repeat $a 2]\$"`, "2x11$"},      // everything at once
+	}
+	for _, tc := range cases {
+		// Twice: the second eval runs from the cached, planned script.
+		for pass := 0; pass < 2; pass++ {
+			if got := mustEval(t, in, tc.src); got != tc.want {
+				t.Fatalf("pass %d: Eval(%q) = %q, want %q", pass, tc.src, got, tc.want)
+			}
+		}
+	}
+	// Plans see variable mutation like any substitution.
+	mustEval(t, in, `set a 9`)
+	if got := mustEval(t, in, `set r "pre-$a-mid-$b-post"`); got != "pre-9-mid-two-post" {
+		t.Fatalf("planned word missed mutation: %q", got)
+	}
+}
+
+func TestSubstPlanMalformedWordsErrorAtEval(t *testing.T) {
+	// Malformed words (unbalanced ${, parens) compile to error segments:
+	// the script still parses, and the substitution error surfaces on
+	// first evaluation — not at script-compile time.
+	for _, tc := range []struct{ src, frag string }{
+		{`set r "${unterminated"`, "missing close-brace"},
+		{`set r "$arr(unclosed"`, "missing close-paren"},
+	} {
+		if _, err := CompileScript(tc.src); err != nil {
+			t.Fatalf("CompileScript(%q) failed at parse time: %v", tc.src, err)
+		}
+		in := New()
+		_, err := in.Eval(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("Eval(%q): err = %v, want %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
 func TestExprQuotedInterpolationKeepsRawText(t *testing.T) {
 	// Values interpolated into quoted strings must not be numerically
 	// normalized: zero padding, trailing zeros, and hex spelling survive.

@@ -116,17 +116,15 @@ type litNode struct{ v operand }
 
 func (n *litNode) eval(*Interp) (operand, error) { return n.v, nil }
 
-// varNode is a $name, ${name}, or $name(index) reference; the raw source
-// text is kept so array indices substitute at evaluation time.
-type varNode struct{ raw string }
+// varNode is a $name, ${name}, or $name(index) reference, precompiled
+// at expr-parse time through the shared parseVarRef grammar (array
+// indices keep their own plan and substitute at evaluation time).
+type varNode struct{ ref seg }
 
 func (n *varNode) eval(in *Interp) (operand, error) {
-	val, w, err := in.substVariable(n.raw)
+	val, err := in.substSeg(&n.ref)
 	if err != nil {
 		return operand{}, err
-	}
-	if w == 0 {
-		return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
 	}
 	if num, ok := parseNumber(val); ok {
 		return num, nil
@@ -137,15 +135,12 @@ func (n *varNode) eval(in *Interp) (operand, error) {
 // rawVarNode is a variable reference inside a quoted string: the value
 // interpolates as raw text, with no numeric classification, so
 // `"$x" eq "007"` with x=007 compares the original characters.
-type rawVarNode struct{ raw string }
+type rawVarNode struct{ ref seg }
 
 func (n *rawVarNode) eval(in *Interp) (operand, error) {
-	val, w, err := in.substVariable(n.raw)
+	val, err := in.substSeg(&n.ref)
 	if err != nil {
 		return operand{}, err
-	}
-	if w == 0 {
-		return operand{}, fmt.Errorf("tcl: expr: bad $ reference")
 	}
 	return strOp(val), nil
 }
@@ -689,14 +684,14 @@ func (p *exprParser) parsePrimary() (exprNode, error) {
 		}
 		return v, nil
 	case c == '$':
-		w, err := scanVarRef(p.src[p.pos:])
-		if err != nil {
-			return nil, err
+		ref, w, errMsg := parseVarRef(p.src[p.pos:])
+		if errMsg != "" {
+			return nil, fmt.Errorf("%s", errMsg)
 		}
 		if w == 0 {
 			return nil, fmt.Errorf("tcl: expr: bad $ reference")
 		}
-		n := &varNode{raw: p.src[p.pos : p.pos+w]}
+		n := &varNode{ref: ref}
 		p.pos += w
 		return n, nil
 	case c == '[':
@@ -794,13 +789,13 @@ func (p *exprParser) parseQuoted() (exprNode, error) {
 			continue
 		}
 		if p.src[j] == '$' {
-			w, err := scanVarRef(p.src[j:])
-			if err != nil {
-				return nil, err
+			ref, w, errMsg := parseVarRef(p.src[j:])
+			if errMsg != "" {
+				return nil, fmt.Errorf("%s", errMsg)
 			}
 			if w > 0 {
 				flush()
-				parts = append(parts, &rawVarNode{raw: p.src[j : j+w]})
+				parts = append(parts, &rawVarNode{ref: ref})
 				j += w
 				continue
 			}
@@ -822,49 +817,6 @@ func (p *exprParser) parseQuoted() (exprNode, error) {
 		}
 	}
 	return &strNode{parts: parts}, nil
-}
-
-// scanVarRef returns the byte length of the $-reference at the start of
-// s (0 if s does not begin one), using the same grammar substVariable
-// resolves at evaluation time, without touching variables.
-func scanVarRef(s string) (int, error) {
-	if len(s) < 2 || s[0] != '$' {
-		return 0, nil
-	}
-	if s[1] == '{' {
-		j := strings.IndexByte(s, '}')
-		if j < 0 {
-			return 0, fmt.Errorf("tcl: missing close-brace for variable name")
-		}
-		return j + 1, nil
-	}
-	j := 1
-	for j < len(s) && isVarNameChar(s[j]) {
-		j++
-	}
-	if j == 1 {
-		return 0, nil
-	}
-	if j < len(s) && s[j] == '(' {
-		depth := 1
-		k := j + 1
-		for k < len(s) && depth > 0 {
-			switch s[k] {
-			case '(':
-				depth++
-			case ')':
-				depth--
-			case '\\':
-				k++
-			}
-			k++
-		}
-		if depth != 0 {
-			return 0, fmt.Errorf("tcl: missing close-paren in array reference")
-		}
-		return k, nil
-	}
-	return j, nil
 }
 
 func (p *exprParser) parseNumberToken() (exprNode, error) {

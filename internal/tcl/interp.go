@@ -309,7 +309,7 @@ func (in *Interp) evalCommand(cmd *command) (string, error) {
 				words = append(words, w.text)
 				continue
 			}
-			s, err := in.substWord(w.text)
+			s, err := in.substNonLiteral(w)
 			if err != nil {
 				return "", err
 			}
@@ -318,7 +318,7 @@ func (in *Interp) evalCommand(cmd *command) (string, error) {
 			s := w.text
 			if !w.literal {
 				var err error
-				s, err = in.substWord(w.text)
+				s, err = in.substNonLiteral(w)
 				if err != nil {
 					return "", err
 				}
@@ -334,6 +334,16 @@ func (in *Interp) evalCommand(cmd *command) (string, error) {
 		return "", nil
 	}
 	return in.Call(words)
+}
+
+// substNonLiteral substitutes a non-literal word through its parse-time
+// compiled plan (every non-literal word carries one; malformed
+// constructs are error segments that raise here, at first evaluation).
+func (in *Interp) substNonLiteral(w *word) (string, error) {
+	if w.plan == nil {
+		return in.substWord(w.text) // defensive: words built outside parseCommand
+	}
+	return in.substPlan(w.plan)
 }
 
 // Call invokes a command with pre-substituted words.

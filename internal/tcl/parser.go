@@ -27,6 +27,182 @@ type word struct {
 	// skips substitution entirely. Decided once at parse time; this is the
 	// main payoff of caching parsed scripts.
 	literal bool
+	// plan is the precompiled substitution plan of a non-literal word:
+	// the $var / [cmd] / backslash scan done once at parse time, so a
+	// cached script's words are never re-scanned character by character
+	// at evaluation. nil for literal words. Malformed constructs compile
+	// to error segments that raise at first evaluation, exactly as the
+	// scan-per-eval path reported them.
+	plan []seg
+}
+
+// A substitution plan is a sequence of segments. Backslash sequences are
+// static, so they resolve into the literal segments at compile time;
+// variables and bracketed scripts stay symbolic and resolve per eval.
+// Malformed constructs compile to an error segment that raises at
+// evaluation time, exactly where the scan-per-eval path reported them —
+// so compileSubstPlan is total and is the single substitution grammar:
+// substWord itself runs by compiling a plan and walking it.
+type segKind int
+
+const (
+	segLit    segKind = iota // literal text (backslashes already resolved)
+	segVar                   // $name or ${name}
+	segVarArr                // $name(index) — the index substitutes at eval time
+	segScript                // [script] — evaluated through the memoized pipeline
+	segErr                   // malformed construct: raises text as an error
+)
+
+type seg struct {
+	kind segKind
+	text string // literal text, variable name, script source, or error message
+	sub  []seg  // segVarArr only: the index's own compiled plan
+}
+
+// compileSubstPlan precompiles substitution for a word's text. The scan
+// stops at the first malformed construct, which becomes a trailing
+// segErr: segments before it still evaluate (and side-effect) in order,
+// as the scanner always did.
+func compileSubstPlan(text string) []seg {
+	var plan []seg
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			plan = append(plan, seg{kind: segLit, text: lit.String()})
+			lit.Reset()
+		}
+	}
+	i, n := 0, len(text)
+	for i < n {
+		switch text[i] {
+		case '\\':
+			s, w := backslashSubst(text[i:])
+			lit.WriteString(s)
+			i += w
+		case '$':
+			ref, w, errMsg := parseVarRef(text[i:])
+			if errMsg != "" {
+				flush()
+				return append(plan, seg{kind: segErr, text: errMsg})
+			}
+			if w == 0 { // lone dollar
+				lit.WriteByte('$')
+				i++
+				continue
+			}
+			flush()
+			plan = append(plan, ref)
+			i += w
+		case '[':
+			d := 1
+			j := i + 1
+			for j < n && d > 0 {
+				switch text[j] {
+				case '[':
+					d++
+				case ']':
+					d--
+				case '\\':
+					j++
+				}
+				j++
+			}
+			if d != 0 {
+				flush()
+				return append(plan, seg{kind: segErr, text: "tcl: missing close-bracket"})
+			}
+			flush()
+			plan = append(plan, seg{kind: segScript, text: text[i+1 : j-1]})
+			i = j
+		default:
+			lit.WriteByte(text[i])
+			i++
+		}
+	}
+	flush()
+	return plan
+}
+
+// parseVarRef parses a $name, ${name}, or $name(index) reference at the
+// start of s without resolving it, returning its segment and the bytes
+// consumed (0 when s is not a variable reference, as for a lone dollar).
+// errMsg marks malformed references that must raise at evaluation time.
+func parseVarRef(s string) (ref seg, width int, errMsg string) {
+	if len(s) < 2 {
+		return seg{}, 0, ""
+	}
+	if s[1] == '{' {
+		j := strings.IndexByte(s, '}')
+		if j < 0 {
+			return seg{}, 0, "tcl: missing close-brace for variable name"
+		}
+		return seg{kind: segVar, text: s[2:j]}, j + 1, ""
+	}
+	j := 1
+	for j < len(s) && isVarNameChar(s[j]) {
+		j++
+	}
+	if j == 1 {
+		return seg{}, 0, ""
+	}
+	name := s[1:j]
+	if j < len(s) && s[j] == '(' {
+		depth := 1
+		k := j + 1
+		for k < len(s) && depth > 0 {
+			switch s[k] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case '\\':
+				k++
+			}
+			k++
+		}
+		if depth != 0 {
+			return seg{}, 0, "tcl: missing close-paren in array reference"
+		}
+		return seg{kind: segVarArr, text: name, sub: compileSubstPlan(s[j+1 : k-1])}, k, ""
+	}
+	return seg{kind: segVar, text: name}, j, ""
+}
+
+// substPlan performs the substitution described by a precompiled plan —
+// the eval-time half of compileSubstPlan. Single-segment words (a bare
+// $var, one [cmd]) skip the builder entirely.
+func (in *Interp) substPlan(plan []seg) (string, error) {
+	if len(plan) == 1 {
+		return in.substSeg(&plan[0])
+	}
+	var b strings.Builder
+	for i := range plan {
+		s, err := in.substSeg(&plan[i])
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+func (in *Interp) substSeg(s *seg) (string, error) {
+	switch s.kind {
+	case segLit:
+		return s.text, nil
+	case segVar:
+		return in.GetVar(s.text)
+	case segVarArr:
+		idx, err := in.substPlan(s.sub)
+		if err != nil {
+			return "", err
+		}
+		return in.GetVar(s.text + "(" + idx + ")")
+	case segErr:
+		return "", fmt.Errorf("%s", s.text)
+	default: // segScript
+		return in.Eval(s.text)
+	}
 }
 
 type command struct {
@@ -110,6 +286,11 @@ func parseCommand(src string, i, line int) (command, int, int, error) {
 		w, next, nl, err := parseWord(src, i, line)
 		if err != nil {
 			return command{}, 0, 0, err
+		}
+		if !w.literal {
+			// Precompute the substitution plan once, here at parse time;
+			// the cached script then evaluates without re-scanning.
+			w.plan = compileSubstPlan(w.text)
 		}
 		cmd.words = append(cmd.words, w)
 		i = next
@@ -234,122 +415,14 @@ func parseWord(src string, i, line int) (word, int, int, error) {
 	}
 }
 
-// substWord performs $, [], and backslash substitution on a word's text.
+// substWord performs $, [], and backslash substitution on a word's text
+// by compiling a plan and walking it — the same single grammar the
+// parse-time word plans use, so the cached and uncached paths cannot
+// drift. Callers on hot paths hold a precompiled plan instead (word.plan,
+// seg.sub); this entry point serves ad-hoc text (the `subst` command,
+// expr string interpolation).
 func (in *Interp) substWord(text string) (string, error) {
-	var b strings.Builder
-	i := 0
-	n := len(text)
-	for i < n {
-		switch text[i] {
-		case '\\':
-			s, w := backslashSubst(text[i:])
-			b.WriteString(s)
-			i += w
-		case '$':
-			val, w, err := in.substVariable(text[i:])
-			if err != nil {
-				return "", err
-			}
-			if w == 0 { // lone dollar
-				b.WriteByte('$')
-				i++
-				continue
-			}
-			b.WriteString(val)
-			i += w
-		case '[':
-			d := 1
-			j := i + 1
-			for j < n && d > 0 {
-				switch text[j] {
-				case '[':
-					d++
-				case ']':
-					d--
-				case '\\':
-					j++
-				}
-				j++
-			}
-			if d != 0 {
-				return "", fmt.Errorf("tcl: missing close-bracket")
-			}
-			res, err := in.Eval(text[i+1 : j-1])
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(res)
-			i = j
-		default:
-			b.WriteByte(text[i])
-			i++
-		}
-	}
-	return b.String(), nil
-}
-
-// substVariable interprets a $name, ${name}, or $name(index) reference at
-// the start of s, returning the value and bytes consumed (0 if s is not a
-// variable reference).
-func (in *Interp) substVariable(s string) (string, int, error) {
-	if len(s) < 2 {
-		return "", 0, nil
-	}
-	if s[1] == '{' {
-		j := strings.IndexByte(s, '}')
-		if j < 0 {
-			return "", 0, fmt.Errorf("tcl: missing close-brace for variable name")
-		}
-		name := s[2:j]
-		v, err := in.GetVar(name)
-		if err != nil {
-			return "", 0, err
-		}
-		return v, j + 1, nil
-	}
-	j := 1
-	for j < len(s) && isVarNameChar(s[j]) {
-		j++
-	}
-	// Allow :: namespace separators.
-	if j == 1 {
-		return "", 0, nil
-	}
-	name := s[1:j]
-	if j < len(s) && s[j] == '(' {
-		// Array reference: the index itself undergoes substitution.
-		depth := 1
-		k := j + 1
-		for k < len(s) && depth > 0 {
-			switch s[k] {
-			case '(':
-				depth++
-			case ')':
-				depth--
-			case '\\':
-				k++
-			}
-			k++
-		}
-		if depth != 0 {
-			return "", 0, fmt.Errorf("tcl: missing close-paren in array reference")
-		}
-		rawIdx := s[j+1 : k-1]
-		idx, err := in.substWord(rawIdx)
-		if err != nil {
-			return "", 0, err
-		}
-		v, err := in.GetVar(name + "(" + idx + ")")
-		if err != nil {
-			return "", 0, err
-		}
-		return v, k, nil
-	}
-	v, err := in.GetVar(name)
-	if err != nil {
-		return "", 0, err
-	}
-	return v, j, nil
+	return in.substPlan(compileSubstPlan(text))
 }
 
 func isVarNameChar(c byte) bool {

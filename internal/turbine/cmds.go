@@ -5,6 +5,8 @@ import (
 	"strconv"
 
 	"repro/internal/adlb"
+	"repro/internal/blob"
+	"repro/internal/lang"
 	"repro/internal/tcl"
 )
 
@@ -365,6 +367,149 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 			return "", err
 		}
 		return "", cl.Put(int(typ), int(prio), int(target), []byte(args[4]))
+	})
+
+	// Container<->vector bridge (typed plane). vpack_gather packs a
+	// closed container of closed numeric members into one blob TD with
+	// dims recorded; vunpack scatters a blob TD into a container of
+	// scalar members. Both move element data through the batched data
+	// plane — one RPC per owning server, never one per element, and no
+	// element ever renders as text.
+	reg("vpack_gather", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: turbine::vpack_gather <out> <elemtype> <pairs>")
+		}
+		out, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		elemtype := args[2]
+		// pairs is the container's enumeration ({subscript member ...}),
+		// captured when the member-wait rule was registered so the gather
+		// needs no second enumerate RPC.
+		fields, err := tcl.ParseList(args[3])
+		if err != nil || len(fields)%2 != 0 {
+			return "", fmt.Errorf("turbine: vpack: malformed enumeration %q", args[3])
+		}
+		// Members arrive in insertion order (parallel loop chunks insert
+		// in any order); the vector is laid out by integer subscript.
+		ids := make([]int64, len(fields)/2)
+		seen := make([]bool, len(ids))
+		for k := 0; k+1 < len(fields); k += 2 {
+			idx, err := strconv.Atoi(fields[k])
+			if err != nil || idx < 0 || idx >= len(ids) {
+				return "", fmt.Errorf("turbine: vpack: subscript %q is not a dense index", fields[k])
+			}
+			if seen[idx] {
+				return "", fmt.Errorf("turbine: vpack: duplicate index %d", idx)
+			}
+			seen[idx] = true
+			if ids[idx], err = parseInt(fields[k+1]); err != nil {
+				return "", fmt.Errorf("turbine: vpack: bad member id %q", fields[k+1])
+			}
+		}
+		dp := env.DataPlane()
+		vals, err := dp.LoadBatch(ids)
+		if err != nil {
+			return "", err
+		}
+		var b blob.Blob
+		switch elemtype {
+		case "float":
+			xs := make([]float64, len(vals))
+			for i, v := range vals {
+				if xs[i], err = v.AsFloat(); err != nil {
+					return "", fmt.Errorf("turbine: vpack: element %d: %w", i, err)
+				}
+			}
+			b = blob.FromFloat64s(xs)
+		case "integer":
+			ns := make([]int64, len(vals))
+			for i, v := range vals {
+				if ns[i], err = v.AsInt(); err != nil {
+					return "", fmt.Errorf("turbine: vpack: element %d: %w", i, err)
+				}
+			}
+			b = blob.FromInt64s(ns)
+		default:
+			return "", fmt.Errorf("turbine: vpack: cannot pack %q elements", elemtype)
+		}
+		b.Dims = []int{len(vals)}
+		return "", dp.StoreAs(out, "blob", lang.BlobOf(b))
+	})
+	reg("vunpack", func(in *tcl.Interp, args []string) (string, error) {
+		if len(args) != 4 {
+			return "", fmt.Errorf("usage: turbine::vunpack <out-container> <elemtype> <blob>")
+		}
+		out, err := parseInt(args[1])
+		if err != nil {
+			return "", err
+		}
+		elemtype := args[2]
+		bid, err := parseInt(args[3])
+		if err != nil {
+			return "", err
+		}
+		dp := env.DataPlane()
+		v, err := dp.Load(bid)
+		if err != nil {
+			return "", err
+		}
+		if v.Kind() != lang.KindBlob {
+			return "", fmt.Errorf("turbine: vunpack: id %d holds %s, not a blob", bid, v.Kind())
+		}
+		bl := v.AsBlob()
+		var elems []lang.Value
+		switch elemtype {
+		case "float":
+			xs, err := bl.Floats()
+			if err != nil {
+				return "", fmt.Errorf("turbine: vunpack: %w", err)
+			}
+			elems = make([]lang.Value, len(xs))
+			for i, x := range xs {
+				elems[i] = lang.Float(x)
+			}
+		case "integer":
+			switch bl.Elem {
+			case blob.ElemI64:
+				ns, err := blob.ToInt64s(blob.Blob{Data: bl.Data})
+				if err != nil {
+					return "", fmt.Errorf("turbine: vunpack: %w", err)
+				}
+				elems = make([]lang.Value, len(ns))
+				for i, n := range ns {
+					elems[i] = lang.Int(n)
+				}
+			case blob.ElemI32:
+				ns, err := blob.ToInt32s(blob.Blob{Data: bl.Data})
+				if err != nil {
+					return "", fmt.Errorf("turbine: vunpack: %w", err)
+				}
+				elems = make([]lang.Value, len(ns))
+				for i, n := range ns {
+					elems[i] = lang.Int(int64(n))
+				}
+			default:
+				// Float-kind (or raw) payload into an int array: every
+				// element must be exactly integral.
+				xs, err := bl.Floats()
+				if err != nil {
+					return "", fmt.Errorf("turbine: vunpack: %w", err)
+				}
+				elems = make([]lang.Value, len(xs))
+				for i, x := range xs {
+					n := int64(x)
+					if float64(n) != x {
+						return "", fmt.Errorf("turbine: vunpack: element %d (%v) is not an integer", i, x)
+					}
+					elems[i] = lang.Int(n)
+				}
+			}
+		default:
+			return "", fmt.Errorf("turbine: vunpack: cannot unpack into %q elements", elemtype)
+		}
+		return "", dp.StoreVector(out, elemtype, elems)
 	})
 
 	// Literal helpers collapse allocate+store for compiled constants.

@@ -5,7 +5,9 @@ package turbine
 // embedded engines through this adapter, so numeric and blob payloads
 // cross the boundary as typed values — blob bytes flow store -> engine
 // -> store with their dims and element kind intact, and nothing is
-// formatted as text unless a string slot demands it.
+// formatted as text unless a string slot demands it. The batch surface
+// (LoadBatch, StoreVector) backs the container<->vector bridge: gathers
+// and scatters cost one RPC per owning server, not one per element.
 
 import (
 	"fmt"
@@ -23,15 +25,8 @@ type dataPlane struct {
 	cl *adlb.Client
 }
 
-// Load retrieves a closed TD as a typed value.
-func (p dataPlane) Load(id int64) (lang.Value, error) {
-	v, found, err := p.cl.Retrieve(id)
-	if err != nil {
-		return lang.Value{}, err
-	}
-	if !found {
-		return lang.Value{}, fmt.Errorf("turbine: data plane: no such id %d", id)
-	}
+// fromStore converts a stored ADLB value to a typed lang value.
+func fromStore(v adlb.Value) (lang.Value, error) {
 	switch v.Type {
 	case adlb.TypeInteger:
 		n, err := adlb.AsInt(v)
@@ -51,33 +46,94 @@ func (p dataPlane) Load(id int64) (lang.Value, error) {
 	case adlb.TypeVoid:
 		return lang.Str(""), nil
 	}
-	return lang.Value{}, fmt.Errorf("turbine: data plane: id %d has unloadable type %v", id, v.Type)
+	return lang.Value{}, fmt.Errorf("turbine: data plane: unloadable type %v", v.Type)
 }
 
-// StoreAs stores a typed value into a TD of the named turbine type,
-// converting where the kinds differ (numbers parse from strings, blobs
-// wrap raw string bytes; blob metadata survives verbatim).
-func (p dataPlane) StoreAs(id int64, td string, v lang.Value) error {
+// toStore converts a typed lang value to the stored form of the named
+// turbine type (numbers parse from strings, blobs wrap raw string bytes;
+// blob metadata survives verbatim).
+func toStore(td string, v lang.Value) (adlb.Value, error) {
 	switch td {
 	case "integer":
 		n, err := v.AsInt()
 		if err != nil {
-			return err
+			return adlb.Value{}, err
 		}
-		return p.cl.Store(id, adlb.IntValue(n))
+		return adlb.IntValue(n), nil
 	case "float":
 		f, err := v.AsFloat()
 		if err != nil {
-			return err
+			return adlb.Value{}, err
 		}
-		return p.cl.Store(id, adlb.FloatValue(f))
+		return adlb.FloatValue(f), nil
 	case "string":
-		return p.cl.Store(id, adlb.StringValue(v.Render()))
+		return adlb.StringValue(v.Render()), nil
 	case "blob":
 		b := v.AsBlob()
-		return p.cl.Store(id, adlb.Value{Type: adlb.TypeBlob, Bytes: b.Data, Dims: b.Dims, Elem: uint8(b.Elem)})
+		return adlb.Value{Type: adlb.TypeBlob, Bytes: b.Data, Dims: b.Dims, Elem: uint8(b.Elem)}, nil
 	case "void":
-		return p.cl.Store(id, adlb.VoidValue())
+		return adlb.VoidValue(), nil
 	}
-	return fmt.Errorf("turbine: data plane: cannot store %s as %q", v.Kind(), td)
+	return adlb.Value{}, fmt.Errorf("turbine: data plane: cannot store %s as %q", v.Kind(), td)
+}
+
+// Load retrieves a closed TD as a typed value.
+func (p dataPlane) Load(id int64) (lang.Value, error) {
+	v, found, err := p.cl.Retrieve(id)
+	if err != nil {
+		return lang.Value{}, err
+	}
+	if !found {
+		return lang.Value{}, fmt.Errorf("turbine: data plane: no such id %d", id)
+	}
+	lv, err := fromStore(v)
+	if err != nil {
+		return lang.Value{}, fmt.Errorf("turbine: data plane: id %d: %w", id, err)
+	}
+	return lv, nil
+}
+
+// LoadBatch retrieves many closed TDs in order, using the ADLB batched
+// gather (one RPC per owning server rather than one per id).
+func (p dataPlane) LoadBatch(ids []int64) ([]lang.Value, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	vals, err := p.cl.RetrieveBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]lang.Value, len(vals))
+	for i, v := range vals {
+		if out[i], err = fromStore(v); err != nil {
+			return nil, fmt.Errorf("turbine: data plane: id %d: %w", ids[i], err)
+		}
+	}
+	return out, nil
+}
+
+// StoreAs stores a typed value into a TD of the named turbine type,
+// converting where the kinds differ.
+func (p dataPlane) StoreAs(id int64, td string, v lang.Value) error {
+	sv, err := toStore(td, v)
+	if err != nil {
+		return err
+	}
+	return p.cl.Store(id, sv)
+}
+
+// StoreVector appends elements of the named turbine type to a container
+// TD in one batched RPC to the container's owner (consecutive integer
+// subscripts after any existing members). The caller keeps (and
+// eventually drops) the container's write reference.
+func (p dataPlane) StoreVector(container int64, td string, elems []lang.Value) error {
+	vals := make([]adlb.Value, len(elems))
+	for i, v := range elems {
+		sv, err := toStore(td, v)
+		if err != nil {
+			return fmt.Errorf("turbine: data plane: element %d: %w", i, err)
+		}
+		vals[i] = sv
+	}
+	return p.cl.StoreVector(container, vals)
 }
