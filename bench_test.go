@@ -20,6 +20,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/blob"
 	"repro/internal/core"
+	"repro/internal/jlite"
 	"repro/internal/lang"
 	"repro/internal/mpi"
 	"repro/internal/nativelib"
@@ -665,6 +666,11 @@ for k in range(10):
 	const rCode = `
 v <- 1:10
 s <- sum(v * v)`
+	const jlCode = `
+s = 0
+for k in 1:10
+    s = s + k * k
+end`
 	b.Run("python", func(b *testing.B) {
 		h := pylite.New()
 		b.ResetTimer()
@@ -683,6 +689,19 @@ s <- sum(v * v)`
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			out, err := h.EvalFragment(rCode, "s")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out != "385" {
+				b.Fatalf("out = %q", out)
+			}
+		}
+	})
+	b.Run("julia", func(b *testing.B) {
+		h := jlite.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := h.EvalFragment(jlCode, "s")
 			if err != nil {
 				b.Fatal(err)
 			}

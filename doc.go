@@ -110,7 +110,16 @@
 // under the incoming prototype's element kind and dims when values
 // permit (blob.PackLike), so float32/int32 identity round-trips stay
 // bit-exact. The strings-only Tcl engine binds raw payload bytes and
-// reattaches argument metadata to unmodified results.
+// reattaches argument metadata to unmodified results. internal/jlite —
+// the Julia-like surface §IV sketches, registered as the julia engine —
+// binds blobs as mutable 1-based Vec views with the same zero-copy
+// discipline and the same write guards as pylite (integer writes into
+// integer element kinds stay on an exact integer path beyond 2^53;
+// inexact narrowing errors rather than rounding); fresh vectors born
+// from its broadcast operators (.+ .- .* ./ .^ over `function…end` /
+// `for…end` fragments) repack via blob.PackLike under the sole blob
+// argument's prototype, all-int64 vectors staying on the exact integer
+// path when provenance is ambiguous.
 //
 // Swift containers reach the typed plane through the container<->vector
 // bridge: vpack(A) gathers a closed int or float array into one blob TD
@@ -131,14 +140,25 @@
 // (examples/interlang, internal/core/container_roundtrip_test.go,
 // BenchmarkContainerPack).
 //
-// Declaring a new language means stating its Signature in one
-// lang.Register call: Fixed (how many leading string args), Variadic
-// (typed extras allowed), and Result (a pinned kind, or ResultDynamic
-// for context typing). Nothing else changes — the checker, prelude, and
-// core all derive from the registration, proven end to end by the
-// toy-engine test (internal/core/lang_e2e_test.go) and the typed probe
-// engines in internal/core/typed_roundtrip_test.go, which move blobs
-// Swift -> python/r/tcl -> Swift bit-exact.
+// Adding a language is exactly what building jlite required, and no
+// more: (1) the interpreter package itself, exposing Exec/EvalExpr/
+// Reset plus Set/DelGlobal for argv pre-binding and a compile-once
+// fragment cache on internal/memo; (2) one Engine adapter and one
+// lang.Register call in internal/lang/engines.go stating its Signature
+// — Fixed (how many leading string args; 2 for julia's (code, expr)),
+// Variadic (typed extras allowed), and Result (a pinned kind, or
+// ResultDynamic for context typing); and (3) a Dialect entry in
+// internal/lang/conformance spelling the probe fragments in the new
+// language. Nothing else changes — the checker, prelude, and core all
+// derive from the registration (`blob v = julia(code, expr, args...)`
+// worked with zero edits to check.go, prelude.go, or core.go), proven
+// end to end by the toy-engine test (internal/core/lang_e2e_test.go)
+// and enforced by the conformance matrix: the harness iterates
+// lang.Registered(), runs every value-kind × dims × policy ×
+// argv-unbinding case against every engine (bit-exact byte comparison
+// included), and fails if a registered engine lacks a dialect — so a
+// fifth language is covered by construction, Swift -> engine -> Swift
+// (internal/lang/conformance, internal/core/typed_roundtrip_test.go).
 //
 // Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
 // interpreter alone; BenchmarkTypedFragment compares a typed blob

@@ -71,6 +71,13 @@ float sq[];
 foreach y, i in ys { sq[i] = python("", "argv1 * argv1", y); }
 float esum = python("", "sum(argv1)", vpack(sq));
 
+// §IV: the Julia-like surface on the same typed plane. One broadcast
+// fragment squares-and-sums the whole shifted vector — the same number
+// the 16-fragment Python ensemble above computes element by element —
+// with 1-based indexing reading the first element back.
+float jsum = julia("t = sum(argv1 .* argv1)", "t", shifted);
+float jfirst = julia("", "argv1[1]", shifted);
+
 printf("python: sum(1..100) = %s", pysum);
 printf("r: sd(sample) = %s", rstat);
 printf("tcl: 6*7 = %i, 2**8 = %s", tprod, tpow);
@@ -78,6 +85,7 @@ printf("native: waveform(2) = %f via %s", w2, simver());
 printf("shell: %s", banner);
 printf("blob pipeline: sum(2*xs + 1) = %f over %i packed bytes", total, nbytes);
 printf("ensemble: sum((2*p+1)^2) = %f over %i fragments", esum, size(sq));
+printf("julia: broadcast sum((2*p+1).^2) = %f, first = %f", jsum, jfirst);
 `
 
 func main() {

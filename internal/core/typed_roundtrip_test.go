@@ -1,12 +1,16 @@
 package core
 
-// End-to-end proof of the typed interlanguage path (Engine v2): a blob
-// vector travels Swift -> embedded engine -> Swift bit-exact — payload
-// bytes, Fortran dims, and element kind all intact — with no string
-// rendering of element data anywhere on the route. The test registers a
-// typed probe language (one lang.Register call, like the toy engine
-// test) whose engine emits a prepared blob into the dataflow and
-// captures what comes back after a round trip through python, r, or tcl.
+// End-to-end half of the cross-engine conformance matrix (Engine v2): a
+// blob vector travels Swift -> embedded engine -> Swift bit-exact —
+// payload bytes, Fortran dims, and element kind all intact — with no
+// string rendering of element data anywhere on the route. The vectors,
+// the per-language identity statements, and the engine iteration all
+// come from internal/lang/conformance, so every engine in
+// lang.Registered() is driven through the same cases (the Engine-level
+// half of the matrix runs in the conformance package itself); there are
+// no per-engine tables here. The test registers a typed probe language
+// (one lang.Register call, like the toy engine test) whose engine emits
+// the prepared blob into the dataflow and captures what comes back.
 
 import (
 	"fmt"
@@ -14,8 +18,8 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/blob"
 	"repro/internal/lang"
+	"repro/internal/lang/conformance"
 )
 
 // probeState is shared by every rank's probe engine instance.
@@ -59,93 +63,74 @@ func (e *probeEngine) Eval(c lang.Call) (lang.Value, error) {
 func (e *probeEngine) Reset()       {}
 func (e *probeEngine) Evals() int64 { return e.evals }
 
+// runSwiftRoundTrip routes one conformance vector through a Swift
+// program whose `stmt` binds `blob through` from `v`, and asserts the
+// captured result is bit-exact.
+func runSwiftRoundTrip(t *testing.T, label, stmt string, vc conformance.VectorCase) {
+	t.Helper()
+	st := &probeState{src: lang.BlobOf(vc.B)}
+	lang.Register(lang.Registration{
+		Name: "probe",
+		Sig:  lang.Signature{Fixed: 1, Variadic: true},
+		New:  func(h lang.Host) lang.Engine { return &probeEngine{st: st} },
+	})
+	defer lang.Unregister("probe")
+
+	src := fmt.Sprintf(`
+		blob v = probe("emit");
+		%s
+		blob back = probe("capture", through);
+		printf("len=%%i", blob_size(back));
+	`, stmt)
+	res, err := Run(src, Config{Engines: 1, Workers: 2, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stdout, fmt.Sprintf("len=%d", len(vc.B.Data))) {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.got) != 1 {
+		t.Fatalf("captured %d values, want 1", len(st.got))
+	}
+	got := st.got[0]
+	if got.Kind() != lang.KindBlob {
+		t.Fatalf("captured kind = %v, want blob", got.Kind())
+	}
+	conformance.AssertBlobEqual(t, label+" round trip", got.AsBlob(), vc.B)
+}
+
 func TestTypedBlobRoundTripBitExact(t *testing.T) {
-	// Element patterns chosen to be destroyed by any decimal rendering:
-	// full-mantissa float64s, float32 values that widen inexactly if
-	// re-parsed from short text, negative int32s, and raw bytes 0..255.
-	f64 := blob.FromFloat64s([]float64{0.1 + 0.2, 1e-300, -3.14159265358979, 6, 0, 2.5e17})
-	f64.Dims = []int{2, 3}
-	f32 := blob.FromFloat32s([]float32{0.1, -2.7182817, 3.4e38, 0.125, 42, -0})
-	f32.Dims = []int{3, 2}
-	i32 := blob.FromInt32s([]int32{-2147483648, 2147483647, 0, -7, 12345, 1})
-	i32.Dims = []int{6}
-	raw := blob.New([]byte{0, 1, 2, 254, 255, 128})
-
-	vectors := []struct {
-		name string
-		b    blob.Blob
-	}{
-		{"float64-dims", f64},
-		{"float32-dims", f32},
-		{"int32-dims", i32},
-		{"raw-bytes", raw},
-	}
-	// Identity fragments per engine: the vector enters as argv1 and the
-	// fragment hands it straight back.
-	engines := []struct {
-		name string
-		stmt string // Swift statement binding `through` from `v`
-	}{
-		{"python", `blob through = python("", "argv1", v);`},
-		{"r", `blob through = r("x <- argv1", "x", v);`},
-		{"tcl", `blob through = tcl("set argv1", v);`},
-		// A Swift-level copy (sw:copy -> turbine::copy_blob) must keep
-		// the metadata too.
-		{"swift-copy", `blob through = v;`},
-	}
-
-	for _, ec := range engines {
-		for _, vc := range vectors {
-			t.Run(ec.name+"/"+vc.name, func(t *testing.T) {
-				st := &probeState{src: lang.BlobOf(vc.b)}
-				lang.Register(lang.Registration{
-					Name: "probe",
-					Sig:  lang.Signature{Fixed: 1, Variadic: true},
-					New:  func(h lang.Host) lang.Engine { return &probeEngine{st: st} },
-				})
-				defer lang.Unregister("probe")
-
-				src := fmt.Sprintf(`
-					blob v = probe("emit");
-					%s
-					blob back = probe("capture", through);
-					printf("len=%%i", blob_size(back));
-				`, ec.stmt)
-				res, err := Run(src, Config{Engines: 1, Workers: 2, Servers: 1})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !strings.Contains(res.Stdout, fmt.Sprintf("len=%d", len(vc.b.Data))) {
-					t.Fatalf("stdout = %q", res.Stdout)
-				}
-				st.mu.Lock()
-				defer st.mu.Unlock()
-				if len(st.got) != 1 {
-					t.Fatalf("captured %d values, want 1", len(st.got))
-				}
-				got := st.got[0]
-				if got.Kind() != lang.KindBlob {
-					t.Fatalf("captured kind = %v, want blob", got.Kind())
-				}
-				gb := got.AsBlob()
-				if string(gb.Data) != string(vc.b.Data) {
-					t.Fatalf("payload not bit-exact after %s round trip:\n got %x\nwant %x", ec.name, gb.Data, vc.b.Data)
-				}
-				if gb.Elem != vc.b.Elem {
-					t.Fatalf("element kind %v != %v", gb.Elem, vc.b.Elem)
-				}
-				if fmt.Sprint(gb.Dims) != fmt.Sprint(vc.b.Dims) {
-					t.Fatalf("dims %v != %v", gb.Dims, vc.b.Dims)
-				}
+	// Every registered engine, every conformance vector: the identity
+	// statement comes from the engine's dialect, so a newly registered
+	// language is pulled into this matrix automatically.
+	conformance.EachEngine(t, func(t *testing.T, reg lang.Registration, d conformance.Dialect) {
+		for _, vc := range conformance.Vectors() {
+			vc := vc
+			t.Run(vc.Name, func(t *testing.T) {
+				runSwiftRoundTrip(t, reg.Name, d.Swift, vc)
 			})
 		}
+	})
+}
+
+func TestSwiftCopyRoundTripBitExact(t *testing.T) {
+	// A Swift-level copy (sw:copy -> turbine::copy_blob) must keep the
+	// payload and metadata too — same vectors, no engine in the route.
+	for _, vc := range conformance.Vectors() {
+		vc := vc
+		t.Run(vc.Name, func(t *testing.T) {
+			runSwiftRoundTrip(t, "swift-copy", `blob through = v;`, vc)
+		})
 	}
 }
 
 func TestTypedBlobComputeAcrossLanguages(t *testing.T) {
 	// Beyond identity: a vector born in Python (list -> blob) is doubled
-	// by R's native vectorised arithmetic and summed back in Python, all
-	// through typed blob handles; the only rendering is the final float.
+	// by R's native vectorised arithmetic, shifted by a Julia-like
+	// broadcast, and summed back in Python, all through typed blob
+	// handles; the only rendering is the final float.
 	st := &probeState{}
 	lang.Register(lang.Registration{
 		Name: "probe",
@@ -157,15 +142,16 @@ func TestTypedBlobComputeAcrossLanguages(t *testing.T) {
 	res, err := Run(`
 		blob xs = python("v = map(lambda i: 0.5 * i, range(6))", "v");
 		blob doubled = r("", "argv1 * 2", xs);
-		blob seen = probe("capture", doubled);
+		blob shifted = julia("y = argv1 .+ 1.0", "y", doubled);
+		blob seen = probe("capture", shifted);
 		float total = python("", "sum(argv1)", seen);
 		printf("total=%f", total);
 	`, Config{Engines: 1, Workers: 2, Servers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// sum(2 * 0.5 * (0+1+...+5)) = 15
-	if !strings.Contains(res.Stdout, "total=15") {
+	// sum(2 * 0.5 * (0+1+...+5) + 6 * 1) = 15 + 6 = 21
+	if !strings.Contains(res.Stdout, "total=21") {
 		t.Fatalf("stdout = %q", res.Stdout)
 	}
 	st.mu.Lock()
@@ -174,7 +160,7 @@ func TestTypedBlobComputeAcrossLanguages(t *testing.T) {
 		t.Fatalf("captured = %+v", st.got)
 	}
 	xs, err := st.got[0].AsBlob().Floats()
-	if err != nil || len(xs) != 6 || xs[5] != 5.0 {
-		t.Fatalf("doubled vector = %v, %v", xs, err)
+	if err != nil || len(xs) != 6 || xs[5] != 6.0 {
+		t.Fatalf("shifted vector = %v, %v", xs, err)
 	}
 }

@@ -1,0 +1,140 @@
+package jlite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blob"
+)
+
+func TestVecZeroCopyMutation(t *testing.T) {
+	b := blob.FromInt32s([]int32{10, 20, 30})
+	v, err := NewVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New()
+	in.SetGlobal("v", v)
+	if err := in.Exec("v[2] = 21"); err != nil {
+		t.Fatal(err)
+	}
+	// The write went through to the original backing bytes (zero-copy).
+	got, err := blob.ToInt32s(blob.Blob{Data: b.Data})
+	if err != nil || got[1] != 21 {
+		t.Fatalf("backing bytes = %v, %v", got, err)
+	}
+	if v.B.Elem != blob.ElemI32 {
+		t.Fatalf("elem changed: %v", v.B.Elem)
+	}
+}
+
+func TestVecRejectsRaggedPayload(t *testing.T) {
+	_, err := NewVec(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemF64})
+	if err == nil || !strings.Contains(err.Error(), "whole number") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVecIntWritesStayExactBeyond2to53(t *testing.T) {
+	// An int64 write of 2^53+1 into an int64 vector must store exactly:
+	// the write may not round-trip through float64. Same guard as pylite.
+	const big = int64(1)<<53 + 1
+	v, _ := NewVec(blob.FromInt64s([]int64{0}))
+	if err := v.SetAt(0, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.At(0).(int64); got != big {
+		t.Fatalf("stored %d, want %d", got, big)
+	}
+	// The same integer into a float64 vector is inexact: error, not
+	// silent rounding.
+	f, _ := NewVec(blob.FromFloat64s([]float64{0}))
+	if err := f.SetAt(0, big); err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Fatalf("err = %v", err)
+	}
+	// Exactly representable magnitudes still pass the float path.
+	if err := f.SetAt(0, int64(1)<<53); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecNarrowingGuards(t *testing.T) {
+	f32, _ := NewVec(blob.FromFloat32s([]float32{0}))
+	if err := f32.SetAt(0, 0.1); err == nil || !strings.Contains(err.Error(), "float32") {
+		t.Fatalf("f32 err = %v", err)
+	}
+	if err := f32.SetAt(0, 0.25); err != nil { // exactly representable
+		t.Fatal(err)
+	}
+	i32, _ := NewVec(blob.FromInt32s([]int32{0}))
+	if err := i32.SetAt(0, int64(1)<<40); err == nil || !strings.Contains(err.Error(), "int32") {
+		t.Fatalf("i32 err = %v", err)
+	}
+	if err := i32.SetAt(0, 2.5); err == nil {
+		t.Fatal("fractional write into int32 accepted")
+	}
+	by, _ := NewVec(blob.New([]byte{0}))
+	if err := by.SetAt(0, int64(256)); err == nil || !strings.Contains(err.Error(), "byte") {
+		t.Fatalf("byte err = %v", err)
+	}
+}
+
+func TestVecLanguageLevelInexactWriteErrors(t *testing.T) {
+	// The guard surfaces through ordinary indexed assignment in code.
+	v, _ := NewVec(blob.FromInt32s([]int32{1, 2}))
+	in := New()
+	in.SetGlobal("v", v)
+	err := in.Exec("v[1] = 0.5")
+	if err == nil || !strings.Contains(err.Error(), "not representable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVecSumFastPaths(t *testing.T) {
+	iv, _ := NewVec(blob.FromInt64s([]int64{1, 2, 3}))
+	if s := iv.Sum().(int64); s != 6 {
+		t.Fatalf("int sum = %d", s)
+	}
+	fv, _ := NewVec(blob.FromFloat32s([]float32{1.5, 2.5}))
+	if s := fv.Sum().(float64); s != 4.0 {
+		t.Fatalf("float sum = %v", s)
+	}
+	bv, _ := NewVec(blob.New([]byte{1, 2, 250}))
+	if s := bv.Sum().(int64); s != 253 {
+		t.Fatalf("byte sum = %d", s)
+	}
+}
+
+func TestPackValuesExactIntegers(t *testing.T) {
+	const big = int64(1)<<53 + 1
+	b, err := PackValues([]Value{int64(1), big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Elem != blob.ElemI64 {
+		t.Fatalf("elem = %v, want int64", b.Elem)
+	}
+	ns, _ := blob.ToInt64s(blob.Blob{Data: b.Data})
+	if ns[1] != big {
+		t.Fatalf("big int rounded: %d", ns[1])
+	}
+	// A float anywhere switches the whole vector to float64.
+	b, err = PackValues([]Value{int64(1), 2.5})
+	if err != nil || b.Elem != blob.ElemF64 {
+		t.Fatalf("mixed pack = %+v, %v", b, err)
+	}
+	if _, err := PackValues([]Value{"x"}); err == nil {
+		t.Fatal("non-numeric packed")
+	}
+}
+
+func TestFloatsExactRejectsHugeInt64(t *testing.T) {
+	_, err := FloatsExact([]Value{int64(1)<<53 + 1})
+	if err == nil || !strings.Contains(err.Error(), "not exactly representable") {
+		t.Fatalf("err = %v", err)
+	}
+	xs, err := FloatsExact([]Value{int64(1) << 53, 2.5, true})
+	if err != nil || xs[0] != float64(int64(1)<<53) || xs[1] != 2.5 || xs[2] != 1 {
+		t.Fatalf("xs = %v, %v", xs, err)
+	}
+}

@@ -1,0 +1,42 @@
+package conformance
+
+// The conformance matrix itself: every case × every registered engine.
+// These tests are the single owner of the engine-generic invariants that
+// used to be copied per-engine in internal/lang/lang_test.go — the
+// Swift-level end-to-end half of the matrix lives in
+// internal/core/typed_roundtrip_test.go, driven by the same Dialects.
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestAllStandardEnginesRegistered(t *testing.T) {
+	// The paper's four numeric languages must all be present: the matrix
+	// below proves the shared contract only if they are actually in the
+	// registry it iterates.
+	for _, name := range []string{"python", "r", "tcl", "julia"} {
+		if _, ok := lang.Lookup(name); !ok {
+			t.Fatalf("standard engine %q is not registered", name)
+		}
+	}
+}
+
+func TestEveryRegisteredEngineHasADialect(t *testing.T) {
+	// Coverage by construction: registering a language without teaching
+	// the conformance suite how to probe it is an error, surfaced here
+	// (and by every matrix runner) rather than by silently thinner tests.
+	EachEngine(t, func(t *testing.T, reg lang.Registration, d Dialect) {
+		if d.Identity == (Frag{}) || d.StateSet == (Frag{}) || d.StateRead == (Frag{}) ||
+			d.ArgvRead1 == (Frag{}) || d.ArgvRead2 == (Frag{}) || d.Swift == "" {
+			t.Fatalf("dialect for %q is incomplete: %+v", reg.Name, d)
+		}
+	})
+}
+
+func TestRoundTripMatrix(t *testing.T) { RunRoundTripMatrix(t) }
+
+func TestArgvMatrix(t *testing.T) { RunArgvMatrix(t) }
+
+func TestPolicyMatrix(t *testing.T) { RunPolicyMatrix(t) }

@@ -1,18 +1,19 @@
 package lang
 
-// The standard engines: the four language embeddings of the paper
-// (§III-C Python and R, §III-A Tcl, and the shell interface), each an
-// Engine over the corresponding interpreter package. These init-time
-// Register calls are the single wiring site per language — the Swift
-// type checker, the compiled sw:leafcall dispatch, and the per-rank
-// installation all derive from the registry.
+// The standard engines: the language embeddings of the paper — §III-C
+// Python and R, §III-A Tcl, the shell interface, and the Julia-like
+// surface §IV sketches — each an Engine over the corresponding
+// interpreter package. These init-time Register calls are the single
+// wiring site per language — the Swift type checker, the compiled
+// sw:leafcall dispatch, and the per-rank installation all derive from
+// the registry.
 //
-// All four speak the typed calling convention: extra arguments bind as
-// argv1..argvN before the fragment runs (blob arguments become native
-// vectors), and results return typed. Only the Tcl and shell engines —
-// whose surfaces are strings by nature — render argument values, and
-// even they pass blob payloads as raw bytes, never as formatted element
-// text.
+// All of them speak the typed calling convention: extra arguments bind
+// as argv1..argvN before the fragment runs (blob arguments become
+// native vectors), and results return typed. Only the Tcl and shell
+// engines — whose surfaces are strings by nature — render argument
+// values, and even they pass blob payloads as raw bytes, never as
+// formatted element text.
 
 import (
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/blob"
+	"repro/internal/jlite"
 	"repro/internal/memo"
 	"repro/internal/pylite"
 	"repro/internal/rlite"
@@ -32,6 +34,7 @@ func init() {
 	Register(Registration{Name: "r", Sig: Signature{Fixed: 2, Variadic: true}, New: newREngine})
 	Register(Registration{Name: "tcl", Sig: Signature{Fixed: 1, Variadic: true}, New: newTclEngine})
 	Register(Registration{Name: "sh", Sig: Signature{Fixed: 1, Variadic: true, Result: ResultString}, New: newShellEngine})
+	Register(Registration{Name: "julia", Sig: Signature{Fixed: 2, Variadic: true}, New: newJuliaEngine})
 }
 
 // argName is the pre-bound variable name of extra argument i (0-based).
@@ -268,6 +271,174 @@ func rResult(v rlite.Value, want Kind, bound map[*rlite.NumVec]blob.Blob, protos
 		}
 	}
 	return Str(rlite.Deparse(v)), nil
+}
+
+// juliaEngine embeds a jlite interpreter (the Julia-like surface the
+// paper's §IV sketches, embedded the way libjulia would be).
+type juliaEngine struct {
+	in    *jlite.Interp
+	argn  int
+	evals int64
+}
+
+func (e *juliaEngine) unbindStale(n int) {
+	for i := n; i < e.argn; i++ {
+		e.in.DelGlobal(argName(i))
+	}
+	e.argn = n
+}
+
+func newJuliaEngine(h Host) Engine {
+	in := jlite.New()
+	if h.Out != nil {
+		in.Out = h.Out
+	}
+	return &juliaEngine{in: in}
+}
+
+func (e *juliaEngine) Name() string { return "julia" }
+
+func (e *juliaEngine) Eval(c Call) (Value, error) {
+	e.evals++
+	// Convert every argument before binding any (see pythonEngine.Eval):
+	// a failure mid-list must not leave a partial argv set behind.
+	vals := make([]jlite.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := jlValue(a)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+	}
+	// protos tracks blob arguments for result repacking: a fresh vector
+	// result adopts the sole blob argument's element view via
+	// blob.PackLike when unambiguous (identity results are Vec views and
+	// leave bit-exact under their own backing blob regardless).
+	var protos []blob.Blob
+	for i, v := range vals {
+		e.in.SetGlobal(argName(i), v)
+		if a := c.Args[i]; a.Kind() == KindBlob {
+			protos = append(protos, a.AsBlob())
+		}
+	}
+	e.unbindStale(len(c.Args))
+	if strings.TrimSpace(c.Code) != "" {
+		if err := e.in.Exec(c.Code); err != nil {
+			return Value{}, err
+		}
+	}
+	if strings.TrimSpace(c.Expr) == "" {
+		return Str(""), nil
+	}
+	v, err := e.in.EvalExpr(c.Expr)
+	if err != nil {
+		return Value{}, err
+	}
+	return jlResult(v, c.Want, protos)
+}
+
+func (e *juliaEngine) Reset()       { e.in.Reset() }
+func (e *juliaEngine) Evals() int64 { return e.evals }
+
+// jlValue converts a typed argument into its jlite binding: scalars
+// enter as native numbers/strings, blobs as zero-copy 1-based Vec views.
+func jlValue(a Value) (jlite.Value, error) {
+	switch a.Kind() {
+	case KindInt:
+		n, err := a.AsInt()
+		return n, err
+	case KindFloat:
+		f, err := a.AsFloat()
+		return f, err
+	case KindBlob:
+		return jlite.NewVec(a.AsBlob())
+	}
+	return a.Render(), nil
+}
+
+// jlResult converts an expression result back into a typed value. A Vec
+// leaves with its backing blob intact (bit-exact, dims and element kind
+// preserved). A fresh vector packs into a blob only when the caller
+// wants one: under the sole blob argument's prototype via blob.PackLike
+// when there is exactly one — with several, provenance is ambiguous and
+// the exact native packing wins (all-int64 vectors stay on the integer
+// path, everything else packs flat float64, mirroring rlite's ambiguity
+// rule). Ranges materialise like fresh vectors.
+func jlResult(v jlite.Value, want Kind, protos []blob.Blob) (Value, error) {
+	switch x := v.(type) {
+	case int64:
+		return Int(x), nil
+	case float64:
+		return Float(x), nil
+	case string:
+		return Str(x), nil
+	case bool:
+		if want == KindInt || want == KindFloat {
+			if x {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		}
+	case *jlite.Vec:
+		if want == KindBlob {
+			return BlobOf(x.B), nil
+		}
+		// Rendered like a vector literal in string contexts, matching
+		// fresh arrays (and the other engines' list behaviour there).
+	case *jlite.Arr:
+		if want == KindBlob {
+			return packFresh(x.Elems, protos)
+		}
+	case *jlite.Range:
+		if want == KindBlob {
+			elems := make([]jlite.Value, x.Len())
+			for i := range elems {
+				elems[i] = x.Lo + int64(i)
+			}
+			return packFresh(elems, protos)
+		}
+	case nil:
+		return Str(""), nil
+	}
+	return Str(jlite.Str(v)), nil
+}
+
+// packFresh packs a fresh jlite vector for a blob-wanting caller.
+func packFresh(elems []jlite.Value, protos []blob.Blob) (Value, error) {
+	if len(protos) == 1 {
+		proto := protos[0]
+		// An int64 prototype keeps all-integer results on the exact
+		// integer path: narrowing through float64 would reject values
+		// beyond 2^53 that the prototype's own element kind represents
+		// exactly. Dims reattach under PackLike's rule (count match).
+		if proto.Elem == blob.ElemI64 {
+			if b, err := jlite.PackValues(elems); err == nil && b.Elem == blob.ElemI64 {
+				if n := dimsProduct(proto.Dims); proto.Dims != nil && n == b.Count() {
+					b.Dims = append([]int(nil), proto.Dims...)
+				}
+				return BlobOf(b), nil
+			}
+		}
+		xs, err := jlite.FloatsExact(elems)
+		if err != nil {
+			return Value{}, err
+		}
+		return BlobOf(blob.PackLike(xs, proto)), nil
+	}
+	b, err := jlite.PackValues(elems)
+	if err != nil {
+		return Value{}, err
+	}
+	return BlobOf(b), nil
+}
+
+// dimsProduct multiplies Fortran extents (1 for nil dims).
+func dimsProduct(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
 }
 
 // tclEngine embeds a dedicated Tcl interpreter per rank, distinct from

@@ -10,68 +10,13 @@ import (
 	"repro/internal/tcl"
 )
 
-// frag builds the common two-word request: run code, evaluate expr.
-func frag(code, expr string) Call { return Call{Code: code, Expr: expr} }
-
-// stateCases exercises the paper's §III-C retain/reinit semantics
-// through the Engine interface for every stateful registered language:
-// a fragment binds g, a later fragment reads it (Retain), and Reset
-// clears it (Reinit). The shell holds per-engine state only when it owns
-// its system and is covered separately.
-var stateCases = []struct {
-	name string
-	set  string // fragment that binds g = 41
-	read string // expr that reads g back
-	want string
-}{
-	{"python", "g = 41", "g", "41"},
-	{"r", "g <- 41", "g", "41"},
-	{"tcl", "set g 41", "set g", "41"},
-}
-
-// call builds the dispatch request for a registration: two-argument
-// languages take (code, expr), one-argument languages a single fragment.
-func dispatchCall(reg Registration, code, expr string) Call {
-	if reg.Sig.Fixed == 2 {
-		return frag(code, expr)
-	}
-	if code == "" {
-		return Call{Code: expr}
-	}
-	return Call{Code: code}
-}
-
-func TestEngineStateRetainAndReset(t *testing.T) {
-	for _, tc := range stateCases {
-		t.Run(tc.name, func(t *testing.T) {
-			reg, ok := Lookup(tc.name)
-			if !ok {
-				t.Fatalf("language %q not registered", tc.name)
-			}
-			eng := reg.New(Host{Out: io.Discard})
-			if eng.Name() != tc.name {
-				t.Fatalf("Name() = %q", eng.Name())
-			}
-			if _, err := eng.Eval(dispatchCall(reg, tc.set, "")); err != nil {
-				t.Fatal(err)
-			}
-			got, err := eng.Eval(dispatchCall(reg, "", tc.read))
-			if err != nil {
-				t.Fatalf("retained state unreadable: %v", err)
-			}
-			if got.Render() != tc.want {
-				t.Fatalf("retained read = %q, want %q", got.Render(), tc.want)
-			}
-			eng.Reset()
-			if _, err := eng.Eval(dispatchCall(reg, "", tc.read)); err == nil {
-				t.Fatalf("%s: state survived Reset", tc.name)
-			}
-			if n := eng.Evals(); n != 3 {
-				t.Fatalf("Evals() = %d, want 3", n)
-			}
-		})
-	}
-}
+// The engine-generic invariants — state retain/reinit, typed argv
+// binding, stale-argv unbinding, blob round-trip bit-exactness — live in
+// internal/lang/conformance, which runs them as a matrix against every
+// registered engine. This file keeps only the engine-specific behaviours
+// (pylite Vec rendering, rlite prototype repacking, the tcl reattach
+// rules, the shell's host-vs-owned system) and the registry/Install
+// plumbing.
 
 func TestShellEngineExecAndEvals(t *testing.T) {
 	reg, ok := Lookup("sh")
@@ -158,34 +103,6 @@ func TestTclEngineFragmentCacheSurvivesReset(t *testing.T) {
 	}
 }
 
-// typedArgCases: a blob float vector pre-bound as argv1 must enter each
-// engine as a native vector — summable without any rendering of element
-// data — and scalar args must bind typed as well.
-func TestTypedArgsBindAsNativeVectors(t *testing.T) {
-	arg := Floats([]float64{1.5, 2.25, 3.25})
-	cases := []struct {
-		name string
-		c    Call
-	}{
-		{"python", Call{Code: "s = sum(argv1) + argv2", Expr: "s", Args: []Value{arg, Int(3)}, Want: KindFloat}},
-		{"r", Call{Code: "s <- sum(argv1) + argv2", Expr: "s", Args: []Value{arg, Int(3)}, Want: KindFloat}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			reg, _ := Lookup(tc.name)
-			eng := reg.New(Host{Out: io.Discard})
-			res, err := eng.Eval(tc.c)
-			if err != nil {
-				t.Fatal(err)
-			}
-			f, err := res.AsFloat()
-			if err != nil || f != 10.0 {
-				t.Fatalf("sum = %v (%v), want 10", f, err)
-			}
-		})
-	}
-}
-
 func TestPythonVecRoundTripBitExact(t *testing.T) {
 	// A blob bound into Python and returned unmodified must come back
 	// bit-exact with dims and element kind intact (zero-copy Vec).
@@ -265,51 +182,6 @@ func TestREngineRepacksLikePrototype(t *testing.T) {
 	}
 }
 
-func TestStaleArgvBindingsDoNotLeakAcrossCalls(t *testing.T) {
-	// Under PolicyRetain a task referencing argvN beyond its own arg
-	// count must fail, not silently read a previous task's argument.
-	cases := []struct {
-		name  string
-		first Call
-		then  Call
-	}{
-		{"python", frag("a = argv1 + argv2", ""), Call{Code: "", Expr: "argv2", Args: []Value{Int(7)}}},
-		{"r", frag("a <- argv1 + argv2", ""), Call{Code: "", Expr: "argv2", Args: []Value{Int(7)}}},
-		{"tcl", Call{Code: "expr {$argv1 + $argv2}"}, Call{Code: "set argv2", Args: []Value{Int(7)}}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			reg, _ := Lookup(tc.name)
-			eng := reg.New(Host{Out: io.Discard})
-			tc.first.Args = []Value{Int(1), Int(2)}
-			if _, err := eng.Eval(tc.first); err != nil {
-				t.Fatal(err)
-			}
-			if out, err := eng.Eval(tc.then); err == nil {
-				t.Fatalf("stale argv2 leaked into the next task: %q", out.Render())
-			}
-		})
-	}
-}
-
-func TestFailedBindingLeavesNoArgvBehind(t *testing.T) {
-	// A conversion failure mid-argument-list must not leave a partial
-	// argv set bound: the next task would silently read it.
-	bad := BlobOf(blob.Blob{Data: []byte{1, 2, 3}, Elem: blob.ElemF64}) // ragged payload
-	for _, name := range []string{"python", "r"} {
-		t.Run(name, func(t *testing.T) {
-			reg, _ := Lookup(name)
-			eng := reg.New(Host{Out: io.Discard})
-			if _, err := eng.Eval(Call{Args: []Value{Floats([]float64{42}), bad}}); err == nil {
-				t.Fatal("ragged blob accepted")
-			}
-			if out, err := eng.Eval(dispatchCall(reg, "", "argv1")); err == nil {
-				t.Fatalf("argv1 from the failed call leaked: %q", out.Render())
-			}
-		})
-	}
-}
-
 func TestREngineRejectsInexactInt64(t *testing.T) {
 	// R numerics are doubles: an int64 beyond 2^53 would round silently
 	// and then repack to the wrong integer; it must be refused instead.
@@ -352,6 +224,62 @@ func TestREngineMultiBlobArgsKeepTheirOwnMetadata(t *testing.T) {
 	}
 }
 
+func TestJuliaEngineFreshIntResultStaysExactWithI64Prototype(t *testing.T) {
+	// A fresh all-integer result with an int64 blob prototype must pack
+	// on the exact integer path: narrowing through float64 would reject
+	// 2^53+1 even though the prototype's own element kind holds it.
+	const big = int64(1)<<53 + 1
+	b := blob.FromInt64s([]int64{big, 2, 3})
+	b.Dims = []int{3}
+	reg, _ := Lookup("julia")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "y = argv1 .+ 0", Expr: "y", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if got.Elem != blob.ElemI64 {
+		t.Fatalf("elem = %v, want int64", got.Elem)
+	}
+	ns, _ := blob.ToInt64s(blob.Blob{Data: got.Data})
+	if len(ns) != 3 || ns[0] != big {
+		t.Fatalf("big int mangled: %v", ns)
+	}
+	if len(got.Dims) != 1 || got.Dims[0] != 3 {
+		t.Fatalf("dims = %v, want [3]", got.Dims)
+	}
+	// A genuinely fractional result still falls through to PackLike's
+	// float64 fallback rather than erroring.
+	res, err = eng.Eval(Call{Code: "", Expr: "argv1 ./ 2", Args: []Value{BlobOf(blob.FromInt64s([]int64{1, 3}))}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AsBlob(); got.Elem != blob.ElemF64 {
+		t.Fatalf("fractional result elem = %v, want float64", got.Elem)
+	}
+}
+
+func TestJuliaEngineRepacksLikePrototype(t *testing.T) {
+	// Like rlite: a fresh vector result adopts the sole blob argument's
+	// element view when values permit (int32 here), so narrow identity
+	// arithmetic stays narrow.
+	b := blob.FromInt32s([]int32{1, 2, 3})
+	reg, _ := Lookup("julia")
+	eng := reg.New(Host{Out: io.Discard})
+	res, err := eng.Eval(Call{Code: "y = argv1 .* 2", Expr: "y", Args: []Value{BlobOf(b)}, Want: KindBlob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.AsBlob()
+	if got.Elem != blob.ElemI32 {
+		t.Fatalf("elem = %v, want int32", got.Elem)
+	}
+	ns, _ := blob.ToInt32s(blob.Blob{Data: got.Data})
+	if len(ns) != 3 || ns[2] != 6 {
+		t.Fatalf("doubled = %v", ns)
+	}
+}
+
 func TestTclEngineBlobPassthrough(t *testing.T) {
 	// Tcl is strings-only: blob args bind as raw payload bytes, and an
 	// unmodified result reattaches the argument's metadata.
@@ -374,7 +302,7 @@ func TestTclEngineAmbiguousReattachFallsBackToRawBytes(t *testing.T) {
 	// metadata: reattaching either view would be a guess, so the result
 	// must come back as raw bytes.
 	data := []float32{1.5, 2.5}
-	a := blob.FromFloat32s(data)           // 8 bytes, ElemF32
+	a := blob.FromFloat32s(data) // 8 bytes, ElemF32
 	b := blob.Blob{Data: append([]byte(nil), a.Data...), Elem: blob.ElemF64}
 	reg, _ := Lookup("tcl")
 	eng := reg.New(Host{Out: io.Discard})
@@ -385,50 +313,6 @@ func TestTclEngineAmbiguousReattachFallsBackToRawBytes(t *testing.T) {
 	got := res.AsBlob()
 	if got.Elem != blob.ElemBytes || string(got.Data) != string(a.Data) {
 		t.Fatalf("ambiguous reattach: %+v", got)
-	}
-}
-
-func TestInstallAppliesPolicyPerFragment(t *testing.T) {
-	// Through the Tcl dispatch command (the string surface leaf tasks
-	// fall back to), the reinit policy must clear state after every
-	// fragment, for every stateful language, without any per-language
-	// code.
-	for _, tc := range stateCases {
-		t.Run(tc.name, func(t *testing.T) {
-			reg, _ := Lookup(tc.name)
-			counters := NewCounters()
-			// Build dispatch calls matching the registration's arity:
-			// two-argument languages take (code, expr), one-argument
-			// languages take a single fragment.
-			setCall := tcl.FormatList([]string{reg.Name + "::eval", tc.set})
-			readCall := tcl.FormatList([]string{reg.Name + "::eval", tc.read})
-			if reg.Sig.Fixed == 2 {
-				setCall = tcl.FormatList([]string{reg.Name + "::eval", tc.set, ""})
-				readCall = tcl.FormatList([]string{reg.Name + "::eval", "", tc.read})
-			}
-
-			retain := tcl.New()
-			Install(retain, reg, Host{Out: io.Discard}, PolicyRetain, counters, nil)
-			if _, err := retain.Eval(setCall); err != nil {
-				t.Fatal(err)
-			}
-			got, err := retain.Eval(readCall)
-			if err != nil || got != tc.want {
-				t.Fatalf("retain read = %q, %v", got, err)
-			}
-
-			reinit := tcl.New()
-			Install(reinit, reg, Host{Out: io.Discard}, PolicyReinit, counters, nil)
-			if _, err := reinit.Eval(setCall); err != nil {
-				t.Fatal(err)
-			}
-			if out, err := reinit.Eval(readCall); err == nil {
-				t.Fatalf("reinit: state survived the fragment boundary (got %q)", out)
-			}
-			if n := counters.Snapshot()[tc.name]; n != 4 {
-				t.Fatalf("counter = %d, want 4", n)
-			}
-		})
 	}
 }
 

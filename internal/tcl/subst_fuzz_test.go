@@ -1,0 +1,113 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// substPlanErrors are the only error messages compileSubstPlan may emit:
+// the scanner diagnostics pinned by TestSubstPlanMalformedWordsErrorAtEval
+// (missing close-brace, missing close-paren) plus the bracket-scan error
+// the scan-per-eval path always raised. The fuzz target holds the plan
+// compiler to exactly this set — a new failure shape would change
+// user-visible behaviour and must be pinned deliberately, not slipped in.
+var substPlanErrors = map[string]bool{
+	"tcl: missing close-bracket":                  true,
+	"tcl: missing close-brace for variable name":  true,
+	"tcl: missing close-paren in array reference": true,
+}
+
+// FuzzSubstPlan feeds arbitrary word source to the substitution-plan
+// compiler (the single substitution grammar since PR 4):
+//
+//  1. compileSubstPlan must never panic, whatever the input.
+//  2. Malformed constructs compile to error segments whose messages come
+//     from the documented scanner set above, and an error segment is
+//     always terminal (the scan stops where the scanner stopped).
+//  3. Literal-only text (no $, [, or backslash) must compile to the
+//     identity: at most one literal segment carrying the text verbatim.
+//  4. Plans are deterministic: compiling twice yields the same segments.
+//
+// Run with: go test -fuzz=FuzzSubstPlan ./internal/tcl
+func FuzzSubstPlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain text",
+		"$a",
+		"pre-$a-mid-$b-post",
+		"${braced}tail",
+		"${unterminated",
+		"$arr(idx)",
+		"$arr($k)",
+		"$arr(unclosed",
+		"[cmd arg]",
+		"[nested [cmd]]",
+		"[unclosed",
+		`back\slash`,
+		`tab\tnewline\n`,
+		`lone $ dollar`,
+		`$`,
+		`\`,
+		`mix $v [c] \t ${w} $a(i) end`,
+		"$(", "${", "$a(", "[[", "]]", "\\[", "\\$", "$\\",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		plan := compileSubstPlan(text) // must not panic
+		for i, s := range plan {
+			if s.kind == segErr {
+				if !substPlanErrors[s.text] {
+					t.Fatalf("compileSubstPlan(%q): undocumented error message %q", text, s.text)
+				}
+				if i != len(plan)-1 {
+					t.Fatalf("compileSubstPlan(%q): error segment not terminal (%d of %d)", text, i, len(plan))
+				}
+			}
+		}
+		// Literal-only text is the identity: the plan re-concatenates to
+		// the input with no symbolic segments.
+		if isLiteralText(text) {
+			var b strings.Builder
+			for _, s := range plan {
+				if s.kind != segLit {
+					t.Fatalf("compileSubstPlan(%q): non-literal segment %d in literal text", text, s.kind)
+				}
+				b.WriteString(s.text)
+			}
+			if b.String() != text {
+				t.Fatalf("compileSubstPlan(%q): literal reassembly = %q", text, b.String())
+			}
+		}
+		// Deterministic: the plan is a pure function of the text.
+		again := compileSubstPlan(text)
+		if len(again) != len(plan) {
+			t.Fatalf("compileSubstPlan(%q): non-deterministic length %d vs %d", text, len(plan), len(again))
+		}
+		for i := range plan {
+			if plan[i].kind != again[i].kind || plan[i].text != again[i].text {
+				t.Fatalf("compileSubstPlan(%q): non-deterministic segment %d", text, i)
+			}
+		}
+	})
+}
+
+func TestSubstPlanErrorSetMatchesEvalErrors(t *testing.T) {
+	// The documented set really is what evaluation raises: each malformed
+	// construct's segErr message surfaces verbatim through substWord.
+	in := New()
+	for src, want := range map[string]string{
+		"${unterminated": "tcl: missing close-brace for variable name",
+		"$arr(unclosed":  "tcl: missing close-paren in array reference",
+		"[unclosed":      "tcl: missing close-bracket",
+	} {
+		_, err := in.substWord(src)
+		if err == nil || err.Error() != want {
+			t.Fatalf("substWord(%q) err = %v, want %q", src, err, want)
+		}
+		if !substPlanErrors[want] {
+			t.Fatalf("message %q missing from the documented set", want)
+		}
+	}
+}
