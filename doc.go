@@ -160,6 +160,51 @@
 // fifth language is covered by construction, Swift -> engine -> Swift
 // (internal/lang/conformance, internal/core/typed_roundtrip_test.go).
 //
+// # Failure model
+//
+// Leaf-task execution is fault-tolerant end to end. Workers take work
+// under a lease: adlb.Client.GetLeased hands out each work item with a
+// server-tracked lease id, settled implicitly by the worker's next Get
+// (success) or explicitly by Client.Fail (failure, with a retriable
+// flag). A worker that departs mid-task (Client.Leave, or a crash that
+// reaches the departed-client path) has its outstanding leases reclaimed
+// by the server and the items requeued at their original priority —
+// items the victim had targeted at itself retarget to AnyRank so a
+// survivor can take them. A retriably-failed task is requeued up to
+// Config.MaxTaskRetries times (default 2, so 3 attempts total); past
+// the budget — or immediately, when the failure is not retriable — the
+// task is poisoned: the run ends with an error naming the task and the
+// original failure reason rather than hanging or silently dropping work.
+//
+// What is retriable: interpreter panics (contained per fragment by
+// lang's recover wrapper, which Resets the engine before the retry under
+// every state policy), injected faults, and data-plane load/store
+// errors — all surfaced as lang.TaskError with Retriable set. What is
+// not: deterministic evaluation errors from user code (an undefined
+// function fails the same way every attempt), which poison on the first
+// failure. One bad fragment fails one task; it never takes down the
+// rank, and zero simulated processes die.
+//
+// Two backstops make failures diagnosable instead of silent. The ADLB
+// servers run a hang watchdog (Config.WatchdogIdleTicks): a world whose
+// remaining work can never execute — queued items no one asks for,
+// leases that will never settle, unfilled TDs — ends with a diagnostic
+// error listing the stranded work and parked ranks instead of
+// deadlocking. And a server that exits while clients are parked in Get
+// releases them with an explicit shutdown error rather than leaving
+// them in Recv forever.
+//
+// Every fault path is exercised deterministically through
+// internal/faultinject: named sites (adlb.get.deliver,
+// adlb.put.targeted, lang.eval.pre, dataplane.store, turbine.worker.task,
+// adlb.server.loop) with nth-hit error/panic/crash/delay plans and no
+// time-based randomness, plus the worker-kill knobs in core.Config
+// (KillWorkerRank/KillWorkerAfterTasks). The chaos regression matrix in
+// internal/core/fault_test.go and the lease lifecycle tests in
+// internal/adlb/lease_test.go run under -race in CI. Counters:
+// Result.TaskRetries/TaskFailures, adlb Stats.Requeued/Poisoned/
+// LeasesIssued/LeasesReclaimed, and the UnfilledTDs gauge.
+//
 // Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
 // interpreter alone; BenchmarkTypedFragment compares a typed blob
 // argument against the old render-into-source route for a 1e5-element

@@ -228,7 +228,7 @@ func TestPriorityAwareParkedMatching(t *testing.T) {
 			return nil
 		}
 		s := newServer(c, testConfig(1), NewLayout(2, 1))
-		s.parked[0] = typeWork
+		s.parked[0] = parkedReq{typ: typeWork}
 		s.parkOrder = []int{0}
 		// Batch arrives lowest-priority first — the adversarial arrival
 		// order for FIFO-of-arrival matching.

@@ -27,6 +27,12 @@ type Client struct {
 	idNext   int64
 	idStride int64
 	idRemain int64
+
+	// held is the lease id of the task currently being executed (0 when
+	// none). It is settled implicitly by the next Get — completion
+	// piggybacks on the request the client was about to send anyway — or
+	// explicitly by Fail.
+	held int64
 }
 
 // NewClient wraps the calling rank as an ADLB client.
@@ -105,24 +111,51 @@ func (cl *Client) Put(workType, priority, target int, payload []byte) error {
 // returns its payload. ok is false when the runtime has terminated and no
 // more work will ever arrive.
 func (cl *Client) Get(workType int) (payload []byte, ok bool, err error) {
+	payload, _, ok, err = cl.get(workType, false)
+	return payload, ok, err
+}
+
+// GetLeased is Get with fault tolerance: the returned item is tracked by
+// the home server under leaseID until the client settles it — implicitly
+// by its next Get (success) or explicitly by Fail. A client that departs
+// (Leave) with the lease outstanding has the item requeued. Only one
+// lease is held at a time, matching the one-task-at-a-time worker loop.
+func (cl *Client) GetLeased(workType int) (payload []byte, leaseID int64, ok bool, err error) {
+	return cl.get(workType, true)
+}
+
+func (cl *Client) get(workType int, leased bool) (payload []byte, leaseID int64, ok bool, err error) {
+	settle := cl.held
 	d, err := cl.rpc(cl.myServer, func(e *encoder) {
 		e.u8(opGet)
 		e.i32(int32(workType))
+		var flags uint8
+		if leased {
+			flags |= getFlagLeased
+		}
+		e.u8(flags)
+		e.i64(settle)
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
+	// The request reached the server, which settles before anything else.
+	cl.held = 0
 	st, err := checkStatus(d, "get")
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
 	if st == stNoMoreWork {
-		return nil, false, d.finish("get response")
+		return nil, 0, false, d.finish("get response")
+	}
+	if leased {
+		leaseID = d.i64()
 	}
 	w := decodeWorkItem(d)
 	if err := d.finish("get response"); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
+	cl.held = leaseID
 	// Yield before running the task. Real MPI ranks are separate
 	// processes that progress concurrently; in the simulation, ranks are
 	// goroutines that may outnumber cores, and the scheduler's wakeup
@@ -130,7 +163,49 @@ func (cl *Client) Get(workType int) (payload []byte, ok bool, err error) {
 	// the server starve sibling ranks of CPU — it drains the whole queue
 	// before they issue their first request.
 	runtime.Gosched()
-	return w.Payload, true, nil
+	return w.Payload, leaseID, true, nil
+}
+
+// Fail settles a lease as failed. Retriable failures are requeued by the
+// server until the task's retry budget is exhausted; non-retriable ones
+// (and budget exhaustion) poison the task, which ends the run with an
+// error naming it — the caller's own error return then typically reports
+// the aborted world.
+func (cl *Client) Fail(leaseID int64, reason string, retriable bool) error {
+	if cl.held == leaseID {
+		cl.held = 0
+	}
+	d, err := cl.rpc(cl.myServer, func(e *encoder) {
+		e.u8(opFail)
+		e.i64(leaseID)
+		e.str(reason)
+		e.boolean(retriable)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = checkStatus(d, "fail"); err != nil {
+		return err
+	}
+	return d.finish("fail response")
+}
+
+// Leave departs the runtime: the home server reclaims any lease this
+// client still holds (requeueing the work) and stops counting the client
+// toward termination. It models a detected rank crash — after Leave the
+// client must not issue further calls.
+func (cl *Client) Leave() error {
+	cl.held = 0
+	d, err := cl.rpc(cl.myServer, func(e *encoder) {
+		e.u8(opLeave)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = checkStatus(d, "leave"); err != nil {
+		return err
+	}
+	return d.finish("leave response")
 }
 
 // Unique returns a fresh data id. Ids are allocated in blocks from the

@@ -30,6 +30,18 @@ type Config struct {
 	// benchmarks). The paper's architecture relies on stealing to
 	// load-balance across servers.
 	DisableSteal bool
+	// MaxTaskRetries bounds how many times a leased work item that failed
+	// retriably (or whose owning client departed mid-task) is requeued
+	// before the server poisons it and aborts the run. Zero selects the
+	// default of 2 retries; a negative value disables retries entirely.
+	MaxTaskRetries int
+	// WatchdogIdleTicks is the number of consecutive idle server-loop
+	// iterations after which a server with every assigned client parked
+	// (or departed) but work still queued declares the run hung and
+	// aborts with a diagnostic instead of deadlocking. Zero selects the
+	// default of 25000 ticks (~5s at the default Tick); negative disables
+	// the watchdog.
+	WatchdogIdleTicks int
 }
 
 func (c *Config) tick() time.Duration {
@@ -37,6 +49,26 @@ func (c *Config) tick() time.Duration {
 		return 200 * time.Microsecond
 	}
 	return c.Tick
+}
+
+func (c *Config) maxRetries() int {
+	if c.MaxTaskRetries == 0 {
+		return 2
+	}
+	if c.MaxTaskRetries < 0 {
+		return 0
+	}
+	return c.MaxTaskRetries
+}
+
+func (c *Config) watchdogTicks() int {
+	if c.WatchdogIdleTicks == 0 {
+		return 25000
+	}
+	if c.WatchdogIdleTicks < 0 {
+		return 0
+	}
+	return c.WatchdogIdleTicks
 }
 
 // Validate checks the configuration against a world of the given size.
@@ -123,6 +155,15 @@ type Stats struct {
 	// TargetedDropped counts targeted work items discarded because the
 	// target client had already departed (received NO_MORE_WORK).
 	TargetedDropped atomic.Int64
+	// Fault-tolerance counters (see the failure model in the package doc).
+	LeasesIssued    atomic.Int64 // leased work deliveries
+	LeasesReclaimed atomic.Int64 // leases recovered from departed clients
+	Requeued        atomic.Int64 // failed/reclaimed items put back in queue
+	Poisoned        atomic.Int64 // items that exhausted their retry budget
+	// UnfilledTDs gauges data-store entries still unclosed when a server
+	// drains cleanly; a recovered run must leave it at zero (no leaked
+	// write refcounts after contained failures).
+	UnfilledTDs atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -139,6 +180,11 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		DataOps:         s.DataOps.Load(),
 		TokenRounds:     s.TokenRounds.Load(),
 		TargetedDropped: s.TargetedDropped.Load(),
+		LeasesIssued:    s.LeasesIssued.Load(),
+		LeasesReclaimed: s.LeasesReclaimed.Load(),
+		Requeued:        s.Requeued.Load(),
+		Poisoned:        s.Poisoned.Load(),
+		UnfilledTDs:     s.UnfilledTDs.Load(),
 	}
 }
 
@@ -155,6 +201,11 @@ type StatsSnapshot struct {
 	DataOps         int64
 	TokenRounds     int64
 	TargetedDropped int64
+	LeasesIssued    int64
+	LeasesReclaimed int64
+	Requeued        int64
+	Poisoned        int64
+	UnfilledTDs     int64
 }
 
 // Serve runs the ADLB server protocol on the calling rank until global

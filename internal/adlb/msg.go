@@ -32,6 +32,9 @@ const (
 	// element traffic to cost O(servers) RPCs, not O(elements).
 	opRetrieveBatch // many ids -> many values, one RPC per owning server
 	opStoreVector   // container + values -> owner-local member data, one RPC
+	// Fault-tolerance ops: lease settlement and client departure.
+	opFail  // report a leased task failed; server requeues or poisons
+	opLeave // client departs; server reclaims its leases and unregisters it
 )
 
 // Server-to-server opcodes.
@@ -54,11 +57,19 @@ const (
 // Target sentinel: work item may run on any rank.
 const AnyRank = -1
 
+// Get request flags.
+const (
+	// getFlagLeased asks for the work item to be delivered under a
+	// server-tracked lease (see the failure model in the package doc).
+	getFlagLeased uint8 = 1 << 0
+)
+
 // workItem is one unit of work in a server queue.
 type workItem struct {
 	Type     int
 	Priority int
 	Target   int // AnyRank or a specific worker rank
+	Attempts int // executions already started and failed or lost
 	Payload  []byte
 }
 
@@ -66,6 +77,7 @@ func encodeWorkItem(e *encoder, w workItem) {
 	e.i32(int32(w.Type))
 	e.i32(int32(w.Priority))
 	e.i32(int32(w.Target))
+	e.i32(int32(w.Attempts))
 	e.bytes(w.Payload)
 }
 
@@ -74,6 +86,7 @@ func decodeWorkItem(d *decoder) workItem {
 	w.Type = int(d.i32())
 	w.Priority = int(d.i32())
 	w.Target = int(d.i32())
+	w.Attempts = int(d.i32())
 	w.Payload = append([]byte(nil), d.bytes()...)
 	return w
 }

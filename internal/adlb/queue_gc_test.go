@@ -16,7 +16,7 @@ func TestTargetedQueueGCForDepartedClients(t *testing.T) {
 		cfg:        testConfig(1),
 		untargeted: map[int]*workQueue{},
 		targeted:   map[targetKey]*workQueue{},
-		parked:     map[int]int{},
+		parked:     map[int]parkedReq{},
 		departed:   map[int]bool{},
 		store:      map[int64]*datum{},
 	}

@@ -2,8 +2,11 @@ package adlb
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/mpi"
 )
 
@@ -34,6 +37,22 @@ type targetKey struct {
 	target int
 }
 
+// parkedReq is one client's deferred Get: the work type it wants and
+// whether delivery should be leased.
+type parkedReq struct {
+	typ    int
+	leased bool
+}
+
+// lease tracks one work item handed to a client under a lease. The item
+// is kept server-side until the client settles the lease (implicitly by
+// its next Get, or explicitly via Fail) or departs, at which point the
+// item can be requeued with its priority preserved.
+type lease struct {
+	w      workItem
+	client int
+}
+
 // server implements the ADLB server role: work queues, parked client
 // requests, inter-server work stealing, the distributed data store, and
 // Safra's termination-detection algorithm over the server ring.
@@ -47,9 +66,17 @@ type server struct {
 
 	untargeted map[int]*workQueue
 	targeted   map[targetKey]*workQueue
-	parked     map[int]int  // client rank -> requested work type
-	parkOrder  []int        // FIFO of parked client ranks
-	departed   map[int]bool // clients told NO_MORE_WORK; targeted queues GC'd
+	parked     map[int]parkedReq // client rank -> deferred Get
+	parkOrder  []int             // FIFO of parked client ranks
+	departed   map[int]bool      // clients told NO_MORE_WORK; targeted queues GC'd
+
+	leases    map[int64]lease // outstanding leased work, by lease id
+	nextLease int64
+
+	// Watchdog state: consecutive loop iterations without a client RPC
+	// or work-bearing server message. See checkStalled.
+	idle     int
+	progress bool
 
 	store  map[int64]*datum
 	nextID int64
@@ -81,8 +108,9 @@ func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
 		nClients:   l.clientsOfServer(idx),
 		untargeted: make(map[int]*workQueue),
 		targeted:   make(map[targetKey]*workQueue),
-		parked:     make(map[int]int),
+		parked:     make(map[int]parkedReq),
 		departed:   make(map[int]bool),
+		leases:     make(map[int64]lease),
 		store:      make(map[int64]*datum),
 		nextID:     int64(l.Servers + idx), // ids ≡ idx (mod Servers), skipping id 0
 		stealRR:    (idx + 1) % l.Servers,
@@ -93,6 +121,11 @@ func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
 func (s *server) stats() *Stats { return s.cfg.Stats }
 
 func (s *server) run() error {
+	// Whatever ends this loop — clean drain, internal error, or an
+	// injected crash — clients still parked in Get must be unblocked with
+	// an error response, or they hang in Recv forever (their Gets are
+	// synchronous and the dead server would never answer).
+	defer s.releaseParked()
 	tick := s.cfg.tick()
 	for {
 		data, st, ok, err := s.c.RecvTimeout(mpi.AnySource, mpi.AnyTag, tick)
@@ -104,14 +137,128 @@ func (s *server) run() error {
 				s.c.World().Abort(err)
 				return err
 			}
+			if err := faultinject.At(faultinject.SiteServerLoop); err != nil {
+				if faultinject.IsCrash(err) {
+					// Simulated silent server death: exit without draining
+					// or aborting the world.
+					return nil
+				}
+				s.c.World().Abort(err)
+				return err
+			}
 		}
 		if s.selfHalted && s.doneCount >= s.nClients {
+			s.gaugeUnfilled()
 			return nil
 		}
 		if !s.draining {
 			s.housekeeping()
+			if s.progress {
+				s.progress = false
+				s.idle = 0
+			} else {
+				s.idle++
+			}
+			if err := s.checkStalled(); err != nil {
+				s.c.World().Abort(err)
+				return err
+			}
 		}
 	}
+}
+
+// releaseParked answers every client still parked in Get with an error.
+// After a normal drain the parked set is empty and this is a no-op; it
+// matters when the server loop exits early (internal error, injected
+// crash): without it, parked clients would deadlock the run instead of
+// returning (nil, false, err).
+func (s *server) releaseParked() {
+	for client := range s.parked {
+		// Best-effort: the world may already be aborting.
+		_ = s.respondError(client, fmt.Sprintf(
+			"adlb: server %d shut down while client %d was parked in Get", s.idx, client))
+	}
+	s.parked = make(map[int]parkedReq)
+	s.parkOrder = nil
+}
+
+// gaugeUnfilled records, at clean drain, how many data-store entries
+// never closed. A run that recovered from task failures must leave this
+// at zero: a leaked write refcount after a contained panic would show up
+// here as a permanently open container.
+func (s *server) gaugeUnfilled() {
+	if s.stats() == nil {
+		return
+	}
+	n := 0
+	for _, dm := range s.store {
+		if !dm.closed() {
+			n++
+		}
+	}
+	if n > 0 {
+		s.stats().UnfilledTDs.Add(int64(n))
+	}
+}
+
+// checkStalled is the hang watchdog: when every assigned client is
+// parked or departed, yet work is still queued (or leases are still
+// outstanding) and nothing has arrived for watchdogTicks loop
+// iterations, no TD can ever make progress — the demand for the queued
+// types is gone. Abort with a diagnostic naming the stranded work and
+// parked ranks instead of deadlocking. Mid-task clients (neither parked
+// nor departed) suppress the watchdog: they may yet produce progress.
+func (s *server) checkStalled() error {
+	limit := s.cfg.watchdogTicks()
+	if limit <= 0 || s.idle < limit {
+		return nil
+	}
+	if len(s.parked)+s.doneCount < s.nClients {
+		// Someone is mid-task (e.g. a long-running leaf); not a hang.
+		s.idle = 0
+		return nil
+	}
+	queued := 0
+	byType := make(map[int]int)
+	for t, q := range s.untargeted {
+		queued += q.len()
+		byType[t] += q.len()
+	}
+	for k, q := range s.targeted {
+		queued += q.len()
+		byType[k.typ] += q.len()
+	}
+	if queued == 0 && len(s.leases) == 0 {
+		// Idle but healthy: termination detection will finish the run.
+		s.idle = 0
+		return nil
+	}
+	var types []string
+	for t, n := range byType {
+		types = append(types, fmt.Sprintf("type %d: %d item(s)", t, n))
+	}
+	sort.Strings(types)
+	var parked []string
+	for _, r := range s.parkOrder {
+		if req, ok := s.parked[r]; ok {
+			parked = append(parked, fmt.Sprintf("rank %d (wants type %d)", r, req.typ))
+		}
+	}
+	var departed []int
+	for r := range s.departed {
+		departed = append(departed, r)
+	}
+	sort.Ints(departed)
+	unfilled := 0
+	for _, dm := range s.store {
+		if !dm.closed() {
+			unfilled++
+		}
+	}
+	return fmt.Errorf("adlb: server %d: hang detected — no progress for %d ticks with work stranded: "+
+		"queued [%s], %d outstanding lease(s), %d unfilled TD(s); parked clients [%s], departed clients %v",
+		s.idx, s.idle, strings.Join(types, "; "), len(s.leases), unfilled,
+		strings.Join(parked, ", "), departed)
 }
 
 // housekeeping runs between messages: retries steals, forwards or
@@ -133,9 +280,12 @@ func (s *server) housekeeping() {
 }
 
 // quiet reports whether this server is locally passive: every assigned
-// client is parked in Get, all queues are empty, and no steal is pending.
+// client is parked in Get or has departed, all queues are empty, and no
+// steal is pending. Departed clients count as passive — a client that
+// crashed with leases outstanding must not block termination forever
+// (its reclaimed work is covered by the queue checks).
 func (s *server) quiet() bool {
-	if len(s.parked) != s.nClients || s.stealOut {
+	if len(s.parked)+s.doneCount != s.nClients || s.stealOut {
 		return false
 	}
 	for _, q := range s.untargeted {
@@ -183,11 +333,17 @@ func (s *server) respondError(client int, msg string) error {
 }
 
 func (s *server) handleRequest(op uint8, d *decoder, client int) error {
+	// Any client RPC is progress for the hang watchdog.
+	s.progress = true
 	switch op {
 	case opPut:
 		return s.handlePut(d, client)
 	case opGet:
 		return s.handleGet(d, client)
+	case opFail:
+		return s.handleFail(d, client)
+	case opLeave:
+		return s.handleLeave(d, client)
 	case opUnique:
 		return s.handleUnique(d, client)
 	case opCreate, opStore, opRetrieve, opSubscribe, opInsert, opLookup,
@@ -212,6 +368,9 @@ func (s *server) handlePut(d *decoder, client int) error {
 	if w.Target != AnyRank {
 		if w.Target < 0 || w.Target >= s.l.Clients() {
 			return s.respondError(client, fmt.Sprintf("put: invalid target rank %d", w.Target))
+		}
+		if err := faultinject.At(faultinject.SitePutTargeted); err != nil {
+			return s.respondError(client, err.Error())
 		}
 		owner := s.l.ServerOf(w.Target)
 		if owner != s.c.Rank() {
@@ -290,7 +449,7 @@ func (s *server) matchParked(typ, target int) {
 		if q == nil {
 			return
 		}
-		if t, ok := s.parked[target]; ok && t == typ {
+		if req, ok := s.parked[target]; ok && req.typ == typ {
 			if w, ok := q.pop(); ok {
 				s.deliver(target, w)
 			}
@@ -307,7 +466,7 @@ func (s *server) matchParked(typ, target int) {
 	for q.len() > 0 {
 		client, ok := -1, false
 		for _, r := range s.parkOrder {
-			if t, p := s.parked[r]; p && t == typ {
+			if req, p := s.parked[r]; p && req.typ == typ {
 				client, ok = r, true
 				break
 			}
@@ -327,18 +486,57 @@ func (s *server) matchParked(typ, target int) {
 // position, so the earliest-ever-parked rank wins every untargeted
 // dispatch and the rest starve.
 func (s *server) deliver(client int, w workItem) {
+	req := s.parked[client]
 	delete(s.parked, client)
 	s.unpark(client)
+	s.serve(client, req.leased, w)
+}
+
+// serve answers a Get (parked or direct) with a work item, minting a
+// lease when the client asked for one.
+func (s *server) serve(client int, leased bool, w workItem) {
 	if s.stats() != nil {
 		s.stats().GetsServed.Add(1)
 	}
+	if err := faultinject.At(faultinject.SiteGetDeliver); err != nil {
+		if !faultinject.IsCrash(err) {
+			// Requeue so the injected delivery failure loses no work, then
+			// surface the fault to the requesting client.
+			s.enqueue(w)
+			if rerr := s.respondError(client, err.Error()); rerr != nil {
+				s.c.World().Abort(rerr)
+			}
+			return
+		}
+		s.c.World().Abort(err)
+		return
+	}
+	var id int64
+	if leased {
+		id = s.newLease(client, w)
+	}
 	err := s.respond(client, func(e *encoder) {
 		e.u8(stOK)
+		if leased {
+			e.i64(id)
+		}
 		encodeWorkItem(e, w)
 	})
 	if err != nil {
 		s.c.World().Abort(err)
 	}
+}
+
+// newLease records w as leased to client and returns the lease id.
+// Ids are strictly positive and unique per server; 0 means "no lease".
+func (s *server) newLease(client int, w workItem) int64 {
+	s.nextLease++
+	id := s.nextLease
+	s.leases[id] = lease{w: w, client: client}
+	if s.stats() != nil {
+		s.stats().LeasesIssued.Add(1)
+	}
+	return id
 }
 
 // unpark removes client from the park FIFO. Each client appears at most
@@ -378,8 +576,19 @@ func (s *server) clientDeparted(client int) {
 
 func (s *server) handleGet(d *decoder, client int) error {
 	typ := int(d.i32())
+	flags := d.u8()
+	settle := d.i64()
 	if err := d.finish("get request"); err != nil {
 		return err
+	}
+	leased := flags&getFlagLeased != 0
+	// A non-zero settle id completes the client's previous lease: the
+	// task ran to completion, so the retained copy of the item can go.
+	// Settlement piggybacks on the next Get rather than costing a
+	// dedicated RPC per task. An unknown id is benign (e.g. the lease was
+	// already settled by an explicit Fail).
+	if settle != 0 {
+		delete(s.leases, settle)
 	}
 	if s.draining {
 		s.clientDeparted(client)
@@ -394,29 +603,19 @@ func (s *server) handleGet(d *decoder, client int) error {
 			if q.len() == 0 {
 				delete(s.targeted, k)
 			}
-			if s.stats() != nil {
-				s.stats().GetsServed.Add(1)
-			}
-			return s.respond(client, func(e *encoder) {
-				e.u8(stOK)
-				encodeWorkItem(e, w)
-			})
+			s.serve(client, leased, w)
+			return nil
 		}
 		delete(s.targeted, k)
 	}
 	if q, ok := s.untargeted[typ]; ok {
 		if w, ok := q.pop(); ok {
-			if s.stats() != nil {
-				s.stats().GetsServed.Add(1)
-			}
-			return s.respond(client, func(e *encoder) {
-				e.u8(stOK)
-				encodeWorkItem(e, w)
-			})
+			s.serve(client, leased, w)
+			return nil
 		}
 	}
 	// No work: park the request; the response is deferred.
-	s.parked[client] = typ
+	s.parked[client] = parkedReq{typ: typ, leased: leased}
 	s.parkOrder = append(s.parkOrder, client)
 	if s.stats() != nil {
 		s.stats().GetsParked.Add(1)
@@ -425,6 +624,93 @@ func (s *server) handleGet(d *decoder, client int) error {
 		s.maybeSteal()
 	}
 	return nil
+}
+
+// handleFail settles a lease as failed: the item is requeued (bounded by
+// the retry budget, priority preserved) or poisoned. Poisoning returns a
+// run-ending error rather than a response — the task's outputs will
+// never be stored, so every downstream rule would hang; surfacing the
+// original failure reason beats deadlocking on it.
+func (s *server) handleFail(d *decoder, client int) error {
+	id := d.i64()
+	reason := d.str()
+	retriable := d.boolean()
+	if err := d.finish("fail request"); err != nil {
+		return err
+	}
+	le, ok := s.leases[id]
+	if !ok {
+		return s.respondError(client, fmt.Sprintf("fail: unknown lease %d", id))
+	}
+	delete(s.leases, id)
+	if err := s.requeueOrPoison(le.w, reason, retriable); err != nil {
+		return err
+	}
+	return s.respond(client, func(e *encoder) { e.u8(stOK) })
+}
+
+// handleLeave processes a voluntary or simulated-crash departure: every
+// lease held by the client is reclaimed and requeued (or poisoned if its
+// budget is spent), and the client is unregistered so termination
+// detection treats it as passive from now on.
+func (s *server) handleLeave(d *decoder, client int) error {
+	if err := d.finish("leave request"); err != nil {
+		return err
+	}
+	var ids []int64
+	for id, le := range s.leases {
+		if le.client == client {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		le := s.leases[id]
+		delete(s.leases, id)
+		if s.stats() != nil {
+			s.stats().LeasesReclaimed.Add(1)
+		}
+		if le.w.Target == client {
+			// The item was pinned to the rank that just died; requeueing it
+			// still targeted would drop it as targeted-at-departed. Any
+			// surviving rank may run it.
+			le.w.Target = AnyRank
+		}
+		reason := fmt.Sprintf("owning client %d departed mid-task", client)
+		if err := s.requeueOrPoison(le.w, reason, true); err != nil {
+			return err
+		}
+	}
+	if _, wasParked := s.parked[client]; wasParked {
+		delete(s.parked, client)
+		s.unpark(client)
+	}
+	s.clientDeparted(client)
+	return s.respond(client, func(e *encoder) { e.u8(stOK) })
+}
+
+// requeueOrPoison is the retry policy: a retriable failure within budget
+// goes back in the queue with its priority preserved and its attempt
+// count bumped; anything else is poisoned — counted, and surfaced as a
+// run-ending error naming the task.
+func (s *server) requeueOrPoison(w workItem, reason string, retriable bool) error {
+	if retriable && w.Attempts < s.cfg.maxRetries() {
+		w.Attempts++
+		if s.stats() != nil {
+			s.stats().Requeued.Add(1)
+		}
+		s.acceptWork(w)
+		return nil
+	}
+	if s.stats() != nil {
+		s.stats().Poisoned.Add(1)
+	}
+	kind := "not retriable"
+	if retriable {
+		kind = fmt.Sprintf("retry budget of %d exhausted", s.cfg.maxRetries())
+	}
+	return fmt.Errorf("adlb: task poisoned after %d attempt(s) (%s): %s\n  task: %.200q",
+		w.Attempts+1, kind, reason, w.Payload)
 }
 
 func (s *server) handleUnique(d *decoder, client int) error {
@@ -762,6 +1048,10 @@ func (s *server) notifyAll(dm *datum, id int64) {
 			Target:   rank,
 			Payload:  EncodeNotification(id),
 		}
+		if err := faultinject.At(faultinject.SitePutTargeted); err != nil {
+			s.c.World().Abort(err)
+			return
+		}
 		if s.stats() != nil {
 			s.stats().Notifications.Add(1)
 		}
@@ -812,6 +1102,7 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 	case sopPutForward:
 		s.mcount--
 		s.black = true
+		s.progress = true
 		w := decodeWorkItem(d)
 		if err := d.finish("put-forward"); err != nil {
 			return err
@@ -845,6 +1136,7 @@ func (s *server) handleServer(op uint8, d *decoder, source int) error {
 		if n > 0 {
 			s.mcount--
 			s.black = true
+			s.progress = true
 			s.stealBackoff = 0
 			if s.stats() != nil {
 				s.stats().StealHits.Add(1)
@@ -918,8 +1210,8 @@ func (s *server) maybeSteal() {
 	// Steal for the type of the longest-parked client.
 	typ, ok := -1, false
 	for _, r := range s.parkOrder {
-		if t, p := s.parked[r]; p {
-			typ, ok = t, true
+		if req, p := s.parked[r]; p {
+			typ, ok = req.typ, true
 			break
 		}
 	}

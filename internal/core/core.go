@@ -106,6 +106,23 @@ type Config struct {
 	DisableSteal bool
 	// Tick overrides the ADLB server housekeeping interval.
 	Tick time.Duration
+
+	// MaxTaskRetries bounds how many times a retriably-failed leaf task
+	// is requeued before it is poisoned and the run ends with an error
+	// naming it. 0 selects the default of 2; negative disables retries.
+	MaxTaskRetries int
+	// WatchdogIdleTicks tunes the ADLB hang watchdog (0 = default,
+	// negative = disabled): a run whose remaining work can never be
+	// executed ends with a diagnostic error instead of deadlocking.
+	WatchdogIdleTicks int
+	// KillWorkerRank, if non-zero, makes that worker rank die mid-task
+	// after completing KillWorkerAfterTasks tasks (chaos testing: the
+	// victim's leased task is reclaimed and requeued). Rank 0 is always
+	// an engine, so zero means no kill.
+	KillWorkerRank int
+	// KillWorkerAfterTasks is how many tasks the victim runs before
+	// dying (0 = die on its first task).
+	KillWorkerAfterTasks int
 }
 
 func (c *Config) withDefaults() Config {
@@ -145,6 +162,12 @@ type Result struct {
 	REvals      int64
 	// Spawns counts simulated process launches by app functions.
 	Spawns int64
+	// TaskRetries counts leaf tasks requeued after a retriable failure
+	// or a worker death (== ADLB.Requeued).
+	TaskRetries int64
+	// TaskFailures counts leaf tasks that failed under containment,
+	// whether later retried to success or poisoned.
+	TaskFailures int64
 }
 
 // lockedWriter serialises concurrent rank output and captures it.
@@ -206,15 +229,19 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 	}
 
 	tcfg := &turbine.Config{
-		Engines:       cfg.Engines,
-		Servers:       cfg.Servers,
-		Tick:          cfg.Tick,
-		Stats:         cfg.Stats,
-		TurbineStats:  cfg.TurbineStats,
-		DisableSteal:  cfg.DisableSteal,
-		Program:       compiled.Program,
-		ProgramScript: programScript,
-		Main:          compiled.Main,
+		Engines:              cfg.Engines,
+		Servers:              cfg.Servers,
+		Tick:                 cfg.Tick,
+		Stats:                cfg.Stats,
+		TurbineStats:         cfg.TurbineStats,
+		DisableSteal:         cfg.DisableSteal,
+		MaxTaskRetries:       cfg.MaxTaskRetries,
+		WatchdogIdleTicks:    cfg.WatchdogIdleTicks,
+		KillWorkerRank:       cfg.KillWorkerRank,
+		KillWorkerAfterTasks: cfg.KillWorkerAfterTasks,
+		Program:              compiled.Program,
+		ProgramScript:        programScript,
+		Main:                 compiled.Main,
 		Setup: func(in *tcl.Interp, env *turbine.Env) error {
 			in.Out = sink
 			in.PkgPath = cfg.PkgPath
@@ -277,5 +304,7 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 		PythonEvals:  evals["python"],
 		REvals:       evals["r"],
 		Spawns:       sys.Spawns(),
+		TaskRetries:  cfg.Stats.Requeued.Load(),
+		TaskFailures: cfg.TurbineStats.TaskFailures.Load(),
 	}, nil
 }

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := At(SiteLangEvalPre); err != nil {
+			t.Fatalf("disarmed At returned %v", err)
+		}
+	}
+	if got := Hits(SiteLangEvalPre); got != 0 {
+		t.Fatalf("disarmed hits counted: %d", got)
+	}
+}
+
+func TestNthHitError(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.a", Plan{Hit: 3, Action: ActError, Msg: "boom"})
+	for i := 1; i <= 5; i++ {
+		err := At("site.a")
+		if i == 3 {
+			if err == nil || !strings.Contains(err.Error(), "boom") {
+				t.Fatalf("hit %d: want injected error, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+	if got := Hits("site.a"); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+}
+
+func TestTimesWindowAndForever(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.b", Plan{Hit: 2, Times: 2, Action: ActError, Msg: "window"})
+	want := []bool{false, true, true, false, false}
+	for i, w := range want {
+		if got := At("site.b") != nil; got != w {
+			t.Fatalf("hit %d: injected=%v, want %v", i+1, got, w)
+		}
+	}
+
+	Reset()
+	Arm("site.c", Plan{Hit: 2, Times: -1, Action: ActError, Msg: "forever"})
+	if At("site.c") != nil {
+		t.Fatal("hit 1 should pass")
+	}
+	for i := 2; i <= 10; i++ {
+		if At("site.c") == nil {
+			t.Fatalf("hit %d should inject forever", i)
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.p", Plan{Action: ActPanic, Msg: "injected-panic"})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "injected-panic") {
+			t.Fatalf("panic value %v", p)
+		}
+	}()
+	_ = At("site.p")
+}
+
+func TestCrashAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.k", Plan{Action: ActCrash, Msg: "die"})
+	err := At("site.k")
+	if !IsCrash(err) {
+		t.Fatalf("want crash error, got %v", err)
+	}
+	if IsCrash(errors.New("other")) {
+		t.Fatal("IsCrash matched a plain error")
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.d", Plan{Action: ActDelay, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := At("site.d"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("delay too short: %v", elapsed)
+	}
+}
+
+func TestUnarmedSiteCountsWhileHarnessArmed(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.x", Plan{Hit: 100, Action: ActError, Msg: "never"})
+	_ = At("site.y")
+	_ = At("site.y")
+	if got := Hits("site.y"); got != 2 {
+		t.Fatalf("unarmed site hits = %d, want 2", got)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm("site.race", Plan{Hit: 50, Action: ActError, Msg: "one"})
+	var wg sync.WaitGroup
+	var injected sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := At("site.race"); err != nil {
+					injected.Store(err.Error(), true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	injected.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("injected %d distinct errors, want exactly 1", n)
+	}
+	if got := Hits("site.race"); got != 200 {
+		t.Fatalf("hits = %d, want 200", got)
+	}
+}

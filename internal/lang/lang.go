@@ -25,6 +25,7 @@
 package lang
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/shell"
 	"repro/internal/tcl"
 )
@@ -271,7 +273,7 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 			eng = reg.New(h)
 		}
 		before := eng.Evals()
-		res, err := eng.Eval(c)
+		res, err := evalContained(eng, reg.Name, c)
 		if counters != nil {
 			// The engine's own counter is the source of truth; the
 			// run-wide aggregate advances by whatever it reports.
@@ -281,6 +283,10 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 			eng.Reset()
 		}
 		if err != nil {
+			var te *TaskError
+			if errors.As(err, &te) {
+				return Value{}, err // already typed; keep it findable as-is
+			}
 			return Value{}, fmt.Errorf("%s: %w", reg.Name, err)
 		}
 		return res, nil
@@ -326,7 +332,9 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 		// is one RPC per owning server, not one per argument.
 		vals, err := dp.LoadBatch(ids)
 		if err != nil {
-			return "", err
+			// Data-plane transfer failures are environmental, not a defect
+			// of the fragment: retriable.
+			return "", &TaskError{Engine: reg.Name, Code: "dataplane", Retriable: true, Err: err}
 		}
 		c, err := buildCall(reg, vals, wantOf(outtype))
 		if err != nil {
@@ -336,8 +344,35 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 		if err != nil {
 			return "", err
 		}
-		return "", dp.StoreAs(out, outtype, res)
+		if err := dp.StoreAs(out, outtype, res); err != nil {
+			return "", &TaskError{Engine: reg.Name, Code: "dataplane", Retriable: true, Err: err}
+		}
+		return "", nil
 	})
+}
+
+// evalContained runs one fragment with panic containment: a panic inside
+// the engine fails this one task — typed and retriable — instead of
+// tearing down the rank, and the engine is Reset before the error is
+// returned (under every policy, PolicyRetain included: an interpreter
+// that panicked may hold arbitrarily corrupted state, so retained state
+// is forfeit on this failure path).
+func evalContained(eng Engine, name string, c Call) (res Value, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			eng.Reset()
+			err = &TaskError{
+				Engine:    name,
+				Code:      "panic",
+				Retriable: true,
+				Err:       fmt.Errorf("panic during eval: %v", p),
+			}
+		}
+	}()
+	if ferr := faultinject.At(faultinject.SiteLangEvalPre); ferr != nil {
+		return Value{}, &TaskError{Engine: name, Code: "fault", Retriable: true, Err: ferr}
+	}
+	return eng.Eval(c)
 }
 
 // buildCall maps an argument vector onto the Call contract per the

@@ -144,6 +144,12 @@ func (w *World) Run(fn func(c *Comm) error) error {
 			return err
 		}
 	}
+	// Every rank's error traces back to the abort; surface the abort cause
+	// itself if it carries more than ErrAborted (e.g. a world aborted from
+	// inside a server with no rank-level error of its own).
+	if cause := w.AbortErr(); cause != nil && !errors.Is(cause, ErrAborted) {
+		return cause
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/adlb"
 	"repro/internal/blob"
+	"repro/internal/faultinject"
 	"repro/internal/lang"
 )
 
@@ -115,6 +116,9 @@ func (p dataPlane) LoadBatch(ids []int64) ([]lang.Value, error) {
 // StoreAs stores a typed value into a TD of the named turbine type,
 // converting where the kinds differ.
 func (p dataPlane) StoreAs(id int64, td string, v lang.Value) error {
+	if err := faultinject.At(faultinject.SiteDataPlaneStore); err != nil {
+		return err
+	}
 	sv, err := toStore(td, v)
 	if err != nil {
 		return err

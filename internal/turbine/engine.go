@@ -1,9 +1,13 @@
 package turbine
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/adlb"
+	"repro/internal/faultinject"
+	"repro/internal/lang"
 )
 
 // rule is one dataflow rule: when all inputs are closed, the action is
@@ -122,7 +126,7 @@ func (e *engine) run() error {
 			return err
 		}
 		if !ok {
-			return nil
+			return e.stallDiagnostic()
 		}
 		if id, isNote := adlb.DecodeNotification(payload); isNote {
 			if err := e.onClosed(id); err != nil {
@@ -141,24 +145,126 @@ func (e *engine) run() error {
 	}
 }
 
-// runWorker is the worker main loop: pull leaf tasks and evaluate them.
-// Leaf tasks retrieve their (already closed) inputs from the data store,
-// run user code in whatever language the task wraps, and store outputs.
+// stallDiagnostic runs when the engine's Get loop ends: a clean
+// termination should leave no dataflow rule waiting on an unfilled TD.
+// If any remain — a task was poisoned upstream, or the program never
+// writes the data — name them instead of returning a silent success.
+func (e *engine) stallDiagnostic() error {
+	stalled := map[*rule]bool{}
+	var ids []int64
+	for id, rules := range e.waiting {
+		live := false
+		for _, r := range rules {
+			if r.pending > 0 {
+				stalled[r] = true
+				live = true
+			}
+		}
+		if live {
+			ids = append(ids, id)
+		}
+	}
+	if len(stalled) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var names []string
+	for r := range stalled {
+		names = append(names, r.name)
+	}
+	sort.Strings(names)
+	if len(names) > 5 {
+		names = append(names[:5], "...")
+	}
+	return fmt.Errorf("turbine: engine %d: run terminated with %d dataflow rule(s) stalled on %d unfilled TD(s) %v; stalled rules: %v",
+		e.env.Rank, len(stalled), len(ids), ids, names)
+}
+
+// runWorker is the worker main loop: pull leaf tasks under a lease and
+// evaluate them with failure containment. Leaf tasks retrieve their
+// (already closed) inputs from the data store, run user code in whatever
+// language the task wraps, and store outputs. A failed task is reported
+// to the server via Fail — retriable failures (engine panics, injected
+// faults, data-plane errors) requeue under the task's retry budget;
+// deterministic evaluation errors poison the task immediately. The lease
+// of a successful task is settled implicitly by the next Get.
 func runWorker(env *Env) error {
+	tasks := 0
 	for {
-		payload, ok, err := env.Client.Get(TypeWork)
+		payload, leaseID, ok, err := env.Client.GetLeased(TypeWork)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			return nil
 		}
+		tasks++
+		if env.Cfg.killsWorkerAt(env.Rank, tasks) {
+			// Simulated mid-task rank death (the worker-kill knob): the
+			// task is held under an outstanding lease, and Leave is the
+			// transport's crash notification — the server reclaims the
+			// lease and requeues the task for a surviving worker.
+			if err := env.Client.Leave(); err != nil {
+				return err
+			}
+			return nil
+		}
+		if err := faultinject.At(faultinject.SiteWorkerTask); err != nil {
+			if faultinject.IsCrash(err) {
+				if err := env.Client.Leave(); err != nil {
+					return err
+				}
+				return nil
+			}
+			if err := env.failTask(leaseID, err, true); err != nil {
+				return err
+			}
+			continue
+		}
 		if s := env.Cfg.TurbineStats; s != nil {
 			s.LeafTasks.Add(1)
 		}
-		if _, err := env.interp.Eval(string(payload)); err != nil {
-			return fmt.Errorf("turbine: worker %d: leaf task failed: %w\n  task: %.200s",
-				env.Rank, err, payload)
+		evalErr, retriable := evalLeafContained(env, payload)
+		if evalErr == nil {
+			continue
+		}
+		// The server's poison error appends the task payload; don't repeat
+		// it in the reason.
+		reason := fmt.Sprintf("worker %d: leaf task failed: %v", env.Rank, evalErr)
+		if err := env.failTask(leaseID, errors.New(reason), retriable); err != nil {
+			return err
 		}
 	}
+}
+
+// failTask counts and reports one task failure under its lease. The
+// Fail RPC returns an error only when the run is ending (e.g. the task
+// was poisoned and the world aborted), in which case the worker exits.
+func (env *Env) failTask(leaseID int64, cause error, retriable bool) error {
+	if s := env.Cfg.TurbineStats; s != nil {
+		s.TaskFailures.Add(1)
+	}
+	return env.Client.Fail(leaseID, cause.Error(), retriable)
+}
+
+// evalLeafContained evaluates one leaf task with panic containment: a
+// panic anywhere under the task (Tcl command, engine glue) fails the
+// task retriably instead of killing the rank. Typed failures
+// (lang.TaskError) carry their own retriability; untyped evaluation
+// errors are deterministic user-code failures and are not retried.
+func evalLeafContained(env *Env, payload []byte) (err error, retriable bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic in leaf task: %v", p)
+			retriable = true
+		}
+	}()
+	if _, evalErr := env.interp.Eval(string(payload)); evalErr != nil {
+		var te *lang.TaskError
+		if errors.As(evalErr, &te) {
+			return evalErr, te.Retriable
+		}
+		return evalErr, false
+	}
+	return nil, false
 }

@@ -44,6 +44,21 @@ type Config struct {
 	TurbineStats *Stats
 	// DisableSteal forwards to adlb.Config.DisableSteal.
 	DisableSteal bool
+	// MaxTaskRetries forwards to adlb.Config.MaxTaskRetries (the retry
+	// budget of leased leaf tasks; 0 = default of 2, negative = none).
+	MaxTaskRetries int
+	// WatchdogIdleTicks forwards to adlb.Config.WatchdogIdleTicks (the
+	// hang watchdog; 0 = default, negative = disabled).
+	WatchdogIdleTicks int
+	// KillWorkerRank, if non-zero, names a worker rank that dies
+	// mid-task: on receiving its (KillWorkerAfterTasks+1)-th leaf task it
+	// departs via Leave without evaluating it, leaving the task to be
+	// reclaimed from its lease. Rank 0 is always an engine, so 0 means
+	// "kill nothing".
+	KillWorkerRank int
+	// KillWorkerAfterTasks is how many tasks the victim completes before
+	// dying (0 = die on the first task received).
+	KillWorkerAfterTasks int
 	// Setup, if non-nil, runs on every rank's interpreter before
 	// execution begins; used to install the embedded-language engines
 	// from the lang registry (the <name>::eval dispatch commands),
@@ -80,13 +95,21 @@ func (c *Config) Validate(worldSize int) error {
 
 func (c *Config) adlbConfig() adlb.Config {
 	return adlb.Config{
-		Servers:      c.Servers,
-		Types:        2,
-		NotifyType:   TypeControl,
-		Tick:         c.Tick,
-		Stats:        c.Stats,
-		DisableSteal: c.DisableSteal,
+		Servers:           c.Servers,
+		Types:             2,
+		NotifyType:        TypeControl,
+		Tick:              c.Tick,
+		Stats:             c.Stats,
+		DisableSteal:      c.DisableSteal,
+		MaxTaskRetries:    c.MaxTaskRetries,
+		WatchdogIdleTicks: c.WatchdogIdleTicks,
 	}
+}
+
+// killsWorkerAt reports whether the worker-kill knob fires for the given
+// rank on receipt of its taskNo-th leaf task (1-based).
+func (c *Config) killsWorkerAt(rank, taskNo int) bool {
+	return c.KillWorkerRank != 0 && rank == c.KillWorkerRank && taskNo > c.KillWorkerAfterTasks
 }
 
 // Stats aggregates Turbine-level counters across ranks.
@@ -96,6 +119,9 @@ type Stats struct {
 	ControlTasks  atomic.Int64
 	LeafTasks     atomic.Int64
 	Notifications atomic.Int64
+	// TaskFailures counts leaf tasks that failed under containment
+	// (whether later retried successfully or poisoned).
+	TaskFailures atomic.Int64
 }
 
 // Role identifies what a rank does in the deployment.
