@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/adlb"
 	"repro/internal/baseline"
 	"repro/internal/blob"
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/jlite"
 	"repro/internal/lang"
@@ -948,6 +950,158 @@ func BenchmarkEndToEndInterlanguage(b *testing.B) {
 		if res.PythonEvals != 8 || res.REvals != 8 {
 			b.Fatalf("evals: py=%d r=%d", res.PythonEvals, res.REvals)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Gather/scatter at array scale: a 1e6-element vpack -> engine ->
+// vunpack round trip. The data-plane shape behind the container<->vector
+// bridge at its largest: gather every member of a million-element
+// container, hand the packed vector to an embedded engine as a zero-copy
+// view, and scatter the result into a fresh container. allocs/op is the
+// headline metric (see alloc_budget.txt and the CI gate); run with
+// -benchtime=1x — each iteration scatters a fresh million-member
+// container on the server, so long benchtimes grow server memory.
+// ---------------------------------------------------------------------
+
+func BenchmarkGatherScatter1e6(b *testing.B) {
+	const n = 1_000_000
+	cfg := adlb.Config{Servers: 1, Types: 2, NotifyType: 0}
+	w, err := mpi.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Run(func(c *mpi.Comm) error {
+		l := adlb.NewLayout(c.Size(), cfg.Servers)
+		if l.IsServer(c.Rank()) {
+			return adlb.Serve(c, cfg)
+		}
+		cl, err := adlb.NewClient(c, cfg)
+		if err != nil {
+			return err
+		}
+		// Setup: a container with n closed float members, scattered in
+		// one batched RPC, plus its member ids in subscript order.
+		src, err := cl.Unique()
+		if err != nil {
+			return err
+		}
+		if err := cl.Create(src, adlb.TypeContainer); err != nil {
+			return err
+		}
+		seed := make([]adlb.Value, n)
+		for i := range seed {
+			seed[i] = adlb.FloatValue(float64(i) * 0.5)
+		}
+		if err := cl.StoreVector(src, seed); err != nil {
+			return err
+		}
+		pairs, err := cl.Enumerate(src)
+		if err != nil {
+			return err
+		}
+		if len(pairs) != n {
+			return fmt.Errorf("enumerated %d members, want %d", len(pairs), n)
+		}
+		ids := make([]int64, n)
+		for i, p := range pairs {
+			ids[i] = p.Member
+		}
+		reg, ok := lang.Lookup("python")
+		if !ok {
+			return fmt.Errorf("python engine not registered")
+		}
+		eng := reg.New(lang.Host{})
+		// One kind column serves every scatter: StoreChunk reads it only
+		// while encoding the request.
+		kinds := make([]byte, n)
+		for i := range kinds {
+			kinds[i] = chunk.KindFloat
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for k := 0; k < b.N; k++ {
+			// Gather (the vpack path): the members arrive as one columnar
+			// chunk whose Num column IS the packed float payload, aliasing
+			// the pooled response frame — no per-element boxing or copy.
+			ck, err := cl.RetrieveChunk(ids)
+			if err != nil {
+				return err
+			}
+			if kind, ok := ck.AllKind(); !ok || kind != chunk.KindFloat {
+				return fmt.Errorf("gathered chunk is not homogeneous float")
+			}
+			bl := blob.Blob{Data: ck.Num, Elem: blob.ElemF64, Dims: []int{n}}
+			// Engine leg: the blob crosses into the engine as a
+			// zero-copy Vec view and back out.
+			res, err := eng.Eval(lang.Call{
+				Expr: "argv1", Args: []lang.Value{lang.BlobOf(bl)},
+				Want: lang.KindBlob,
+			})
+			if err != nil {
+				return err
+			}
+			out := res.AsBlob()
+			// Scatter (the vunpack path): the blob payload becomes the
+			// store chunk's Num column verbatim -> fresh container.
+			dst, err := cl.Unique()
+			if err != nil {
+				return err
+			}
+			if err := cl.Create(dst, adlb.TypeContainer); err != nil {
+				return err
+			}
+			if err := cl.StoreChunk(dst, chunk.Chunk{Kinds: kinds, Num: out.Data}); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		// Park until NO_MORE_WORK so the server can terminate.
+		for {
+			_, ok, err := cl.Get(1)
+			if err != nil || !ok {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(n, "elements/op")
+}
+
+// TestGatherScatterAllocBudget is the CI allocation gate for the hot
+// data path: it runs BenchmarkGatherScatter1e6 once and fails if
+// allocs/op exceeds the budget committed in alloc_budget.txt. Gated
+// behind ALLOC_BUDGET_GATE because the measurement takes ~30s and only
+// means something as a deliberate check, not inside every `go test`.
+func TestGatherScatterAllocBudget(t *testing.T) {
+	if os.Getenv("ALLOC_BUDGET_GATE") == "" {
+		t.Skip("set ALLOC_BUDGET_GATE=1 to enforce the allocs/op budget")
+	}
+	data, err := os.ReadFile("alloc_budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(-1)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if budget, err = strconv.ParseInt(line, 10, 64); err != nil {
+			t.Fatalf("alloc_budget.txt: bad budget line %q: %v", line, err)
+		}
+		break
+	}
+	if budget < 0 {
+		t.Fatal("alloc_budget.txt contains no budget value")
+	}
+	r := testing.Benchmark(BenchmarkGatherScatter1e6)
+	if got := r.AllocsPerOp(); got > budget {
+		t.Fatalf("gather/scatter allocates %d allocs/op, budget is %d: the hot data path regressed", got, budget)
+	} else {
+		t.Logf("gather/scatter: %d allocs/op within budget %d", got, budget)
 	}
 }
 

@@ -160,6 +160,55 @@
 // fifth language is covered by construction, Swift -> engine -> Swift
 // (internal/lang/conformance, internal/core/typed_roundtrip_test.go).
 //
+// # Data plane and memory model
+//
+// The hot data path is allocation-free end to end: a million-element
+// gather -> engine -> scatter round trip moves one contiguous buffer
+// per column, not one boxed value per element
+// (BenchmarkGatherScatter1e6; the allocs/op ceiling is committed in
+// alloc_budget.txt and enforced in CI). Three mechanisms compose:
+//
+// Columnar chunks (internal/chunk, modeled on TiDB's vectorized chunk).
+// A batch of values travels as a chunk: a one-byte kind tag per row
+// plus one contiguous buffer per element class — Num (8 bytes per
+// numeric row, little-endian, bit-identical to both the data-store
+// encoding and a packed blob payload), Raw+Off for strings and blobs,
+// Meta for blob dims/element kinds. adlb.Client.RetrieveChunk and
+// StoreChunk move a chunk as one RPC per owning server with a chunk
+// frame on the wire (decode validates every cross-column invariant, so
+// a hostile frame cannot make readers index out of bounds); lang.Chunk
+// aliases the same type, DataPlane.LoadChunk/StoreChunk carry it to the
+// turbine layer, and vpack/vunpack convert between a homogeneous
+// numeric chunk's Num column and a packed blob with at most a slice
+// alias. The same type at every layer means no kind remapping at any
+// boundary.
+//
+// Pooled wire buffers. mpi.Send copies each payload into a frame drawn
+// from a world-level pool; ownership transfers to the receiver, which
+// hands it back via Comm.Release once every slice aliasing it is dead
+// (at most once; reuse is deliberately LIFO so tests can pin the
+// contract — mpi.TestFramePoolReuseAliasing does, deterministically).
+// On top of that, the ADLB codec reuses encoder scratch through a
+// sync.Pool: the rule is getEncoder -> build -> frame() -> Send ->
+// putEncoder, never retaining the encoder or its buffer past the Send.
+//
+// The zero-copy aliasing contract. Payload slices returned by
+// adlb.Client.Retrieve, RetrieveBatch, and RetrieveChunk alias the RPC
+// response frame. They are valid until the next call on the same
+// Client returns: that call retires the pinned frames at its start and
+// releases them only after its own request is on the wire (encode may
+// legitimately read a retired frame — a retrieved blob stored straight
+// back). Consumers that keep payloads longer must copy on escape —
+// turbine's fromStore copies blob bytes because engines retain argv
+// bindings across later data-plane calls, and lang.ChunkToValues takes
+// copyBytes for the same reason — while bulk paths that finish inside
+// the window (vpack, vunpack, the gather/scatter benchmark) stay
+// zero-copy. On the server side the mirror rule: request frames are
+// released after handling except for store-class ops, whose decoded
+// value bytes alias the frame for the datum's lifetime (zero-copy
+// store), and mutating a stale client view never corrupts a datum
+// (adlb.TestZeroCopyAliasingContract).
+//
 // # Failure model
 //
 // Leaf-task execution is fault-tolerant end to end. Workers take work

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 
+	"repro/internal/chunk"
 	"repro/internal/mpi"
 )
 
@@ -33,6 +34,17 @@ type Client struct {
 	// piggybacks on the request the client was about to send anyway — or
 	// explicitly by Fail.
 	held int64
+
+	// Zero-copy frame pinning. Payload slices returned by Retrieve,
+	// RetrieveBatch, and RetrieveChunk alias the response frames they
+	// were decoded from; those frames stay pinned until the next call on
+	// this Client, whose request must first be copied onto the wire
+	// (encode reads may themselves alias a pinned frame — a retrieved
+	// blob stored straight back). So frames retire at the next call's
+	// start and are released to the transport's frame pool only after
+	// its Send completes.
+	pinned  [][]byte // response frames backing the last call's payloads
+	retired [][]byte // previous call's frames, released after the next Send
 }
 
 // NewClient wraps the calling rank as an ADLB client.
@@ -57,21 +69,54 @@ func (cl *Client) Layout() Layout { return cl.l }
 // barriers around the run).
 func (cl *Client) Comm() *mpi.Comm { return cl.c }
 
+// rpc issues one synchronous request. It marks the previous call's
+// response frames as retired — this call is the release point of any
+// payload slices they back — and hands them to rpcKeep to free once the
+// new request is safely on the wire.
 func (cl *Client) rpc(server int, build func(*encoder)) (*decoder, error) {
-	e := &encoder{}
+	cl.retire()
+	return cl.rpcKeep(server, build)
+}
+
+// rpcKeep issues a request without retiring the frames pinned by earlier
+// calls in the same batched operation: RetrieveBatch and RetrieveChunk
+// fan out one RPC per owning server, and every per-server response must
+// stay alive until the whole batch is assembled.
+func (cl *Client) rpcKeep(server int, build func(*encoder)) (*decoder, error) {
+	e := getEncoder()
 	build(e)
 	frame, err := e.frame()
 	if err != nil {
+		putEncoder(e)
 		return nil, err
 	}
-	if err := cl.c.Send(server, tagRequest, frame); err != nil {
+	err = cl.c.Send(server, tagRequest, frame)
+	putEncoder(e)
+	if err != nil {
 		return nil, err
 	}
+	// The request is copied onto the wire; nothing can reference the
+	// retired frames anymore.
+	cl.releaseRetired()
 	data, _, err := cl.c.Recv(server, tagResponse)
 	if err != nil {
 		return nil, err
 	}
+	cl.pinned = append(cl.pinned, data)
 	return &decoder{buf: data}, nil
+}
+
+func (cl *Client) retire() {
+	cl.retired = append(cl.retired, cl.pinned...)
+	cl.pinned = cl.pinned[:0]
+}
+
+func (cl *Client) releaseRetired() {
+	for i, f := range cl.retired {
+		cl.c.Release(f)
+		cl.retired[i] = nil
+	}
+	cl.retired = cl.retired[:0]
 }
 
 // checkStatus consumes the status byte and translates errors.
@@ -271,6 +316,12 @@ func (cl *Client) Store(id int64, v Value) error {
 }
 
 // Retrieve fetches a datum's value. found is false if the id is unknown.
+//
+// Zero-copy aliasing contract: the returned value's Bytes alias the
+// response frame, with no copy. The slice is valid until the next call
+// on this Client returns — storing a retrieved payload right back
+// (encode happens before the frame is released) is safe, but a caller
+// that keeps the bytes across a later call must copy them out first.
 func (cl *Client) Retrieve(id int64) (v Value, found bool, err error) {
 	d, err := cl.rpc(cl.l.OwnerOf(id), func(e *encoder) {
 		e.u8(opRetrieve)
@@ -295,6 +346,9 @@ func (cl *Client) Retrieve(id int64) (v Value, found bool, err error) {
 // O(servers), not O(len(ids)) — which is what makes container->vector
 // packing viable at array scale. Every id must exist and be set; results
 // are returned in the order of ids.
+//
+// The returned values' Bytes alias the response frames (the Retrieve
+// zero-copy contract): valid until the next call on this Client returns.
 func (cl *Client) RetrieveBatch(ids []int64) ([]Value, error) {
 	out := make([]Value, len(ids))
 	groups := make(map[int][]int) // owning server rank -> indexes into ids
@@ -302,8 +356,12 @@ func (cl *Client) RetrieveBatch(ids []int64) ([]Value, error) {
 		owner := cl.l.OwnerOf(id)
 		groups[owner] = append(groups[owner], i)
 	}
+	// Retire once up front: every per-server response must survive until
+	// the whole batch is assembled, so the group RPCs must not retire
+	// each other's frames.
+	cl.retire()
 	for server, idxs := range groups {
-		d, err := cl.rpc(server, func(e *encoder) {
+		d, err := cl.rpcKeep(server, func(e *encoder) {
 			e.u8(opRetrieveBatch)
 			e.u32(uint32(len(idxs)))
 			for _, i := range idxs {
@@ -353,6 +411,109 @@ func (cl *Client) StoreVector(container int64, vals []Value) error {
 		return err
 	}
 	return d.finish("store_vector response")
+}
+
+// RetrieveChunk fetches many closed data as one columnar chunk: row i is
+// ids[i]. Like RetrieveBatch it costs one RPC per owning server, but the
+// response is a chunk frame — contiguous typed columns — instead of N
+// per-value encodings, so a million-float gather decodes to two column
+// views with no per-element work at all.
+//
+// When one server owns every id (the common case: vpack gathers members
+// created by one StoreVector/StoreChunk), the returned chunk's columns
+// alias the response frame under the Retrieve zero-copy contract: valid
+// until the next call on this Client returns. A cross-server gather is
+// merged row by row into fresh buffers.
+func (cl *Client) RetrieveChunk(ids []int64) (chunk.Chunk, error) {
+	var out chunk.Chunk
+	if len(ids) == 0 {
+		return out, nil
+	}
+	groups := make(map[int][]int) // owning server rank -> indexes into ids
+	for i, id := range ids {
+		owner := cl.l.OwnerOf(id)
+		groups[owner] = append(groups[owner], i)
+	}
+	cl.retire()
+	chunks := make(map[int]chunk.Chunk, len(groups))
+	for server, idxs := range groups {
+		d, err := cl.rpcKeep(server, func(e *encoder) {
+			e.u8(opRetrieveChunk)
+			e.u32(uint32(len(idxs)))
+			for _, i := range idxs {
+				e.i64(ids[i])
+			}
+		})
+		if err != nil {
+			return out, err
+		}
+		if _, err := checkStatus(d, "retrieve_chunk"); err != nil {
+			return out, err
+		}
+		c := decodeChunk(d)
+		if err := d.finish("retrieve_chunk response"); err != nil {
+			return out, err
+		}
+		if c.Len() != len(idxs) {
+			return out, fmt.Errorf("adlb: retrieve_chunk: asked for %d rows, got %d", len(idxs), c.Len())
+		}
+		chunks[server] = c
+	}
+	if len(groups) == 1 {
+		for _, c := range chunks {
+			return c, nil
+		}
+	}
+	// Merge the per-server chunks back into request order.
+	readers := make(map[int]*chunk.Reader, len(chunks))
+	for server := range chunks {
+		c := chunks[server]
+		r := c.Reader()
+		readers[server] = &r
+	}
+	for _, id := range ids {
+		r := readers[cl.l.OwnerOf(id)]
+		if !r.Next() {
+			return out, fmt.Errorf("adlb: retrieve_chunk: short chunk merging id %d", id)
+		}
+		switch r.Kind() {
+		case chunk.KindVoid:
+			out.AppendVoid()
+		case chunk.KindInt, chunk.KindFloat:
+			if err := out.AppendNumRaw(r.Kind(), r.NumRaw()); err != nil {
+				return out, err
+			}
+		case chunk.KindString:
+			out.AppendBytes(r.Bytes())
+		case chunk.KindBlob:
+			m := r.Meta()
+			out.AppendBlob(r.Bytes(), m.Elem, m.Dims)
+		}
+	}
+	return out, nil
+}
+
+// StoreChunk appends a columnar chunk of element values to a container in
+// a single RPC, the chunk-frame counterpart of StoreVector: the owning
+// server creates one owner-local closed datum per row at consecutive
+// integer subscripts after any existing members. The write refcount is
+// untouched, as with StoreVector.
+func (cl *Client) StoreChunk(container int64, c chunk.Chunk) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("adlb: store_chunk: %w", err)
+	}
+	d, err := cl.rpc(cl.l.OwnerOf(container), func(e *encoder) {
+		e.u8(opStoreChunk)
+		e.i64(container)
+		encodeChunk(e, c)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = checkStatus(d, "store_chunk"); err != nil {
+		return err
+	}
+	return d.finish("store_chunk response")
 }
 
 // Subscribe registers rank for a close notification on id. If the datum is

@@ -1,6 +1,10 @@
 package adlb
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/chunk"
+)
 
 // Message tags used on the simulated MPI transport. Client requests all
 // travel on tagRequest and carry an opcode; each client has at most one
@@ -35,6 +39,10 @@ const (
 	// Fault-tolerance ops: lease settlement and client departure.
 	opFail  // report a leased task failed; server requeues or poisons
 	opLeave // client departs; server reclaims its leases and unregisters it
+	// Columnar data-plane ops: batched element traffic as one chunk frame
+	// (contiguous typed columns) instead of N boxed per-value encodings.
+	opRetrieveChunk // many ids -> one columnar chunk
+	opStoreChunk    // container + chunk -> owner-local member data, one RPC
 )
 
 // Server-to-server opcodes.
@@ -152,10 +160,15 @@ func encodeValue(e *encoder, v Value) {
 	}
 }
 
+// decodeValue decodes a value zero-copy: v.Bytes aliases the decoder's
+// frame. Client-side, returned payloads stay valid until the frame's
+// documented release point (the next call on the same Client); server-side,
+// frames whose decoded values are stored are retained for the datum's
+// lifetime (see dispatch), so the alias is permanent there.
 func decodeValue(d *decoder) Value {
 	var v Value
 	v.Type = DataType(d.u8())
-	v.Bytes = append([]byte(nil), d.bytes()...)
+	v.Bytes = d.bytes()
 	if v.Type == TypeBlob {
 		v.Elem = d.u8()
 		n := int(d.u32())
@@ -177,4 +190,77 @@ func decodeValue(d *decoder) Value {
 type Pair struct {
 	Subscript string
 	Member    int64
+}
+
+// The chunk frame: length-prefixed column buffers beside the per-value
+// encoding. Kinds, Num, and Raw travel as single byte fields (one copy
+// onto the wire, one alias off it); Off and Meta are small per-var-row
+// and per-blob-row tables.
+
+func encodeChunk(e *encoder, c chunk.Chunk) {
+	e.bytes(c.Kinds)
+	e.bytes(c.Num)
+	e.bytes(c.Raw)
+	e.u32(uint32(len(c.Off)))
+	for _, o := range c.Off {
+		e.u32(o)
+	}
+	e.u32(uint32(len(c.Meta)))
+	for _, m := range c.Meta {
+		e.u8(m.Elem)
+		e.u32(uint32(len(m.Dims)))
+		for _, d := range m.Dims {
+			e.i64(int64(d))
+		}
+	}
+}
+
+// decodeChunk decodes a chunk frame zero-copy: the Kinds, Num, and Raw
+// columns alias the decoder's frame. The decoded chunk is validated, so
+// a malformed frame surfaces as a decode error rather than a chunk whose
+// readers index out of bounds.
+func decodeChunk(d *decoder) chunk.Chunk {
+	var c chunk.Chunk
+	c.Kinds = d.bytes()
+	c.Num = d.bytes()
+	c.Raw = d.bytes()
+	nOff := int(d.u32())
+	if d.err == nil && (nOff < 0 || nOff > (len(d.buf)-d.off)/4) {
+		d.fail("chunk offsets")
+		return c
+	}
+	if nOff > 0 && d.err == nil {
+		c.Off = make([]uint32, nOff)
+		for i := range c.Off {
+			c.Off[i] = d.u32()
+		}
+	}
+	nMeta := int(d.u32())
+	if d.err == nil && (nMeta < 0 || nMeta > (len(d.buf)-d.off)/5) {
+		d.fail("chunk metas")
+		return c
+	}
+	if nMeta > 0 && d.err == nil {
+		c.Meta = make([]chunk.BlobMeta, nMeta)
+		for i := range c.Meta {
+			c.Meta[i].Elem = d.u8()
+			nd := int(d.u32())
+			if d.err == nil && (nd < 0 || nd > (len(d.buf)-d.off)/8) {
+				d.fail("chunk blob dims")
+				return c
+			}
+			if nd > 0 && d.err == nil {
+				c.Meta[i].Dims = make([]int, nd)
+				for j := range c.Meta[i].Dims {
+					c.Meta[i].Dims[j] = int(d.i64())
+				}
+			}
+		}
+	}
+	if d.err == nil {
+		if err := c.Validate(); err != nil {
+			d.err = fmt.Errorf("adlb: wire decode: %w", err)
+		}
+	}
+	return c
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/chunk"
 	"repro/internal/faultinject"
 	"repro/internal/mpi"
 )
@@ -80,6 +81,9 @@ type server struct {
 
 	store  map[int64]*datum
 	nextID int64
+	// scratch is the reusable column buffer behind opRetrieveChunk
+	// responses (the server loop is single-goroutine, so one is enough).
+	scratch chunk.Chunk
 
 	// Safra termination detection state.
 	black      bool  // this server's colour
@@ -306,23 +310,48 @@ func (s *server) dispatch(data []byte, st mpi.Status) error {
 	op := d.u8()
 	switch st.Tag {
 	case tagRequest:
-		return s.handleRequest(op, d, st.Source)
+		err := s.handleRequest(op, d, st.Source)
+		// Request frames are recycled once handled — except for store-ish
+		// ops, whose decoded value bytes alias the frame (the zero-copy
+		// store: datums keep views into the request instead of copies),
+		// making the frame's lifetime the datum's.
+		if !retainsRequestFrame(op) {
+			s.c.Release(data)
+		}
+		return err
 	case tagServer:
-		return s.handleServer(op, d, st.Source)
+		// Server-to-server frames never leak aliases: work-item payloads
+		// are copied at decode (they outlive frames in queues and leases).
+		err := s.handleServer(op, d, st.Source)
+		s.c.Release(data)
+		return err
 	}
 	return fmt.Errorf("adlb: server %d: unexpected tag %d from %d", s.idx, st.Tag, st.Source)
+}
+
+// retainsRequestFrame reports whether handling op stores slices that
+// alias the request frame, pinning it for the life of the data store.
+func retainsRequestFrame(op uint8) bool {
+	switch op {
+	case opStore, opStoreVector, opStoreChunk:
+		return true
+	}
+	return false
 }
 
 // ---------- client RPCs ----------
 
 func (s *server) respond(client int, build func(*encoder)) error {
-	e := &encoder{}
+	e := getEncoder()
 	build(e)
 	frame, err := e.frame()
 	if err != nil {
+		putEncoder(e)
 		return err
 	}
-	return s.c.Send(client, tagResponse, frame)
+	err = s.c.Send(client, tagResponse, frame)
+	putEncoder(e)
+	return err
 }
 
 func (s *server) respondError(client int, msg string) error {
@@ -348,7 +377,7 @@ func (s *server) handleRequest(op uint8, d *decoder, client int) error {
 		return s.handleUnique(d, client)
 	case opCreate, opStore, opRetrieve, opSubscribe, opInsert, opLookup,
 		opEnumerate, opWriteRefcount, opExists, opTypeOf,
-		opRetrieveBatch, opStoreVector:
+		opRetrieveBatch, opStoreVector, opRetrieveChunk, opStoreChunk:
 		if s.stats() != nil {
 			s.stats().DataOps.Add(1)
 		}
@@ -1025,10 +1054,126 @@ func (s *server) handleData(op uint8, d *decoder, client int) error {
 				return s.respondError(client, fmt.Sprintf("store_vector: container %d already has subscript %q", cid, subs[i]))
 			}
 		}
+		// One slab allocation for the whole batch instead of one datum
+		// allocation per element; the decoded value bytes alias the
+		// (retained) request frame, so nothing per-element is copied.
+		slab := make([]datum, len(vals))
 		for i, v := range vals {
 			id := s.nextID
 			s.nextID += int64(s.l.Servers)
-			s.store[id] = &datum{typ: v.Type, set: true, val: v}
+			slab[i] = datum{typ: v.Type, set: true, val: v}
+			s.store[id] = &slab[i]
+			dm.members[subs[i]] = id
+			dm.order = append(dm.order, subs[i])
+		}
+		return s.respond(client, func(e *encoder) { e.u8(stOK) })
+
+	case opRetrieveChunk:
+		// Columnar gather: like opRetrieveBatch, but the reply is one
+		// chunk frame — contiguous typed columns — instead of N per-value
+		// encodings. The scratch chunk is reused across RPCs (the server
+		// loop is single-goroutine), so a steady gather stream allocates
+		// nothing here.
+		n := int(d.u32())
+		if d.err == nil && (n < 0 || n > (len(d.buf)-d.off)/8) {
+			d.fail("retrieve_chunk ids")
+		}
+		if d.err != nil {
+			return d.err
+		}
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = d.i64()
+		}
+		if err := d.finish("retrieve_chunk request"); err != nil {
+			return err
+		}
+		s.scratch.Reset()
+		for _, id := range ids {
+			dm, ok := s.store[id]
+			if !ok {
+				return s.respondError(client, fmt.Sprintf("retrieve_chunk: no such id %d", id))
+			}
+			if !dm.set {
+				return s.respondError(client, fmt.Sprintf("retrieve_chunk: id %d is unset", id))
+			}
+			v := dm.val
+			switch v.Type {
+			case TypeInteger:
+				if err := s.scratch.AppendNumRaw(chunk.KindInt, v.Bytes); err != nil {
+					return s.respondError(client, fmt.Sprintf("retrieve_chunk: id %d: %v", id, err))
+				}
+			case TypeFloat:
+				if err := s.scratch.AppendNumRaw(chunk.KindFloat, v.Bytes); err != nil {
+					return s.respondError(client, fmt.Sprintf("retrieve_chunk: id %d: %v", id, err))
+				}
+			case TypeString:
+				s.scratch.AppendBytes(v.Bytes)
+			case TypeBlob:
+				s.scratch.AppendBlob(v.Bytes, v.Elem, v.Dims)
+			case TypeVoid:
+				s.scratch.AppendVoid()
+			default:
+				return s.respondError(client, fmt.Sprintf("retrieve_chunk: id %d is %v, which has no chunk form", id, dm.typ))
+			}
+		}
+		return s.respond(client, func(e *encoder) {
+			e.u8(stOK)
+			encodeChunk(e, s.scratch)
+		})
+
+	case opStoreChunk:
+		// Columnar scatter: the chunk-frame counterpart of opStoreVector.
+		// Row payloads alias the (retained) request frame and the datums
+		// come from one slab, so the per-element cost is the subscript
+		// string and its container map entry — no value copies, no boxes.
+		cid := d.i64()
+		c := decodeChunk(d)
+		if err := d.finish("store_chunk request"); err != nil {
+			return err
+		}
+		dm, ok := s.store[cid]
+		if !ok || dm.typ != TypeContainer {
+			return s.respondError(client, fmt.Sprintf("store_chunk: id %d is not a container", cid))
+		}
+		if dm.closed() {
+			return s.respondError(client, fmt.Sprintf("store_chunk: container %d is closed", cid))
+		}
+		n := c.Len()
+		base := len(dm.order)
+		subs := make([]string, n)
+		for i := range subs {
+			subs[i] = strconv.Itoa(base + i)
+			if _, dup := dm.members[subs[i]]; dup {
+				return s.respondError(client, fmt.Sprintf("store_chunk: container %d already has subscript %q", cid, subs[i]))
+			}
+		}
+		slab := make([]datum, n)
+		r := c.Reader()
+		for i := 0; i < n && r.Next(); i++ {
+			dmv := &slab[i]
+			dmv.set = true
+			switch r.Kind() {
+			case chunk.KindVoid:
+				dmv.typ = TypeVoid
+				dmv.val = Value{Type: TypeVoid}
+			case chunk.KindInt:
+				dmv.typ = TypeInteger
+				dmv.val = Value{Type: TypeInteger, Bytes: r.NumRaw()}
+			case chunk.KindFloat:
+				dmv.typ = TypeFloat
+				dmv.val = Value{Type: TypeFloat, Bytes: r.NumRaw()}
+			case chunk.KindString:
+				dmv.typ = TypeString
+				dmv.val = Value{Type: TypeString, Bytes: r.Bytes()}
+			case chunk.KindBlob:
+				m := r.Meta()
+				dmv.typ = TypeBlob
+				dmv.val = Value{Type: TypeBlob, Bytes: r.Bytes(), Dims: m.Dims, Elem: m.Elem}
+			}
+			id := s.nextID
+			s.nextID += int64(s.l.Servers)
+			s.store[id] = dmv
 			dm.members[subs[i]] = id
 			dm.order = append(dm.order, subs[i])
 		}
@@ -1084,17 +1229,20 @@ const notifyPriority = 1 << 20
 // race with a completing round. Counting empty steal chatter would instead
 // livelock detection — retries would keep blackening servers forever.
 func (s *server) sendServer(dest int, op uint8, counted bool, build func(*encoder)) error {
-	e := &encoder{}
+	e := getEncoder()
 	e.u8(op)
 	build(e)
 	frame, err := e.frame()
 	if err != nil {
+		putEncoder(e)
 		return err
 	}
 	if counted {
 		s.mcount++
 	}
-	return s.c.Send(dest, tagServer, frame)
+	err = s.c.Send(dest, tagServer, frame)
+	putEncoder(e)
+	return err
 }
 
 func (s *server) handleServer(op uint8, d *decoder, source int) error {
@@ -1290,9 +1438,11 @@ func (s *server) forwardToken() {
 // the local drain.
 func (s *server) terminate() {
 	for i := 1; i < s.l.Servers; i++ {
-		e := &encoder{}
+		e := getEncoder()
 		e.u8(sopShutdown)
-		if err := s.c.Send(s.l.ServerRank(i), tagServer, e.buf); err != nil {
+		err := s.c.Send(s.l.ServerRank(i), tagServer, e.buf)
+		putEncoder(e)
+		if err != nil {
 			s.c.World().Abort(err)
 			return
 		}

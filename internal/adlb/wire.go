@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // The ADLB wire format is a compact, hand-rolled binary encoding: the real
@@ -74,6 +75,32 @@ func (e *encoder) frame() ([]byte, error) {
 		return nil, e.err
 	}
 	return e.buf, nil
+}
+
+// encoderPool recycles encoder scratch across RPCs: the frame is copied
+// onto the transport by mpi.Send, so an encoder's buffer is dead the
+// moment Send returns and the very next build on the same rank can reuse
+// it. Ownership rule: getEncoder -> build -> frame() -> Send -> putEncoder;
+// an encoder must not be put back while its frame() result is still
+// referenced.
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// maxRetainedEncoder bounds the scratch a pooled encoder may keep; a
+// larger buffer (a one-off giant frame) is dropped rather than parked.
+const maxRetainedEncoder = 32 << 20
+
+func getEncoder() *encoder {
+	e := encoderPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	e.err = nil
+	return e
+}
+
+func putEncoder(e *encoder) {
+	if cap(e.buf) > maxRetainedEncoder {
+		return
+	}
+	encoderPool.Put(e)
 }
 
 type decoder struct {

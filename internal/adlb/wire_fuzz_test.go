@@ -3,6 +3,8 @@ package adlb
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/chunk"
 )
 
 // FuzzWireRoundTrip drives the wire codec two ways with the same input:
@@ -21,6 +23,13 @@ func FuzzWireRoundTrip(f *testing.F) {
 	e := &encoder{}
 	encodeValue(e, Value{Type: TypeBlob, Bytes: []byte{1, 2}, Dims: []int{2, 1}, Elem: 1})
 	f.Add(e.buf, int64(7), uint8(6))
+	e = &encoder{}
+	var seedChunk chunk.Chunk
+	seedChunk.AppendInt(1)
+	seedChunk.AppendString("s")
+	seedChunk.AppendBlob([]byte{3}, 2, []int{1})
+	encodeChunk(e, seedChunk)
+	f.Add(e.buf, int64(3), uint8(1))
 
 	f.Fuzz(func(t *testing.T, raw []byte, n int64, tag uint8) {
 		// 1. Decoder robustness: arbitrary input, all decode shapes.
@@ -32,6 +41,29 @@ func FuzzWireRoundTrip(f *testing.F) {
 				count := int(d.u32())
 				for i := 0; i < count && d.err == nil; i++ {
 					decodeValue(d)
+				}
+			},
+			func(d *decoder) {
+				// Chunk frames: a hostile frame must either decode to a
+				// chunk whose invariants hold (Validate ran inside
+				// decodeChunk) or set the decoder error — readers over the
+				// result must never index out of bounds.
+				c := decodeChunk(d)
+				if d.err == nil {
+					r := c.Reader()
+					for r.Next() {
+						switch r.Kind() {
+						case chunk.KindInt:
+							r.Int()
+						case chunk.KindFloat:
+							r.Float()
+						case chunk.KindString:
+							r.Bytes()
+						case chunk.KindBlob:
+							r.Bytes()
+							r.Meta()
+						}
+					}
 				}
 			},
 		} {
@@ -91,6 +123,52 @@ func FuzzWireRoundTrip(f *testing.F) {
 		d.boolean()
 		if err := d.finish("round trip"); err == nil {
 			t.Fatal("trailing garbage accepted")
+		}
+
+		// 3. Chunk frame round-trip identity: a chunk synthesized from the
+		// input must survive encode -> decode bit-exactly, and reject a
+		// trailing byte.
+		var ck chunk.Chunk
+		ck.AppendInt(n)
+		ck.AppendFloat(float64(n) / 3)
+		ck.AppendBytes(raw)
+		ck.AppendBlob(raw, tag, []int{len(raw), 1})
+		ck.AppendVoid()
+		e = &encoder{}
+		encodeChunk(e, ck)
+		frame, err = e.frame()
+		if err != nil {
+			t.Fatalf("chunk encode failed: %v", err)
+		}
+		d = &decoder{buf: frame}
+		got := decodeChunk(d)
+		if err := d.finish("chunk round trip"); err != nil {
+			t.Fatalf("clean chunk round trip rejected: %v", err)
+		}
+		if !bytes.Equal(got.Kinds, ck.Kinds) || !bytes.Equal(got.Num, ck.Num) ||
+			!bytes.Equal(got.Raw, ck.Raw) || len(got.Off) != len(ck.Off) ||
+			len(got.Meta) != len(ck.Meta) {
+			t.Fatalf("chunk round trip: got %+v want %+v", got, ck)
+		}
+		for i := range ck.Off {
+			if got.Off[i] != ck.Off[i] {
+				t.Fatalf("chunk offsets: got %v want %v", got.Off, ck.Off)
+			}
+		}
+		for i := range ck.Meta {
+			if got.Meta[i].Elem != ck.Meta[i].Elem || len(got.Meta[i].Dims) != len(ck.Meta[i].Dims) {
+				t.Fatalf("chunk meta: got %+v want %+v", got.Meta, ck.Meta)
+			}
+			for j := range ck.Meta[i].Dims {
+				if got.Meta[i].Dims[j] != ck.Meta[i].Dims[j] {
+					t.Fatalf("chunk dims: got %v want %v", got.Meta[i].Dims, ck.Meta[i].Dims)
+				}
+			}
+		}
+		d = &decoder{buf: append(append([]byte(nil), frame...), 0x5A)}
+		decodeChunk(d)
+		if err := d.finish("chunk round trip"); err == nil {
+			t.Fatal("chunk trailing garbage accepted")
 		}
 	})
 }

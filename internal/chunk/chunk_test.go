@@ -1,0 +1,133 @@
+package chunk
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestAppendAndReadMixedRows(t *testing.T) {
+	var c Chunk
+	c.AppendInt(-7)
+	c.AppendFloat(2.5)
+	c.AppendString("hi")
+	c.AppendBlob([]byte{1, 2, 3}, 7, []int{3, 1})
+	c.AppendVoid()
+	c.AppendBytes([]byte("raw"))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", c.Len())
+	}
+	if _, ok := c.AllKind(); ok {
+		t.Fatalf("mixed chunk reported homogeneous")
+	}
+
+	r := c.Reader()
+	if !r.Next() || r.Kind() != KindInt || r.Int() != -7 {
+		t.Fatalf("row 0: kind=%d", r.Kind())
+	}
+	if !bytes.Equal(r.NumRaw(), c.Num[:8]) {
+		t.Fatalf("NumRaw does not alias the Num column")
+	}
+	if !r.Next() || r.Kind() != KindFloat || r.Float() != 2.5 {
+		t.Fatalf("row 1: kind=%d", r.Kind())
+	}
+	if !r.Next() || r.Kind() != KindString || string(r.Bytes()) != "hi" {
+		t.Fatalf("row 2: kind=%d bytes=%q", r.Kind(), r.Bytes())
+	}
+	if !r.Next() || r.Kind() != KindBlob || !bytes.Equal(r.Bytes(), []byte{1, 2, 3}) {
+		t.Fatalf("row 3: kind=%d", r.Kind())
+	}
+	if m := r.Meta(); m.Elem != 7 || len(m.Dims) != 2 || m.Dims[0] != 3 || m.Dims[1] != 1 {
+		t.Fatalf("row 3 meta = %+v", r.Meta())
+	}
+	if !r.Next() || r.Kind() != KindVoid {
+		t.Fatalf("row 4: kind=%d", r.Kind())
+	}
+	if !r.Next() || r.Kind() != KindString || string(r.Bytes()) != "raw" {
+		t.Fatalf("row 5: kind=%d", r.Kind())
+	}
+	if r.Next() {
+		t.Fatalf("reader did not stop after last row")
+	}
+}
+
+func TestNumColumnMatchesPackedEncoding(t *testing.T) {
+	// The Num column must be bit-identical to the packed-blob payload:
+	// IEEE bits / two's complement, little-endian, 8 bytes per row.
+	var c Chunk
+	c.AppendFloat(1.5)
+	c.AppendFloat(math.Inf(-1))
+	k, ok := c.AllKind()
+	if !ok || k != KindFloat {
+		t.Fatalf("AllKind = %d,%v", k, ok)
+	}
+	want := make([]byte, 16)
+	putU64(want, math.Float64bits(1.5))
+	putU64(want[8:], math.Float64bits(math.Inf(-1)))
+	if !bytes.Equal(c.Num, want) {
+		t.Fatalf("Num column %x, want %x", c.Num, want)
+	}
+}
+
+func TestAppendNumRaw(t *testing.T) {
+	var c Chunk
+	if err := c.AppendNumRaw(KindInt, []byte{1, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Reader()
+	if !r.Next() || r.Int() != 1 {
+		t.Fatalf("raw-appended int decoded wrong")
+	}
+	if err := c.AppendNumRaw(KindString, make([]byte, 8)); err == nil {
+		t.Fatalf("AppendNumRaw accepted a non-numeric kind")
+	}
+	if err := c.AppendNumRaw(KindInt, make([]byte, 7)); err == nil {
+		t.Fatalf("AppendNumRaw accepted a short row")
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	var c Chunk
+	for i := 0; i < 100; i++ {
+		c.AppendFloat(float64(i))
+	}
+	c.AppendString("x")
+	numCap, rawCap := cap(c.Num), cap(c.Raw)
+	c.Reset()
+	if c.Len() != 0 || len(c.Num) != 0 || len(c.Off) != 0 || len(c.Meta) != 0 {
+		t.Fatalf("Reset left rows behind")
+	}
+	if cap(c.Num) != numCap || cap(c.Raw) != rawCap {
+		t.Fatalf("Reset dropped column capacity")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsCorruptChunks(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Chunk
+	}{
+		{"zero kind tag", Chunk{Kinds: []byte{0}}},
+		{"unknown kind", Chunk{Kinds: []byte{9}}},
+		{"short num", Chunk{Kinds: []byte{KindInt}, Num: make([]byte, 7)}},
+		{"extra num", Chunk{Kinds: []byte{KindVoid}, Num: make([]byte, 8)}},
+		{"offsets without vars", Chunk{Kinds: []byte{KindInt}, Num: make([]byte, 8), Off: []uint32{0}}},
+		{"missing offsets", Chunk{Kinds: []byte{KindString}, Raw: []byte("x")}},
+		{"first offset nonzero", Chunk{Kinds: []byte{KindString}, Raw: []byte("x"), Off: []uint32{1, 1}}},
+		{"decreasing offsets", Chunk{Kinds: []byte{KindString, KindString}, Raw: []byte("ab"), Off: []uint32{0, 2, 1}}},
+		{"offsets past raw", Chunk{Kinds: []byte{KindString}, Raw: []byte("x"), Off: []uint32{0, 9}}},
+		{"missing blob meta", Chunk{Kinds: []byte{KindBlob}, Raw: []byte("x"), Off: []uint32{0, 1}}},
+		{"extra blob meta", Chunk{Kinds: []byte{KindString}, Raw: []byte("x"), Off: []uint32{0, 1}, Meta: []BlobMeta{{}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt chunk", tc.name)
+		}
+	}
+}

@@ -1,176 +1,36 @@
 package jlite
 
 // Vec is the zero-copy binding of blob bulk data into the interpreter,
-// jlite's counterpart of pylite's SLIRP-style view: a typed packed
-// numeric vector whose elements decode on access from the backing bytes.
-// A blob argument enters Julia-like code as a Vec indexed 1-based —
-// length(), v[i], iteration, v[i] = x — and when a fragment returns the
-// Vec (or a mutated view of it), the backing bytes, the Fortran dims,
-// and the element kind travel back out bit-exact, without the elements
-// ever being rendered as text. Writes enforce the same exact-
-// representability guards as pylite's Vec: integer writes into integer
-// element kinds stay on an integer path (an int64 beyond 2^53 stores
-// exactly), and narrowing that would lose bits is an error, not a
-// silent truncation.
+// jlite's counterpart of pylite's SLIRP-style view and the same
+// implementation (internal/vecview): a typed packed numeric vector
+// whose elements decode on access from the backing bytes. A blob
+// argument enters Julia-like code as a Vec indexed 1-based — length(),
+// v[i], iteration, v[i] = x — and when a fragment returns the Vec (or a
+// mutated view of it), the backing bytes, the Fortran dims, and the
+// element kind travel back out bit-exact, without the elements ever
+// being rendered as text. Writes enforce exact-representability guards:
+// integer writes into integer element kinds stay on an integer path (an
+// int64 beyond 2^53 stores exactly), and narrowing that would lose bits
+// is an error, not a silent truncation.
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
 	"repro/internal/blob"
+	"repro/internal/vecview"
 )
 
 // Vec wraps a blob as a mutable typed vector value.
-type Vec struct {
-	B blob.Blob
+type Vec = vecview.Vec
+
+// vecProfile keeps vecview's error text in this package's voice: the
+// "jlite:" prefix and Julia type names, which vec_test pins.
+var vecProfile = &vecview.Profile{
+	Prefix:   "jlite",
+	ToFloat:  func(x any) (float64, error) { return toFloat(x) },
+	TypeName: func(x any) string { return typeName(x) },
 }
 
 // NewVec validates that the payload is a whole number of elements.
-func NewVec(b blob.Blob) (*Vec, error) {
-	if sz := b.Elem.Size(); len(b.Data)%sz != 0 {
-		return nil, fmt.Errorf("jlite: %d bytes is not a whole number of %s elements", len(b.Data), b.Elem)
-	}
-	return &Vec{B: b}, nil
-}
-
-// Len returns the element count.
-func (v *Vec) Len() int { return v.B.Count() }
-
-// At decodes element i (0-based; the language layer converts from
-// 1-based indices): float64 for float element kinds, int64 for integer
-// kinds and raw bytes.
-func (v *Vec) At(i int) Value {
-	switch v.B.Elem {
-	case blob.ElemF64:
-		return math.Float64frombits(binary.LittleEndian.Uint64(v.B.Data[8*i:]))
-	case blob.ElemF32:
-		return float64(math.Float32frombits(binary.LittleEndian.Uint32(v.B.Data[4*i:])))
-	case blob.ElemI32:
-		return int64(int32(binary.LittleEndian.Uint32(v.B.Data[4*i:])))
-	case blob.ElemI64:
-		return int64(binary.LittleEndian.Uint64(v.B.Data[8*i:]))
-	}
-	return int64(v.B.Data[i])
-}
-
-// SetAt writes element i in place (0-based), enforcing exact
-// representability under the vector's element kind. Integer inputs into
-// integer element kinds stay on an integer path: routing an int64
-// through float64 would silently round magnitudes beyond 2^53 — the
-// same guard pylite's Vec and the rlite decoder apply on their sides of
-// the boundary.
-func (v *Vec) SetAt(i int, x Value) error {
-	if b, ok := x.(bool); ok {
-		x = boolToInt(b)
-	}
-	if n, ok := x.(int64); ok {
-		switch v.B.Elem {
-		case blob.ElemI64:
-			binary.LittleEndian.PutUint64(v.B.Data[8*i:], uint64(n))
-			return nil
-		case blob.ElemI32:
-			m := int32(n)
-			if int64(m) != n {
-				return fmt.Errorf("jlite: %d is not representable as int32", n)
-			}
-			binary.LittleEndian.PutUint32(v.B.Data[4*i:], uint32(m))
-			return nil
-		case blob.ElemBytes:
-			if n < 0 || n > 255 {
-				return fmt.Errorf("jlite: %d is not representable as a byte", n)
-			}
-			v.B.Data[i] = byte(n)
-			return nil
-		}
-		// Float element kinds: the integer must be exactly representable
-		// in float64 before the float path may narrow it further. 2^63
-		// is the one round-trip boundary int64(f) cannot probe safely.
-		const twoTo63 = float64(9223372036854775808)
-		f := float64(n)
-		if f == twoTo63 || int64(f) != n {
-			return fmt.Errorf("jlite: %d is not representable as %s", n, v.B.Elem)
-		}
-		return v.setFloat(i, f)
-	}
-	f, err := toFloat(x)
-	if err != nil {
-		return err
-	}
-	return v.setFloat(i, f)
-}
-
-func (v *Vec) setFloat(i int, f float64) error {
-	switch v.B.Elem {
-	case blob.ElemF64:
-		binary.LittleEndian.PutUint64(v.B.Data[8*i:], math.Float64bits(f))
-		return nil
-	case blob.ElemF32:
-		n := float32(f)
-		if float64(n) != f {
-			return fmt.Errorf("jlite: %v is not representable as float32", f)
-		}
-		binary.LittleEndian.PutUint32(v.B.Data[4*i:], math.Float32bits(n))
-		return nil
-	case blob.ElemI32:
-		n := int32(f)
-		if float64(n) != f {
-			return fmt.Errorf("jlite: %v is not representable as int32", f)
-		}
-		binary.LittleEndian.PutUint32(v.B.Data[4*i:], uint32(n))
-		return nil
-	case blob.ElemI64:
-		n := int64(f)
-		if float64(n) != f {
-			return fmt.Errorf("jlite: %v is not representable as int64", f)
-		}
-		binary.LittleEndian.PutUint64(v.B.Data[8*i:], uint64(n))
-		return nil
-	}
-	n := byte(f)
-	if float64(n) != f {
-		return fmt.Errorf("jlite: %v is not representable as a byte", f)
-	}
-	v.B.Data[i] = n
-	return nil
-}
-
-// Sum adds all elements without boxing: int64 for integer element
-// kinds, float64 for float kinds.
-func (v *Vec) Sum() Value {
-	n := v.Len()
-	switch v.B.Elem {
-	case blob.ElemF64:
-		s := 0.0
-		for i := 0; i < n; i++ {
-			s += math.Float64frombits(binary.LittleEndian.Uint64(v.B.Data[8*i:]))
-		}
-		return s
-	case blob.ElemF32:
-		s := 0.0
-		for i := 0; i < n; i++ {
-			s += float64(math.Float32frombits(binary.LittleEndian.Uint32(v.B.Data[4*i:])))
-		}
-		return s
-	case blob.ElemI32:
-		var s int64
-		for i := 0; i < n; i++ {
-			s += int64(int32(binary.LittleEndian.Uint32(v.B.Data[4*i:])))
-		}
-		return s
-	case blob.ElemI64:
-		var s int64
-		for i := 0; i < n; i++ {
-			s += int64(binary.LittleEndian.Uint64(v.B.Data[8*i:]))
-		}
-		return s
-	}
-	var s int64
-	for _, c := range v.B.Data {
-		s += int64(c)
-	}
-	return s
-}
+func NewVec(b blob.Blob) (*Vec, error) { return vecview.New(vecProfile, b) }
 
 // PackValues packs a fresh numeric vector into a blob: all-integer
 // vectors become an int64 vector — on an exact integer path, so values
@@ -179,53 +39,12 @@ func (v *Vec) Sum() Value {
 // zeros(n), a broadcast result) leaves as bulk data when no argument
 // prototype constrains the element kind.
 func PackValues(items []Value) (blob.Blob, error) {
-	allInt := true
-	xs := make([]float64, len(items))
-	ns := make([]int64, len(items))
-	for i, it := range items {
-		switch n := it.(type) {
-		case int64:
-			ns[i] = n
-			xs[i] = float64(n)
-		case bool:
-			if n {
-				ns[i], xs[i] = 1, 1
-			}
-		case float64:
-			allInt = false
-			xs[i] = n
-		default:
-			return blob.Blob{}, fmt.Errorf("jlite: cannot pack non-numeric %s into a blob", typeName(it))
-		}
-	}
-	if allInt {
-		return blob.FromInt64s(ns), nil
-	}
-	return blob.FromFloat64s(xs), nil
+	return vecview.PackValues(vecProfile, items)
 }
 
 // FloatsExact converts fresh-vector elements to float64 for
 // blob.PackLike repacking, rejecting int64 values a float64 cannot hold
-// exactly (the prototype path narrows through float64, and a rounded
-// value would repack "bit-exact" to the wrong integer — the same guard
-// rlite applies when decoding int64 blobs).
+// exactly.
 func FloatsExact(items []Value) ([]float64, error) {
-	out := make([]float64, len(items))
-	for i, it := range items {
-		if n, ok := it.(int64); ok {
-			const twoTo63 = float64(9223372036854775808)
-			f := float64(n)
-			if f == twoTo63 || int64(f) != n {
-				return nil, fmt.Errorf("jlite: int64 value %d is not exactly representable as a float64", n)
-			}
-			out[i] = f
-			continue
-		}
-		f, err := toFloat(it)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = f
-	}
-	return out, nil
+	return vecview.FloatsExact(vecProfile, items)
 }

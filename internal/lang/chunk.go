@@ -1,0 +1,76 @@
+package lang
+
+// The engine layer's columnar batch type is the shared chunk
+// representation: defining it once (internal/chunk) and aliasing it here
+// lets the ADLB wire layer, the turbine data plane, and this package
+// move the same column buffers without a kind-tag remapping pass at each
+// boundary.
+
+import (
+	"fmt"
+
+	"repro/internal/blob"
+	"repro/internal/chunk"
+)
+
+// Chunk is a columnar batch of values: one contiguous typed buffer per
+// element class plus a per-row kind tag (see internal/chunk for the
+// layout). It is how the batched data plane moves container-scale value
+// traffic without boxing each element.
+type Chunk = chunk.Chunk
+
+// ValuesToChunk packs typed values into a fresh chunk. Blob and string
+// payloads are referenced, not copied.
+func ValuesToChunk(vals []Value) (Chunk, error) {
+	var c Chunk
+	for i, v := range vals {
+		switch v.Kind() {
+		case KindInt:
+			n, _ := v.AsInt()
+			c.AppendInt(n)
+		case KindFloat:
+			f, _ := v.AsFloat()
+			c.AppendFloat(f)
+		case KindString:
+			c.AppendString(v.Render())
+		case KindBlob:
+			b := v.AsBlob()
+			c.AppendBlob(b.Data, uint8(b.Elem), b.Dims)
+		default:
+			return c, fmt.Errorf("lang: value %d has no chunk form", i)
+		}
+	}
+	return c, nil
+}
+
+// ChunkToValues unboxes a chunk into typed values, the inverse of
+// ValuesToChunk. copyBytes controls whether string and blob payloads are
+// copied out of the chunk's columns: pass true when the values outlive
+// the chunk's backing frame (the copy-on-escape rule), false when the
+// caller finishes with them inside the frame's validity window.
+func ChunkToValues(c Chunk, copyBytes bool) ([]Value, error) {
+	out := make([]Value, 0, c.Len())
+	r := c.Reader()
+	for r.Next() {
+		switch r.Kind() {
+		case chunk.KindVoid:
+			out = append(out, Str(""))
+		case chunk.KindInt:
+			out = append(out, Int(r.Int()))
+		case chunk.KindFloat:
+			out = append(out, Float(r.Float()))
+		case chunk.KindString:
+			out = append(out, Str(string(r.Bytes())))
+		case chunk.KindBlob:
+			m := r.Meta()
+			data := r.Bytes()
+			if copyBytes {
+				data = append([]byte(nil), data...)
+			}
+			out = append(out, BlobOf(blob.Blob{Data: data, Dims: m.Dims, Elem: blob.Elem(m.Elem)}))
+		default:
+			return nil, fmt.Errorf("lang: chunk row %d has unknown kind %d", len(out), r.Kind())
+		}
+	}
+	return out, nil
+}

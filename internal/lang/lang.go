@@ -255,6 +255,19 @@ type DataPlane interface {
 	// write refcount is untouched; the caller drops its reference when
 	// construction is complete.
 	StoreVector(container int64, td string, elems []Value) error
+	// LoadChunk retrieves many closed TDs as one columnar Chunk (row i
+	// is ids[i]): the allocation-free counterpart of LoadBatch — a
+	// million-float gather is two column buffers, not a million boxed
+	// values. Over ADLB the chunk's columns may alias the RPC response
+	// frame, valid until the next data-plane call; callers either finish
+	// with the rows before then (gather -> pack -> store, one contiguous
+	// window) or copy rows out.
+	LoadChunk(ids []int64) (Chunk, error)
+	// StoreChunk appends a columnar chunk to a container TD in a single
+	// batched store, the Chunk counterpart of StoreVector: one closed
+	// member TD per row at consecutive integer subscripts. The rows'
+	// kinds choose the member types (int row -> integer TD, etc).
+	StoreChunk(container int64, c Chunk) error
 }
 
 // Install registers the Tcl dispatch commands for one language on one
@@ -328,12 +341,19 @@ func Install(in *tcl.Interp, reg Registration, h Host, policy Policy, counters *
 			}
 			ids[i] = id
 		}
-		// One batched load for the whole argument vector: over ADLB this
-		// is one RPC per owning server, not one per argument.
-		vals, err := dp.LoadBatch(ids)
+		// One columnar load for the whole argument vector: over ADLB this
+		// is one RPC per owning server, not one per argument. Payloads are
+		// copied out of the chunk (copyBytes=true) because engines may
+		// retain argv bindings in interpreter state past the chunk's
+		// backing frame's validity window.
+		ck, err := dp.LoadChunk(ids)
 		if err != nil {
 			// Data-plane transfer failures are environmental, not a defect
 			// of the fragment: retriable.
+			return "", &TaskError{Engine: reg.Name, Code: "dataplane", Retriable: true, Err: err}
+		}
+		vals, err := ChunkToValues(ck, true)
+		if err != nil {
 			return "", &TaskError{Engine: reg.Name, Code: "dataplane", Retriable: true, Err: err}
 		}
 		c, err := buildCall(reg, vals, wantOf(outtype))

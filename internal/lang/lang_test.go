@@ -347,6 +347,22 @@ func (p *memPlane) LoadBatch(ids []int64) ([]Value, error) {
 	return out, nil
 }
 
+func (p *memPlane) LoadChunk(ids []int64) (Chunk, error) {
+	vals, err := p.LoadBatch(ids)
+	if err != nil {
+		return Chunk{}, err
+	}
+	return ValuesToChunk(vals)
+}
+
+func (p *memPlane) StoreChunk(container int64, c Chunk) error {
+	elems, err := ChunkToValues(c, true)
+	if err != nil {
+		return err
+	}
+	return p.StoreVector(container, "chunk", elems)
+}
+
 func (p *memPlane) StoreAs(id int64, td string, v Value) error {
 	p.vals[id] = v
 	p.tds[id] = td

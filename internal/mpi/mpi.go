@@ -38,6 +38,76 @@ type Status struct {
 	Count  int // payload length in bytes
 }
 
+// framePool recycles the buffers Send copies payloads into. Receivers own
+// the buffer a Recv returns; a receiver that has fully consumed one may
+// hand it back via Release, and the next Send of a fitting size reuses it
+// instead of allocating. Reuse is LIFO (the most recently released fitting
+// buffer is taken first), which keeps the reuse order deterministic for
+// tests that pin the aliasing contract of zero-copy consumers.
+type framePool struct {
+	mu    sync.Mutex
+	free  [][]byte
+	bytes int // sum of caps of free buffers
+	gets  uint64
+	hits  uint64
+	puts  uint64
+}
+
+const (
+	// minFrameCap rounds small sends up so tiny request frames recycle
+	// for each other instead of fragmenting the pool by exact size.
+	minFrameCap = 256
+	// framePoolBytes bounds the total memory parked in the pool; buffers
+	// released beyond the budget are dropped to the garbage collector.
+	framePoolBytes = 64 << 20
+	// framePoolSlots bounds the free-list length so get's fit scan stays
+	// cheap.
+	framePoolSlots = 64
+)
+
+// get returns a buffer of length n, reusing a released frame when one is
+// large enough.
+func (p *framePool) get(n int) []byte {
+	p.mu.Lock()
+	p.gets++
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			buf := p.free[i][:n]
+			p.bytes -= cap(buf)
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.hits++
+			p.mu.Unlock()
+			return buf
+		}
+	}
+	p.mu.Unlock()
+	if n < minFrameCap {
+		return make([]byte, n, minFrameCap)
+	}
+	return make([]byte, n)
+}
+
+// put parks a buffer for reuse, dropping it if the pool is full. The
+// caller must not touch buf afterwards: the next Send may own it.
+func (p *framePool) put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.bytes+cap(buf) <= framePoolBytes && len(p.free) < framePoolSlots {
+		p.free = append(p.free, buf)
+		p.bytes += cap(buf)
+		p.puts++
+	}
+	p.mu.Unlock()
+}
+
+func (p *framePool) stats() (gets, hits, puts uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.hits, p.puts
+}
+
 type envelope struct {
 	source int
 	tag    int
@@ -72,6 +142,7 @@ type World struct {
 	seqMu   sync.Mutex
 	start   time.Time
 	barrier *barrierState
+	frames  framePool
 
 	abortOnce sync.Once
 	abortErr  error
@@ -212,7 +283,9 @@ func (c *Comm) World() *World { return c.world }
 
 // Send delivers data to rank dest with the given tag. The send is eager
 // and buffered: it never blocks. The payload is copied, so the caller may
-// reuse the slice immediately.
+// reuse the slice immediately. The copy lands in a buffer drawn from the
+// world's frame pool; ownership of it transfers to the receiver, which
+// may return it via Release once every slice aliasing it is dead.
 func (c *Comm) Send(dest, tag int, data []byte) error {
 	if dest < 0 || dest >= c.world.size {
 		return fmt.Errorf("mpi: send from rank %d to invalid rank %d", c.rank, dest)
@@ -220,7 +293,7 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 	if tag < 0 {
 		return fmt.Errorf("mpi: send with negative tag %d (tags must be >= 0)", tag)
 	}
-	buf := make([]byte, len(data))
+	buf := c.world.frames.get(len(data))
 	copy(buf, data)
 	env := envelope{source: c.rank, tag: tag, seq: c.world.nextSeq(), data: buf}
 	mb := c.world.boxes[dest]
@@ -234,6 +307,19 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 	mb.mu.Unlock()
 	return nil
 }
+
+// Release returns a buffer obtained from Recv to the world's frame pool
+// so a later Send can reuse it. The caller gives up ownership: after
+// Release, any slice still aliasing buf may be overwritten by unrelated
+// traffic. Releasing is optional — unreleased frames are simply garbage
+// collected — and a buffer must be released at most once.
+func (c *Comm) Release(buf []byte) { c.world.frames.put(buf) }
+
+// FramePoolStats reports the frame pool's counters: buffers requested by
+// Send, requests satisfied by reuse, and buffers accepted by Release.
+// Tests of zero-copy consumers use these to observe that reuse actually
+// occurs (hits > 0), making the aliasing contract load-bearing.
+func (w *World) FramePoolStats() (gets, hits, puts uint64) { return w.frames.stats() }
 
 // match returns the index in q of the first message matching (source, tag)
 // in arrival order, or -1.

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/memo"
+	"repro/internal/vecview"
 )
 
 // Value is a pylite runtime value: nil (None), bool, int64, float64,
@@ -447,7 +448,7 @@ func iterate(v Value) ([]Value, error) {
 	case *List:
 		return append([]Value(nil), s.Items...), nil
 	case *Vec:
-		return s.items(), nil
+		return vecview.Items[Value](s), nil
 	case string:
 		out := make([]Value, 0, len(s))
 		for _, r := range s {

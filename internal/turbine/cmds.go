@@ -6,9 +6,20 @@ import (
 
 	"repro/internal/adlb"
 	"repro/internal/blob"
+	"repro/internal/chunk"
 	"repro/internal/lang"
 	"repro/internal/tcl"
 )
+
+// fillKinds builds a chunk kind column of n identical tags, for handing a
+// packed numeric payload to StoreChunk as its Num column verbatim.
+func fillKinds(n int, k byte) []byte {
+	ks := make([]byte, n)
+	for i := range ks {
+		ks[i] = k
+	}
+	return ks
+}
 
 // registerDataCmds installs the turbine::* data-store commands available
 // on every client rank (engines and workers).
@@ -409,13 +420,28 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 			}
 		}
 		dp := env.DataPlane()
-		vals, err := dp.LoadBatch(ids)
+		// Columnar gather: the members arrive as one chunk per owning
+		// server. A homogeneous numeric chunk's Num column is already the
+		// packed payload — the blob below aliases it (which may alias the
+		// RPC response frame), and the StoreAs encodes it onto the wire
+		// before the frame's release point, so the whole gather moves the
+		// element data without one per-element box or copy.
+		ck, err := dp.LoadChunk(ids)
 		if err != nil {
 			return "", err
 		}
 		var b blob.Blob
+		k, homogeneous := ck.AllKind()
 		switch elemtype {
 		case "float":
+			if homogeneous && k == chunk.KindFloat {
+				b = blob.Blob{Data: ck.Num, Elem: blob.ElemF64}
+				break
+			}
+			vals, err := lang.ChunkToValues(ck, false)
+			if err != nil {
+				return "", err
+			}
 			xs := make([]float64, len(vals))
 			for i, v := range vals {
 				if xs[i], err = v.AsFloat(); err != nil {
@@ -424,6 +450,14 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 			}
 			b = blob.FromFloat64s(xs)
 		case "integer":
+			if homogeneous && k == chunk.KindInt {
+				b = blob.Blob{Data: ck.Num, Elem: blob.ElemI64}
+				break
+			}
+			vals, err := lang.ChunkToValues(ck, false)
+			if err != nil {
+				return "", err
+			}
 			ns := make([]int64, len(vals))
 			for i, v := range vals {
 				if ns[i], err = v.AsInt(); err != nil {
@@ -434,7 +468,7 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 		default:
 			return "", fmt.Errorf("turbine: vpack: cannot pack %q elements", elemtype)
 		}
-		b.Dims = []int{len(vals)}
+		b.Dims = []int{ck.Len()}
 		return "", dp.StoreAs(out, "blob", lang.BlobOf(b))
 	})
 	reg("vunpack", func(in *tcl.Interp, args []string) (string, error) {
@@ -451,44 +485,62 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 			return "", err
 		}
 		dp := env.DataPlane()
-		v, err := dp.Load(bid)
+		// Columnar scatter: load the blob as a chunk row (its payload
+		// aliases the response frame — no copy), and when the element
+		// width already matches the stored encoding hand the payload
+		// straight to StoreChunk as the Num column. The store RPC encodes
+		// onto the wire before the loaded frame's release point, so the
+		// scatter moves the data without boxing per element.
+		lk, err := dp.LoadChunk([]int64{bid})
 		if err != nil {
 			return "", err
 		}
+		lv, err := lang.ChunkToValues(lk, false)
+		if err != nil {
+			return "", err
+		}
+		v := lv[0]
 		if v.Kind() != lang.KindBlob {
 			return "", fmt.Errorf("turbine: vunpack: id %d holds %s, not a blob", bid, v.Kind())
 		}
 		bl := v.AsBlob()
-		var elems []lang.Value
+		var sc lang.Chunk
 		switch elemtype {
 		case "float":
+			if bl.Elem == blob.ElemF64 && len(bl.Data)%8 == 0 {
+				sc.Kinds = fillKinds(len(bl.Data)/8, chunk.KindFloat)
+				sc.Num = bl.Data
+				break
+			}
 			xs, err := bl.Floats()
 			if err != nil {
 				return "", fmt.Errorf("turbine: vunpack: %w", err)
 			}
-			elems = make([]lang.Value, len(xs))
-			for i, x := range xs {
-				elems[i] = lang.Float(x)
+			for _, x := range xs {
+				sc.AppendFloat(x)
 			}
 		case "integer":
 			switch bl.Elem {
 			case blob.ElemI64:
+				if len(bl.Data)%8 == 0 {
+					sc.Kinds = fillKinds(len(bl.Data)/8, chunk.KindInt)
+					sc.Num = bl.Data
+					break
+				}
 				ns, err := blob.ToInt64s(blob.Blob{Data: bl.Data})
 				if err != nil {
 					return "", fmt.Errorf("turbine: vunpack: %w", err)
 				}
-				elems = make([]lang.Value, len(ns))
-				for i, n := range ns {
-					elems[i] = lang.Int(n)
+				for _, n := range ns {
+					sc.AppendInt(n)
 				}
 			case blob.ElemI32:
 				ns, err := blob.ToInt32s(blob.Blob{Data: bl.Data})
 				if err != nil {
 					return "", fmt.Errorf("turbine: vunpack: %w", err)
 				}
-				elems = make([]lang.Value, len(ns))
-				for i, n := range ns {
-					elems[i] = lang.Int(int64(n))
+				for _, n := range ns {
+					sc.AppendInt(int64(n))
 				}
 			default:
 				// Float-kind (or raw) payload into an int array: every
@@ -497,19 +549,18 @@ func registerDataCmds(in *tcl.Interp, env *Env) {
 				if err != nil {
 					return "", fmt.Errorf("turbine: vunpack: %w", err)
 				}
-				elems = make([]lang.Value, len(xs))
 				for i, x := range xs {
 					n := int64(x)
 					if float64(n) != x {
 						return "", fmt.Errorf("turbine: vunpack: element %d (%v) is not an integer", i, x)
 					}
-					elems[i] = lang.Int(n)
+					sc.AppendInt(n)
 				}
 			}
 		default:
 			return "", fmt.Errorf("turbine: vunpack: cannot unpack into %q elements", elemtype)
 		}
-		return "", dp.StoreVector(out, elemtype, elems)
+		return "", dp.StoreChunk(out, sc)
 	})
 
 	// Literal helpers collapse allocate+store for compiled constants.

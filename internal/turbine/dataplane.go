@@ -43,7 +43,13 @@ func fromStore(v adlb.Value) (lang.Value, error) {
 		if err != nil {
 			return lang.Value{}, err
 		}
-		return lang.BlobOf(blob.Blob{Data: data, Dims: v.Dims, Elem: blob.Elem(v.Elem)}), nil
+		// Copy-on-escape: retrieved payloads alias the RPC response frame
+		// (the Client zero-copy contract) and values loaded here outlive
+		// it — engines may retain argv bindings in interpreter state
+		// across later data-plane calls. Bulk paths that control the
+		// whole load->store window (vpack/vunpack) stay zero-copy via
+		// LoadChunk/StoreChunk instead.
+		return lang.BlobOf(blob.Blob{Data: append([]byte(nil), data...), Dims: v.Dims, Elem: blob.Elem(v.Elem)}), nil
 	case adlb.TypeVoid:
 		return lang.Str(""), nil
 	}
@@ -124,6 +130,24 @@ func (p dataPlane) StoreAs(id int64, td string, v lang.Value) error {
 		return err
 	}
 	return p.cl.Store(id, sv)
+}
+
+// LoadChunk retrieves many closed TDs as one columnar chunk via the ADLB
+// chunk gather: one RPC per owning server, and on the single-owner fast
+// path the returned columns alias the response frame — valid until the
+// next data-plane call, per the Client zero-copy contract.
+func (p dataPlane) LoadChunk(ids []int64) (lang.Chunk, error) {
+	return p.cl.RetrieveChunk(ids)
+}
+
+// StoreChunk appends a columnar chunk to a container TD in one RPC to
+// the container's owner, the chunk counterpart of StoreVector. The
+// caller keeps (and eventually drops) the container's write reference.
+func (p dataPlane) StoreChunk(container int64, c lang.Chunk) error {
+	if err := faultinject.At(faultinject.SiteDataPlaneStore); err != nil {
+		return err
+	}
+	return p.cl.StoreChunk(container, c)
 }
 
 // StoreVector appends elements of the named turbine type to a container
