@@ -1,0 +1,122 @@
+// Command swiftd runs the long-lived multi-tenant interlanguage service:
+// one warm ADLB world held resident, accepting Swift program submissions
+// and typed fragment calls over HTTP/JSON from many tenants, with
+// byte-budgeted compile caches and per-tenant admission control.
+//
+// Usage:
+//
+//	swiftd [-addr host:port] [-w workers] [-s servers] [-pool engines]
+//	       [-progcache MiB] [-timeout d] [-tenant name:prio:conc:queue]...
+//
+// Each -tenant flag declares one admission class, e.g.
+//
+//	swiftd -tenant interactive:10:2:4 -tenant batch:0:8:64
+//
+// gives "interactive" priority 10 with 2 concurrent slots and a queue of
+// 4, and "batch" priority 0 with 8 slots and a queue of 64. Unlisted
+// tenants get the defaults. SIGINT/SIGTERM shut the service down
+// gracefully (HTTP drained, warm world quiesced) and print a final
+// /statsz snapshot to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// tenantFlags collects repeated -tenant name:prio:conc:queue flags.
+type tenantFlags map[string]serve.TenantConfig
+
+func (t tenantFlags) String() string {
+	var parts []string
+	for name, cfg := range t {
+		parts = append(parts, fmt.Sprintf("%s:%d:%d:%d",
+			name, cfg.Priority, cfg.MaxConcurrent, cfg.MaxQueue))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantFlags) Set(s string) error {
+	f := strings.Split(s, ":")
+	if len(f) != 4 || f[0] == "" {
+		return fmt.Errorf("want name:priority:concurrent:queue, got %q", s)
+	}
+	var n [3]int
+	for i, v := range f[1:] {
+		x, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("tenant %s field %d: %v", f[0], i+1, err)
+		}
+		n[i] = x
+	}
+	t[f[0]] = serve.TenantConfig{Priority: n[0], MaxConcurrent: n[1], MaxQueue: n[2]}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8414", "HTTP listen address")
+	workers := flag.Int("w", 2, "fragment worker ranks in the warm world")
+	servers := flag.Int("s", 1, "ADLB server ranks in the warm world")
+	pool := flag.Int("pool", 0, "resident engines per worker pool (0 = default)")
+	progCache := flag.Int64("progcache", 8, "compiled-program cache budget, MiB")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	tenants := tenantFlags{}
+	flag.Var(tenants, "tenant", "admission class as name:priority:concurrent:queue (repeatable)")
+	flag.Parse()
+
+	s, err := serve.New(serve.Config{
+		Workers:           *workers,
+		Servers:           *servers,
+		PoolEngines:       *pool,
+		ProgramCacheBytes: *progCache << 20,
+		RequestTimeout:    *timeout,
+		Tenants:           tenants,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "swiftd: serving on http://%s (%d workers, %d servers)\n",
+		ln.Addr(), *workers, *servers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "swiftd: shutting down")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "swiftd: http shutdown:", err)
+	}
+	<-httpDone
+	snap := s.Stats()
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "swiftd: world shutdown:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -254,6 +254,42 @@
 // Result.TaskRetries/TaskFailures, adlb Stats.Requeued/Poisoned/
 // LeasesIssued/LeasesReclaimed, and the UnfilledTDs gauge.
 //
+// # Serving model
+//
+// Where everything above runs one program per world and tears the world
+// down, internal/serve (the swiftd command) keeps one warm ADLB world
+// resident and serves many tenants over HTTP/JSON: whole Swift program
+// submissions and typed single-fragment calls, with base64 blobs
+// carrying dims and element type on the wire. Three client roles share
+// the warm world — a pinned gateway that submits fragment tasks, a
+// pinned collector that routes results back to waiting requests, and
+// leased-Get fragment workers, each owning a lang.Pool of per-tenant
+// interpreters. The pins (adlb.Client.Pin) hold the otherwise-quiescent
+// world open; shutdown releases them in order and lets ordinary Safra
+// termination drain the workers.
+//
+// Warmth is byte-budgeted, not unbounded: compiled programs live in a
+// memo.Budget LRU keyed by source hash, and the python/julia engines'
+// parse caches are the same Budget type, with hits, misses, and bytes
+// evicted surfaced per layer at /statsz. Isolation is enforced at
+// tenant boundaries: an engine reused across tenants is Reset (state
+// wiped, parse caches kept), sessions are sticky to a worker rank so
+// interpreter state survives within a (tenant, session), and the
+// cross-engine conformance dialects drive a chaos suite proving no
+// tenant ever observes another's globals — under concurrency and under
+// injected interpreter panics.
+//
+// Admission control is per tenant: a concurrency bound, a wait queue
+// behind it, and a priority that orders the tenant's fragments in the
+// ADLB queues (core.Config.TaskPriority carries it into program runs).
+// Arrivals past both bounds get a typed OverloadError — HTTP 429 with
+// Retry-After — so a saturated tenant backs up its own queue while an
+// interactive tenant's median latency stays test-enforced under
+// internal/serve's documented bound. BenchmarkServeConcurrentClients
+// pins the reason the service exists: a repeat fragment on the warm
+// world against a cold per-request world, with a 5x floor enforced by
+// TestWarmServeSpeedupOverColdWorlds.
+//
 // Benchmarks: `go test -bench=BenchmarkTclEval -run=NONE .` measures the
 // interpreter alone; BenchmarkTypedFragment compares a typed blob
 // argument against the old render-into-source route for a 1e5-element

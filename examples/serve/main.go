@@ -1,0 +1,180 @@
+// Serve: a scripted end-to-end client for swiftd, the long-lived
+// multi-tenant interlanguage service. It starts the service in-process,
+// then drives it purely over the HTTP/JSON API the way an external
+// client would:
+//
+//   - submits one Swift program twice (the second hit comes from the
+//     byte-budgeted compiled-program cache),
+//   - makes typed fragment calls from two tenants, including a sticky
+//     session whose interpreter state survives across calls,
+//   - verifies tenant isolation (tenant B cannot read tenant A's
+//     globals; the breach attempt maps to HTTP 422),
+//   - reads /statsz and cross-checks the multi-layer counters,
+//   - shuts down gracefully and verifies the warm world drains.
+//
+// Every step is checked; any mismatch exits nonzero, which makes this
+// the CI smoke artifact for the serving path.
+//
+// Run: go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve example: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func post(base, path string, body, out any) (int, string) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	raw.ReadFrom(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			fatalf("POST %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func main() {
+	s, err := serve.New(serve.Config{
+		Workers: 2,
+		Tenants: map[string]serve.TenantConfig{
+			"interactive": {Priority: 10, MaxConcurrent: 2, MaxQueue: 4},
+			"batch":       {Priority: 0, MaxConcurrent: 4, MaxQueue: 16},
+		},
+	})
+	if err != nil {
+		fatalf("start: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("swiftd serving at %s\n", base)
+
+	// 1. A whole Swift program, twice: compile once, hit the cache once.
+	prog := map[string]string{
+		"tenant": "batch",
+		"source": `printf("swift computes %i; python says %s", 6 * 7, python("v = 'embedded'", "v"));`,
+	}
+	var run struct {
+		Stdout   string `json:"stdout"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if code, body := post(base, "/api/v1/run", prog, &run); code != http.StatusOK {
+		fatalf("program run: %d %s", code, body)
+	}
+	if run.CacheHit {
+		fatalf("first submission reported a cache hit")
+	}
+	fmt.Printf("program (cold): %s", run.Stdout)
+	if code, body := post(base, "/api/v1/run", prog, &run); code != http.StatusOK {
+		fatalf("program rerun: %d %s", code, body)
+	}
+	if !run.CacheHit {
+		fatalf("second submission missed the program cache")
+	}
+	fmt.Println("program (warm): compiled-program cache hit")
+
+	// 2. Typed fragment calls from two tenants; "interactive" holds a
+	// sticky session whose interpreter accumulates state call to call.
+	var fr serve.FragmentResult
+	if code, body := post(base, "/api/v1/frag", serve.FragmentRequest{
+		Tenant: "interactive", Session: "repl-1", Lang: "python",
+		Code: "total = 40", Expr: "total", Want: "int",
+	}, &fr); code != http.StatusOK {
+		fatalf("session init: %d %s", code, body)
+	}
+	if code, body := post(base, "/api/v1/frag", serve.FragmentRequest{
+		Tenant: "interactive", Session: "repl-1", Lang: "python",
+		Code: "total = total + 2", Expr: "total", Want: "int",
+	}, &fr); code != http.StatusOK {
+		fatalf("session increment: %d %s", code, body)
+	}
+	if fr.Value.Int != 42 {
+		fatalf("sticky session lost state: %+v", fr.Value)
+	}
+	fmt.Printf("interactive session: total = %d across two calls\n", fr.Value.Int)
+
+	if code, body := post(base, "/api/v1/frag", serve.FragmentRequest{
+		Tenant: "batch", Lang: "julia", Code: "x = 6 * 7", Expr: "x", Want: "int",
+	}, &fr); code != http.StatusOK {
+		fatalf("batch julia fragment: %d %s", code, body)
+	}
+	if fr.Value.Int != 42 {
+		fatalf("julia fragment = %+v", fr.Value)
+	}
+	fmt.Printf("batch fragment: julia says %d\n", fr.Value.Int)
+
+	// 3. Isolation: "batch" probing for interactive's session global must
+	// see an undefined variable (HTTP 422), never the value.
+	if code, body := post(base, "/api/v1/frag", serve.FragmentRequest{
+		Tenant: "batch", Lang: "python", Expr: "total", Want: "int",
+	}, nil); code != http.StatusUnprocessableEntity {
+		fatalf("isolation breach: tenant read across boundary: %d %s", code, body)
+	}
+	fmt.Println("isolation: cross-tenant read correctly rejected (422)")
+
+	// 4. /statsz cross-check.
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		fatalf("statsz: %v", err)
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fatalf("statsz decode: %v", err)
+	}
+	resp.Body.Close()
+	if snap.Serve.ProgramRuns != 2 || snap.ProgramCache.Hits != 1 {
+		fatalf("statsz program counters: %+v / %+v", snap.Serve, snap.ProgramCache)
+	}
+	if snap.Serve.Fragments != 4 || snap.Serve.FragmentErrors != 1 {
+		fatalf("statsz fragment counters: %+v", snap.Serve)
+	}
+	if snap.Tenants["interactive"].Admitted != 2 || snap.Tenants["batch"].Admitted != 4 {
+		fatalf("statsz tenant counters: %+v", snap.Tenants)
+	}
+	adlbPuts := snap.ADLB.PutsLocal + snap.ADLB.PutsForwarded
+	if snap.Pool.Evals == 0 || adlbPuts == 0 {
+		fatalf("statsz lower layers empty: pool %+v adlb %+v", snap.Pool, snap.ADLB)
+	}
+	fmt.Printf("statsz: %d fragments, %d program runs, %d pool evals, %d adlb puts\n",
+		snap.Serve.Fragments, snap.Serve.ProgramRuns, snap.Pool.Evals, adlbPuts)
+
+	// 5. Graceful shutdown: HTTP first, then the warm world drains.
+	hs.Close()
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("world shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		fatalf("warm world did not drain")
+	}
+	fmt.Println("shutdown: warm world drained cleanly")
+}

@@ -253,6 +253,28 @@ func (cl *Client) Leave() error {
 	return d.finish("leave response")
 }
 
+// Pin declares this client long-lived: the world must not terminate
+// while it is registered, even when every client is idle and all queues
+// are drained. Batch runs terminate by quiescence (Safra's detection
+// fires when all clients are parked in Get with nothing queued); a
+// serving deployment is *supposed* to be idle between requests, so its
+// gateway clients pin themselves at startup and the home server refuses
+// to initiate or forward termination tokens while any pin is held.
+// Leave releases the pin — a graceful shutdown is "unpin the gateways,
+// then let ordinary quiescence drain the workers".
+func (cl *Client) Pin() error {
+	d, err := cl.rpc(cl.myServer, func(e *encoder) {
+		e.u8(opPin)
+	})
+	if err != nil {
+		return err
+	}
+	if _, err = checkStatus(d, "pin"); err != nil {
+		return err
+	}
+	return d.finish("pin response")
+}
+
 // Unique returns a fresh data id. Ids are allocated in blocks from the
 // client's home server so the owner of each id is that same server.
 func (cl *Client) Unique() (int64, error) {

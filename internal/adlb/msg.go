@@ -43,6 +43,9 @@ const (
 	// (contiguous typed columns) instead of N boxed per-value encodings.
 	opRetrieveChunk // many ids -> one columnar chunk
 	opStoreChunk    // container + chunk -> owner-local member data, one RPC
+	// Serving op: a long-lived client declares itself pinned, holding the
+	// world open across idle periods (see Client.Pin).
+	opPin
 )
 
 // Server-to-server opcodes.

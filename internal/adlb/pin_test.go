@@ -1,0 +1,172 @@
+package adlb
+
+// Tests for the serving-world liveness contract: a pinned client holds
+// the world open through idle periods that would otherwise trigger
+// quiescence termination, and a departure (Leave) releases the pin so
+// ordinary Safra detection can drain the remaining clients.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+var errPinWindowElapsed = errors.New("pin window elapsed")
+
+// runPinWorld parks every client in Get (rank 0 optionally pinned first)
+// — the exact all-idle state that terminates a batch world — and aborts
+// the world with errPinWindowElapsed after window. It returns whether
+// any client saw NO_MORE_WORK (i.e. quiescence termination fired) and
+// whether the abort fired.
+func runPinWorld(t *testing.T, size, servers int, pin bool, window time.Duration) (terminated, aborted bool) {
+	t.Helper()
+	cfg := testConfig(servers)
+	w, err := mpi.NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := time.AfterFunc(window, func() { w.Abort(errPinWindowElapsed) })
+	defer timer.Stop()
+	fail := time.AfterFunc(30*time.Second, func() { w.Abort(fmt.Errorf("test watchdog: world hung")) })
+	defer fail.Stop()
+	var sawNoMoreWork bool
+	runErr := w.Run(func(c *mpi.Comm) error {
+		l := NewLayout(size, servers)
+		if l.IsServer(c.Rank()) {
+			return Serve(c, cfg)
+		}
+		cl, err := NewClient(c, cfg)
+		if err != nil {
+			return err
+		}
+		if pin && c.Rank() == 0 {
+			if err := cl.Pin(); err != nil {
+				return err
+			}
+		}
+		_, ok, err := cl.Get(typeWork)
+		if err != nil {
+			return err
+		}
+		if !ok && c.Rank() == 0 {
+			sawNoMoreWork = true
+		}
+		return nil
+	})
+	if runErr != nil && !errors.Is(runErr, errPinWindowElapsed) {
+		t.Fatalf("world failed for an unexpected reason: %v", runErr)
+	}
+	return sawNoMoreWork, errors.Is(runErr, errPinWindowElapsed)
+}
+
+// TestPinnedIdleWorldStaysUp: every client parked over empty queues with
+// one pin held. Quiescence termination must NOT fire — the world is
+// still up when the observation window closes. The window (200ms) is
+// three orders of magnitude beyond the default 200µs housekeeping tick,
+// so an unpinned world reaches termination well inside it (proven by
+// TestUnpinnedIdleWorldTerminates below).
+func TestPinnedIdleWorldStaysUp(t *testing.T) {
+	terminated, aborted := runPinWorld(t, 3, 1, true, 200*time.Millisecond)
+	if terminated {
+		t.Fatal("world terminated by quiescence while a pin was held")
+	}
+	if !aborted {
+		t.Fatal("expected the observation-window abort to end the run")
+	}
+}
+
+// TestUnpinnedIdleWorldTerminates is the control: the identical all-idle
+// world with no pin terminates (NO_MORE_WORK) before the window closes,
+// proving the window in the pinned test is long enough to be meaningful.
+func TestUnpinnedIdleWorldTerminates(t *testing.T) {
+	terminated, aborted := runPinWorld(t, 3, 1, false, 10*time.Second)
+	if !terminated || aborted {
+		t.Fatalf("unpinned idle world: terminated=%v aborted=%v, want clean quiescence", terminated, aborted)
+	}
+}
+
+// TestPinnedIdleWorldStaysUpAcrossServerRing: with two servers the pin
+// lives only on rank 0's home server, but it must stall the termination
+// token for the whole ring.
+func TestPinnedIdleWorldStaysUpAcrossServerRing(t *testing.T) {
+	terminated, aborted := runPinWorld(t, 6, 2, true, 200*time.Millisecond)
+	if terminated {
+		t.Fatal("server ring terminated by quiescence while a pin was held")
+	}
+	if !aborted {
+		t.Fatal("expected the observation-window abort to end the run")
+	}
+}
+
+// TestPinReleasedByLeaveDrainsWorld: the serving shutdown sequence. The
+// pinned gateway idles while workers park, then Leaves; ordinary
+// quiescence must then hand every parked worker NO_MORE_WORK — no abort,
+// no watchdog.
+func TestPinReleasedByLeaveDrainsWorld(t *testing.T) {
+	runWorld(t, 4, 1, func(cl *Client) error {
+		if cl.Rank() == 0 {
+			if err := cl.Pin(); err != nil {
+				return err
+			}
+			// Give the workers time to park: the world is now all-idle
+			// except for this pinned, never-parking gateway.
+			time.Sleep(50 * time.Millisecond)
+			return cl.Leave()
+		}
+		_, ok, err := cl.Get(typeWork)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("unexpected work delivered")
+		}
+		return nil
+	})
+}
+
+// TestPinnedGatewayServesAfterIdle: the serving steady state — a pinned
+// gateway that submits work after a long idle period must find the
+// worker still parked and the world alive.
+func TestPinnedGatewayServesAfterIdle(t *testing.T) {
+	runWorld(t, 3, 1, func(cl *Client) error {
+		switch cl.Rank() {
+		case 0:
+			if err := cl.Pin(); err != nil {
+				return err
+			}
+			// Park in Get like a response collector: with the pin this is
+			// safe; without it, this parked state would terminate the
+			// world and hand us NO_MORE_WORK.
+			payload, ok, err := cl.Get(typeControl)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("collector got NO_MORE_WORK while pinned")
+			}
+			if string(payload) != "response" {
+				return fmt.Errorf("payload = %q", payload)
+			}
+			return cl.Leave()
+		case 1:
+			// The worker idles outside Get briefly (mid-request from the
+			// server's view), then answers the collector and drains.
+			time.Sleep(100 * time.Millisecond)
+			if err := cl.Put(typeControl, 0, 0, []byte("response")); err != nil {
+				return err
+			}
+			_, ok, err := cl.Get(typeWork)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return fmt.Errorf("unexpected work delivered")
+			}
+			return nil
+		}
+		return nil
+	})
+}

@@ -70,6 +70,7 @@ type server struct {
 	parked     map[int]parkedReq // client rank -> deferred Get
 	parkOrder  []int             // FIFO of parked client ranks
 	departed   map[int]bool      // clients told NO_MORE_WORK; targeted queues GC'd
+	pinned     map[int]bool      // long-lived clients holding the world open (see Client.Pin)
 
 	leases    map[int64]lease // outstanding leased work, by lease id
 	nextLease int64
@@ -114,6 +115,7 @@ func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
 		targeted:   make(map[targetKey]*workQueue),
 		parked:     make(map[int]parkedReq),
 		departed:   make(map[int]bool),
+		pinned:     make(map[int]bool),
 		leases:     make(map[int64]lease),
 		store:      make(map[int64]*datum),
 		nextID:     int64(l.Servers + idx), // ids ≡ idx (mod Servers), skipping id 0
@@ -287,8 +289,15 @@ func (s *server) housekeeping() {
 // client is parked in Get or has departed, all queues are empty, and no
 // steal is pending. Departed clients count as passive — a client that
 // crashed with leases outstanding must not block termination forever
-// (its reclaimed work is covered by the queue checks).
+// (its reclaimed work is covered by the queue checks). Pinned clients
+// are the opposite: while any long-lived client holds a pin, this
+// server never reports passive, so termination tokens neither start
+// here nor pass through — an idle serving world stays up until its
+// gateways Leave.
 func (s *server) quiet() bool {
+	if len(s.pinned) > 0 {
+		return false
+	}
 	if len(s.parked)+s.doneCount != s.nClients || s.stealOut {
 		return false
 	}
@@ -373,6 +382,8 @@ func (s *server) handleRequest(op uint8, d *decoder, client int) error {
 		return s.handleFail(d, client)
 	case opLeave:
 		return s.handleLeave(d, client)
+	case opPin:
+		return s.handlePin(d, client)
 	case opUnique:
 		return s.handleUnique(d, client)
 	case opCreate, opStore, opRetrieve, opSubscribe, opInsert, opLookup,
@@ -592,6 +603,7 @@ func (s *server) clientDeparted(client int) {
 	}
 	s.doneCount++
 	s.departed[client] = true
+	delete(s.pinned, client) // a departed gateway releases its hold on the world
 	for k, q := range s.targeted {
 		if k.target != client {
 			continue
@@ -675,6 +687,18 @@ func (s *server) handleFail(d *decoder, client int) error {
 	if err := s.requeueOrPoison(le.w, reason, retriable); err != nil {
 		return err
 	}
+	return s.respond(client, func(e *encoder) { e.u8(stOK) })
+}
+
+// handlePin registers a long-lived client: while any pin is held on this
+// server, quiet() stays false, so Safra termination neither initiates
+// here nor passes a token through — an idle serving world keeps running.
+// The pin is released by the client's departure (Leave or NO_MORE_WORK).
+func (s *server) handlePin(d *decoder, client int) error {
+	if err := d.finish("pin request"); err != nil {
+		return err
+	}
+	s.pinned[client] = true
 	return s.respond(client, func(e *encoder) { e.u8(stOK) })
 }
 

@@ -123,6 +123,12 @@ type Config struct {
 	// KillWorkerAfterTasks is how many tasks the victim runs before
 	// dying (0 = die on its first task).
 	KillWorkerAfterTasks int
+	// TaskPriority is a base priority added to every work task released
+	// by this run's engines (forwarded to turbine.Config.TaskPriority).
+	// The serving layer sets it to the submitting tenant's admission
+	// priority so that concurrent runs sharing a world are scheduled by
+	// class.
+	TaskPriority int
 }
 
 func (c *Config) withDefaults() Config {
@@ -239,6 +245,7 @@ func RunCompiled(compiled *stc.Output, cfg Config) (*Result, error) {
 		WatchdogIdleTicks:    cfg.WatchdogIdleTicks,
 		KillWorkerRank:       cfg.KillWorkerRank,
 		KillWorkerAfterTasks: cfg.KillWorkerAfterTasks,
+		TaskPriority:         cfg.TaskPriority,
 		Program:              compiled.Program,
 		ProgramScript:        programScript,
 		Main:                 compiled.Main,

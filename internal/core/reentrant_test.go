@@ -1,0 +1,90 @@
+package core
+
+// Regression tests for in-process re-entrancy: the serving layer
+// (internal/serve) runs many compiled programs concurrently in one
+// process — per-tenant submissions against one resident swiftd — so
+// RunCompiled must not share mutable state across simultaneous runs.
+// Historically safe by inspection (per-run Result and counters, pure
+// builtin lookup, mutex-guarded registries, compile-once stc.Output);
+// these tests pin that property under the race detector.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stc"
+)
+
+// TestConcurrentRunsShareCompiledProgram runs one compiled program from
+// four goroutines at once. The *stc.Output — including its lazily
+// compiled shared Script — is deliberately shared, exactly as the serve
+// program cache shares it across requests.
+func TestConcurrentRunsShareCompiledProgram(t *testing.T) {
+	compiled, err := stc.Compile(`
+		foreach i in [0:7] {
+			string s = python("x = 3*" + toString(i), "x");
+			printf("%s", s);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunCompiled(compiled, Config{Engines: 1, Workers: 2, Servers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(res.Stdout, "21") {
+				t.Errorf("bad stdout %q", res.Stdout)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentRunsIsolateResults runs two different programs
+// concurrently and checks neither run's output or errors bleed into the
+// other's Result.
+func TestConcurrentRunsIsolateResults(t *testing.T) {
+	progA, err := stc.Compile(`printf("alpha %s", python("a = 3*41", "a"));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := stc.Compile(`printf("beta %i", 7*6);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			res, err := RunCompiled(progA, Config{Engines: 1, Workers: 2, Servers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(res.Stdout, "alpha 123") || strings.Contains(res.Stdout, "beta") {
+				t.Errorf("program A stdout contaminated: %q", res.Stdout)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			res, err := RunCompiled(progB, Config{Engines: 1, Workers: 1, Servers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !strings.Contains(res.Stdout, "beta 42") || strings.Contains(res.Stdout, "alpha") {
+				t.Errorf("program B stdout contaminated: %q", res.Stdout)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -85,27 +85,34 @@ type Interp struct {
 	depth   int
 	// EvalCount counts Exec/EvalExpr calls, for instrumentation.
 	EvalCount int
-	// Compile-once fragment caches (source -> parsed form, bounded FIFO;
-	// see internal/memo). The caches hold immutable ASTs keyed by source
-	// text only, so they survive Reset: reinitialisation discards state,
-	// not parses — exactly as in pylite, rlite, and the tcl engine.
-	progs *memo.Cache[[]jstmt]
-	exprs *memo.Cache[jexpr]
+	// Compile-once fragment caches (source -> parsed form, byte-budgeted
+	// LRU; see internal/memo). The caches hold immutable ASTs keyed by
+	// source text only, so they survive Reset: reinitialisation discards
+	// state, not parses — exactly as in pylite. The byte budget (rather
+	// than an entry count) keeps long-lived serving interpreters bounded
+	// by cost: one huge one-shot fragment cannot displace many small hot
+	// ones.
+	progs *memo.Budget[[]jstmt]
+	exprs *memo.Budget[jexpr]
 }
 
-// Fragment-cache bounds; the interlanguage workloads in this repo use
-// tens of distinct fragment shapes per run.
+// Fragment-cache byte budgets, in source bytes (AST size scales with the
+// source, so source length is the cost proxy; see fragCost).
 const (
-	defaultProgCacheSize = 256
-	defaultExprCacheSize = 256
+	defaultProgCacheBytes = 1 << 20
+	defaultExprCacheBytes = 256 << 10
 )
+
+// fragCost prices a cached parse by its source length plus a fixed
+// per-entry overhead for the AST and bookkeeping.
+func fragCost[V any](key string, _ V) int64 { return int64(len(key)) + 64 }
 
 // New creates an interpreter with builtins installed.
 func New() *Interp {
 	in := &Interp{
 		Out:   os.Stdout,
-		progs: memo.New[[]jstmt](defaultProgCacheSize),
-		exprs: memo.New[jexpr](defaultExprCacheSize),
+		progs: memo.NewBudget[[]jstmt](defaultProgCacheBytes, fragCost[[]jstmt]),
+		exprs: memo.NewBudget[jexpr](defaultExprCacheBytes, fragCost[jexpr]),
 	}
 	in.reset()
 	return in
@@ -170,6 +177,21 @@ func (in *Interp) EvalExpr(expr string) (Value, error) {
 // for tests and diagnostics.
 func (in *Interp) CacheStats() (progs, exprs int) {
 	return in.progs.Len(), in.exprs.Len()
+}
+
+// CacheBudgetStats reports the combined byte-budget counters of both
+// fragment caches, for the serving layer's /statsz.
+func (in *Interp) CacheBudgetStats() memo.BudgetStats {
+	p, e := in.progs.Stats(), in.exprs.Stats()
+	return memo.BudgetStats{
+		Hits:         p.Hits + e.Hits,
+		Misses:       p.Misses + e.Misses,
+		Evictions:    p.Evictions + e.Evictions,
+		BytesEvicted: p.BytesEvicted + e.BytesEvicted,
+		Oversize:     p.Oversize + e.Oversize,
+		CurBytes:     p.CurBytes + e.CurBytes,
+		Entries:      p.Entries + e.Entries,
+	}
 }
 
 // EvalFragment is the Swift/T julia(code, expr) entry point: execute

@@ -105,6 +105,8 @@ func (e *pythonEngine) Eval(c Call) (Value, error) {
 func (e *pythonEngine) Reset()       { e.in.Reset() }
 func (e *pythonEngine) Evals() int64 { return e.evals }
 
+func (e *pythonEngine) ParseCacheStats() memo.BudgetStats { return e.in.CacheBudgetStats() }
+
 // pyValue converts a typed argument into its Python binding: scalars
 // enter as native numbers/strings, blobs as zero-copy Vec views.
 func pyValue(a Value) (pylite.Value, error) {
@@ -339,6 +341,8 @@ func (e *juliaEngine) Eval(c Call) (Value, error) {
 
 func (e *juliaEngine) Reset()       { e.in.Reset() }
 func (e *juliaEngine) Evals() int64 { return e.evals }
+
+func (e *juliaEngine) ParseCacheStats() memo.BudgetStats { return e.in.CacheBudgetStats() }
 
 // jlValue converts a typed argument into its jlite binding: scalars
 // enter as native numbers/strings, blobs as zero-copy 1-based Vec views.

@@ -106,28 +106,36 @@ type Interp struct {
 	// (loading an interpreter library is not free on a real system);
 	// benchmarks use it to model retain-vs-reinit trade-offs.
 	InitCost func()
-	// Compile-once fragment caches (source -> parsed form, bounded FIFO;
-	// see internal/memo). Ensemble workloads evaluate the same python()
-	// fragment once per task, so the steady state must be parse-free.
-	// The caches hold immutable ASTs keyed by source text only, so they
-	// survive Reset: reinitialisation discards state, not parses.
-	progs *memo.Cache[[]pstmt]
-	exprs *memo.Cache[pexpr]
+	// Compile-once fragment caches (source -> parsed form, byte-budgeted
+	// LRU; see internal/memo). Ensemble workloads evaluate the same
+	// python() fragment once per task, so the steady state must be
+	// parse-free; long-lived serving interpreters additionally need the
+	// cache bounded by bytes rather than entry count, so a tenant
+	// submitting a stream of huge one-shot fragments evicts by cost
+	// instead of pushing out many small hot fragments. The caches hold
+	// immutable ASTs keyed by source text only, so they survive Reset:
+	// reinitialisation discards state, not parses.
+	progs *memo.Budget[[]pstmt]
+	exprs *memo.Budget[pexpr]
 }
 
-// Fragment-cache bounds; the interlanguage workloads in this repo use
-// tens of distinct fragment shapes per run.
+// Fragment-cache byte budgets, in source bytes (the AST size scales with
+// the source, so source length is the cost proxy; see fragCost).
 const (
-	defaultProgCacheSize = 256
-	defaultExprCacheSize = 256
+	defaultProgCacheBytes = 1 << 20 // 1 MiB of program source per interp
+	defaultExprCacheBytes = 256 << 10
 )
+
+// fragCost prices a cached parse by its source length plus a fixed
+// per-entry overhead for the AST and bookkeeping.
+func fragCost[V any](key string, _ V) int64 { return int64(len(key)) + 64 }
 
 // New creates an interpreter with builtins installed.
 func New() *Interp {
 	in := &Interp{
 		Out:   os.Stdout,
-		progs: memo.New[[]pstmt](defaultProgCacheSize),
-		exprs: memo.New[pexpr](defaultExprCacheSize),
+		progs: memo.NewBudget[[]pstmt](defaultProgCacheBytes, fragCost[[]pstmt]),
+		exprs: memo.NewBudget[pexpr](defaultExprCacheBytes, fragCost[pexpr]),
 	}
 	in.reset()
 	return in
@@ -198,6 +206,21 @@ func (in *Interp) EvalExpr(expr string) (Value, error) {
 // for tests and diagnostics.
 func (in *Interp) CacheStats() (progs, exprs int) {
 	return in.progs.Len(), in.exprs.Len()
+}
+
+// CacheBudgetStats reports the combined byte-budget counters of both
+// fragment caches, for the serving layer's /statsz.
+func (in *Interp) CacheBudgetStats() memo.BudgetStats {
+	p, e := in.progs.Stats(), in.exprs.Stats()
+	return memo.BudgetStats{
+		Hits:         p.Hits + e.Hits,
+		Misses:       p.Misses + e.Misses,
+		Evictions:    p.Evictions + e.Evictions,
+		BytesEvicted: p.BytesEvicted + e.BytesEvicted,
+		Oversize:     p.Oversize + e.Oversize,
+		CurBytes:     p.CurBytes + e.CurBytes,
+		Entries:      p.Entries + e.Entries,
+	}
 }
 
 // EvalFragment is the Swift/T python(code, expr) entry point: execute

@@ -1,0 +1,128 @@
+package serve
+
+// Admission-control tests: a saturated heavy tenant is confined to its
+// own concurrency slots and queue, so (a) its overflow is rejected with a
+// typed 429-style error and (b) an interactive tenant's latency stays
+// under a documented bound while the heavy tenant floods the service.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOverloadReturnsTypedRejection(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1,
+		Tenants: map[string]TenantConfig{
+			"heavy": {MaxConcurrent: 1, MaxQueue: 1},
+		}})
+	// Saturate: many concurrent slow-ish fragments from one tenant with
+	// 1 slot + 1 queue place. At least one must be rejected, and every
+	// rejection must be a typed OverloadError.
+	const n = 8
+	var wg sync.WaitGroup
+	var rejected, admitted atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.EvalFragment(FragmentRequest{
+				Tenant: "heavy", Lang: "python",
+				Code: "s = 0\nfor i in range(3000):\n    s = s + i", Expr: "s", Want: "int",
+			})
+			if err == nil {
+				admitted.Add(1)
+				return
+			}
+			var over *OverloadError
+			if !errors.As(err, &over) {
+				t.Errorf("saturation error = %v, want *OverloadError", err)
+				return
+			}
+			rejected.Add(1)
+		}()
+	}
+	wg.Wait()
+	if rejected.Load() == 0 {
+		t.Fatal("no rejections at 8x oversubscription of a 1-slot/1-queue tenant")
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("every request rejected: admission is dropping in-capacity work")
+	}
+	snap := s.Stats().Tenants["heavy"]
+	if snap.Rejected != rejected.Load() || snap.Admitted != admitted.Load() {
+		t.Fatalf("tenant stats %+v disagree with observed admitted=%d rejected=%d",
+			snap, admitted.Load(), rejected.Load())
+	}
+}
+
+// interactiveP50Bound is the documented admission bound: with a heavy
+// tenant saturating its own slots, an interactive tenant's median
+// fragment latency must stay under this. The heavy tenant's fragments
+// take ~1ms; its concurrency cap (2) bounds how much of the 2-worker
+// world it can hold at once, so the interactive tenant waits at most a
+// couple of heavy task durations — 250ms is orders of magnitude of
+// headroom for CI noise, while a missing admission cap would let the
+// heavy tenant queue thousands of tasks ahead and blow far past it.
+const interactiveP50Bound = 250 * time.Millisecond
+
+func TestSaturatedTenantCannotStarveInteractive(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2,
+		Tenants: map[string]TenantConfig{
+			"heavy":       {Priority: 0, MaxConcurrent: 2, MaxQueue: 4},
+			"interactive": {Priority: 10, MaxConcurrent: 2, MaxQueue: 4},
+		}})
+
+	stopFlood := make(chan struct{})
+	var flood sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		flood.Add(1)
+		go func() {
+			defer flood.Done()
+			for {
+				select {
+				case <-stopFlood:
+					return
+				default:
+				}
+				// Rejections are expected (that's the point); only keep
+				// the pressure up.
+				s.EvalFragment(FragmentRequest{
+					Tenant: "heavy", Lang: "python",
+					Code: "s = 0\nfor i in range(2000):\n    s = s + i", Expr: "s", Want: "int",
+				})
+			}
+		}()
+	}
+
+	// Let the flood saturate, then measure the interactive tenant.
+	time.Sleep(50 * time.Millisecond)
+	const probes = 20
+	lat := make([]time.Duration, 0, probes)
+	for i := 0; i < probes; i++ {
+		start := time.Now()
+		_, err := s.EvalFragment(FragmentRequest{
+			Tenant: "interactive", Lang: "python", Expr: "1 + 1", Want: "int",
+		})
+		if err != nil {
+			t.Fatalf("interactive probe %d: %v", i, err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	close(stopFlood)
+	flood.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99 := lat[len(lat)/2], lat[len(lat)-1]
+	t.Logf("interactive under heavy saturation: p50=%v max=%v", p50, p99)
+	if p50 > interactiveP50Bound {
+		t.Fatalf("interactive p50 %v exceeds the admission bound %v", p50, interactiveP50Bound)
+	}
+	heavy := s.Stats().Tenants["heavy"]
+	if heavy.Rejected == 0 {
+		t.Fatal("heavy tenant was never rejected: the flood did not saturate admission")
+	}
+}

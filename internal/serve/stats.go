@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/adlb"
+	"repro/internal/lang"
+	"repro/internal/memo"
+)
+
+// ServeStats counts service-level events. Mirrored by ServeStatsSnapshot
+// (reflection-locked in tests).
+type ServeStats struct {
+	// HTTPRequests counts requests through the HTTP handler.
+	HTTPRequests atomic.Int64
+	// ProgramRuns counts program submissions executed (cache hits and
+	// misses both; compile failures excluded).
+	ProgramRuns atomic.Int64
+	// Fragments counts fragment evaluations submitted to the warm world.
+	Fragments atomic.Int64
+	// FragmentErrors counts fragment evaluations that returned a typed
+	// error (user errors; not rejections or timeouts).
+	FragmentErrors atomic.Int64
+	// FragmentTimeouts counts fragment requests abandoned at the request
+	// deadline.
+	FragmentTimeouts atomic.Int64
+	// LateResponses counts worker responses that arrived after their
+	// request had timed out or was never registered.
+	LateResponses atomic.Int64
+}
+
+// ServeStatsSnapshot is the plain-int64 copy of ServeStats.
+type ServeStatsSnapshot struct {
+	HTTPRequests     int64 `json:"http_requests"`
+	ProgramRuns      int64 `json:"program_runs"`
+	Fragments        int64 `json:"fragments"`
+	FragmentErrors   int64 `json:"fragment_errors"`
+	FragmentTimeouts int64 `json:"fragment_timeouts"`
+	LateResponses    int64 `json:"late_responses"`
+}
+
+// Snapshot copies the counters.
+func (s *ServeStats) Snapshot() ServeStatsSnapshot {
+	return ServeStatsSnapshot{
+		HTTPRequests:     s.HTTPRequests.Load(),
+		ProgramRuns:      s.ProgramRuns.Load(),
+		Fragments:        s.Fragments.Load(),
+		FragmentErrors:   s.FragmentErrors.Load(),
+		FragmentTimeouts: s.FragmentTimeouts.Load(),
+		LateResponses:    s.LateResponses.Load(),
+	}
+}
+
+// Snapshot is the full /statsz payload: every layer of the serving stack
+// reports its counters — the service itself, the byte-budgeted program
+// cache, the worker engine pools (including their byte-budgeted fragment
+// parse caches), per-tenant admission outcomes, and the warm world's ADLB
+// servers.
+type Snapshot struct {
+	Serve        ServeStatsSnapshot             `json:"serve"`
+	ProgramCache memo.BudgetStats               `json:"program_cache"`
+	Pool         lang.PoolStatsSnapshot         `json:"pool"`
+	Tenants      map[string]TenantStatsSnapshot `json:"tenants"`
+	ADLB         adlb.StatsSnapshot             `json:"adlb"`
+}

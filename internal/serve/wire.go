@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"repro/internal/blob"
+	"repro/internal/lang"
+)
+
+// WireValue is the JSON form of a typed lang.Value crossing the service
+// boundary: scalars inline, blobs base64 with their logical dims and
+// element kind so bulk numeric data round-trips shape and type (the
+// blobutils contract over HTTP).
+type WireValue struct {
+	Kind  string  `json:"kind"` // "string" | "int" | "float" | "blob"
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Blob  string  `json:"blob,omitempty"` // base64 raw element bytes
+	Dims  []int   `json:"dims,omitempty"` // logical extents, column-major
+	Elem  string  `json:"elem,omitempty"` // "bytes" | "f64" | "f32" | "i32" | "i64"
+}
+
+func elemName(e blob.Elem) string {
+	switch e {
+	case blob.ElemF64:
+		return "f64"
+	case blob.ElemF32:
+		return "f32"
+	case blob.ElemI32:
+		return "i32"
+	case blob.ElemI64:
+		return "i64"
+	}
+	return "bytes"
+}
+
+func elemOf(name string) (blob.Elem, error) {
+	switch name {
+	case "", "bytes":
+		return blob.ElemBytes, nil
+	case "f64":
+		return blob.ElemF64, nil
+	case "f32":
+		return blob.ElemF32, nil
+	case "i32":
+		return blob.ElemI32, nil
+	case "i64":
+		return blob.ElemI64, nil
+	}
+	return 0, fmt.Errorf("serve: unknown blob element kind %q", name)
+}
+
+// ToWire converts a typed value to its JSON form.
+func ToWire(v lang.Value) WireValue {
+	switch v.Kind() {
+	case lang.KindInt:
+		n, _ := v.AsInt()
+		return WireValue{Kind: "int", Int: n}
+	case lang.KindFloat:
+		f, _ := v.AsFloat()
+		return WireValue{Kind: "float", Float: f}
+	case lang.KindBlob:
+		b := v.AsBlob()
+		return WireValue{
+			Kind: "blob",
+			Blob: base64.StdEncoding.EncodeToString(b.Data),
+			Dims: b.Dims,
+			Elem: elemName(b.Elem),
+		}
+	}
+	return WireValue{Kind: "string", Str: v.AsString()}
+}
+
+// FromWire converts a JSON value back to a typed lang.Value.
+func FromWire(w WireValue) (lang.Value, error) {
+	switch w.Kind {
+	case "", "string":
+		return lang.Str(w.Str), nil
+	case "int":
+		return lang.Int(w.Int), nil
+	case "float":
+		return lang.Float(w.Float), nil
+	case "blob":
+		data, err := base64.StdEncoding.DecodeString(w.Blob)
+		if err != nil {
+			return lang.Value{}, fmt.Errorf("serve: bad blob base64: %w", err)
+		}
+		elem, err := elemOf(w.Elem)
+		if err != nil {
+			return lang.Value{}, err
+		}
+		return lang.BlobOf(blob.Blob{Data: data, Dims: w.Dims, Elem: elem}), nil
+	}
+	return lang.Value{}, fmt.Errorf("serve: unknown value kind %q", w.Kind)
+}
+
+func wantOf(name string) (lang.Kind, error) {
+	switch name {
+	case "", "string":
+		return lang.KindString, nil
+	case "int":
+		return lang.KindInt, nil
+	case "float":
+		return lang.KindFloat, nil
+	case "blob":
+		return lang.KindBlob, nil
+	}
+	return 0, fmt.Errorf("serve: unknown result kind %q", name)
+}
+
+// fragTask is the JSON payload of one fragment evaluation travelling from
+// the gateway to a worker rank through the ADLB work queues.
+type fragTask struct {
+	ReqID  int64       `json:"req"`
+	Tenant string      `json:"tenant"`
+	Lang   string      `json:"lang"`
+	Code   string      `json:"code"`
+	Expr   string      `json:"expr,omitempty"`
+	Args   []WireValue `json:"args,omitempty"`
+	Want   string      `json:"want,omitempty"`
+	Reinit bool        `json:"reinit,omitempty"`
+}
+
+// fragResp is the JSON payload of one completed evaluation travelling
+// from a worker to the collector rank. ReqID -1 is the shutdown sentinel
+// the gateway sends the collector directly.
+type fragResp struct {
+	ReqID     int64     `json:"req"`
+	Value     WireValue `json:"value"`
+	Output    string    `json:"output,omitempty"` // interpreter prints during this eval
+	Err       string    `json:"err,omitempty"`
+	Retriable bool      `json:"retriable,omitempty"`
+}
+
+const shutdownReqID = -1

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/adlb"
+	"repro/internal/lang"
+	"repro/internal/mpi"
+)
+
+// Warm-world client ranks (the remaining ranks are ADLB servers).
+const (
+	gatewayRank   = 0
+	collectorRank = 1
+	workerRank0   = 2
+)
+
+func encodeJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// runWorld runs the warm fragment world until shutdown drains it.
+func (s *Server) runWorld() error {
+	size := workerRank0 + s.cfg.Workers + s.cfg.Servers
+	w, err := mpi.NewWorld(size)
+	if err != nil {
+		return err
+	}
+	acfg := adlb.Config{
+		Servers:    s.cfg.Servers,
+		Types:      2,
+		NotifyType: typeResp,
+		Stats:      s.adlbStats,
+		// A serving world is legitimately idle or backlogged for long
+		// stretches; the batch hang watchdog has no meaningful baseline
+		// here. Worker-death recovery still comes from leases.
+		WatchdogIdleTicks: -1,
+	}
+	l := adlb.NewLayout(size, s.cfg.Servers)
+	return w.Run(func(c *mpi.Comm) error {
+		if l.IsServer(c.Rank()) {
+			return adlb.Serve(c, acfg)
+		}
+		cl, err := adlb.NewClient(c, acfg)
+		if err != nil {
+			return err
+		}
+		switch c.Rank() {
+		case gatewayRank:
+			return s.gatewayLoop(cl)
+		case collectorRank:
+			return s.collectorLoop(cl)
+		default:
+			return s.workerLoop(cl)
+		}
+	})
+}
+
+// gatewayLoop pins the submitter client, publishes it to the API
+// handlers, and on shutdown walks the drain sequence: sentinel to the
+// collector, then Leave — after which ordinary quiescence collects the
+// parked workers.
+func (s *Server) gatewayLoop(cl *adlb.Client) error {
+	if err := cl.Pin(); err != nil {
+		return err
+	}
+	s.gw = cl
+	close(s.gwReady)
+	<-s.stop
+	sentinel, err := json.Marshal(fragResp{ReqID: shutdownReqID})
+	if err != nil {
+		return err
+	}
+	s.gwMu.Lock()
+	defer s.gwMu.Unlock()
+	if err := cl.Put(typeResp, 0, collectorRank, sentinel); err != nil {
+		return fmt.Errorf("serve: shutdown sentinel: %w", err)
+	}
+	return cl.Leave()
+}
+
+// collectorLoop pins the response collector and routes each completed
+// fragment to its waiting request until the shutdown sentinel arrives.
+func (s *Server) collectorLoop(cl *adlb.Client) error {
+	if err := cl.Pin(); err != nil {
+		return err
+	}
+	for {
+		payload, ok, err := cl.Get(typeResp)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Unreachable while pinned; a defensive clean exit.
+			return nil
+		}
+		var r fragResp
+		if err := json.Unmarshal(payload, &r); err != nil {
+			s.stats.LateResponses.Add(1)
+			continue
+		}
+		if r.ReqID == shutdownReqID {
+			return cl.Leave()
+		}
+		s.deliver(r)
+	}
+}
+
+// deliver hands a response to its waiting request. Responses with no
+// waiter — the request timed out, or a lease-reclaimed task executed
+// twice — are dropped and counted.
+func (s *Server) deliver(r fragResp) {
+	s.pendMu.Lock()
+	ch, ok := s.pending[r.ReqID]
+	s.pendMu.Unlock()
+	if !ok {
+		s.stats.LateResponses.Add(1)
+		return
+	}
+	select {
+	case ch <- r:
+	default:
+		s.stats.LateResponses.Add(1)
+	}
+}
+
+// workerLoop is one fragment worker rank: leased Gets over the task
+// queue, evaluation against its per-tenant engine pool, results targeted
+// at the collector. User errors travel back as typed responses — a lease
+// Fail is reserved for worker death, which the servers recover from by
+// reclaim-and-requeue.
+func (s *Server) workerLoop(cl *adlb.Client) error {
+	outBuf := &bytes.Buffer{}
+	pool := lang.NewPool(lang.Host{Out: outBuf}, s.cfg.PoolEngines, s.poolStats)
+	for {
+		payload, _, ok, err := cl.GetLeased(typeTask)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		var t fragTask
+		if err := json.Unmarshal(payload, &t); err != nil {
+			// Malformed task: nothing to respond to; the implicit lease
+			// settlement on the next Get retires it.
+			continue
+		}
+		resp := evalTask(pool, outBuf, t)
+		b, err := json.Marshal(resp)
+		if err != nil {
+			b, _ = json.Marshal(fragResp{ReqID: t.ReqID, Err: err.Error()})
+		}
+		if err := cl.Put(typeResp, 0, collectorRank, b); err != nil {
+			return err
+		}
+	}
+}
+
+// evalTask runs one fragment against the worker's pool, capturing the
+// interpreter's prints for the response.
+func evalTask(pool *lang.Pool, outBuf *bytes.Buffer, t fragTask) fragResp {
+	want, err := wantOf(t.Want)
+	if err != nil {
+		return fragResp{ReqID: t.ReqID, Err: err.Error()}
+	}
+	args := make([]lang.Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := FromWire(a)
+		if err != nil {
+			return fragResp{ReqID: t.ReqID, Err: err.Error()}
+		}
+		args[i] = v
+	}
+	policy := lang.PolicyRetain
+	if t.Reinit {
+		policy = lang.PolicyReinit
+	}
+	outBuf.Reset()
+	v, err := pool.Eval(t.Lang, t.Tenant,
+		lang.Call{Code: t.Code, Expr: t.Expr, Args: args, Want: want}, policy)
+	if err != nil {
+		var te *lang.TaskError
+		retriable := errors.As(err, &te) && te.Retriable
+		return fragResp{ReqID: t.ReqID, Err: err.Error(), Retriable: retriable, Output: outBuf.String()}
+	}
+	return fragResp{ReqID: t.ReqID, Value: ToWire(v), Output: outBuf.String()}
+}

@@ -75,6 +75,12 @@ type Config struct {
 	// Main is the Tcl fragment evaluated on engine rank 0 to seed the
 	// run (typically a proc defined by Program).
 	Main string
+	// TaskPriority is added to every released work task's priority as a
+	// base. The serving layer uses it to run whole programs at their
+	// tenant's admission priority: ADLB queues are priority-ordered, so a
+	// higher-priority tenant's leaf tasks overtake a lower one's when
+	// several runs share one world.
+	TaskPriority int
 }
 
 // Validate checks the deployment shape for a world of the given size.
