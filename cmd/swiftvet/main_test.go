@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+func names(as []*driver.Analyzer) string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return strings.Join(out, ",")
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	all := []*driver.Analyzer{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	cases := []struct {
+		spec    string
+		want    string
+		wantErr bool
+	}{
+		{spec: "", want: "a,b,c"},
+		{spec: "b", want: "b"},
+		{spec: "a,c", want: "a,c"},
+		{spec: "-b", want: "a,c"},
+		{spec: " a , c ", want: "a,c"},
+		{spec: "a,-b", wantErr: true},
+		{spec: "nosuch", wantErr: true},
+		{spec: "-a,-b,-c", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := selectAnalyzers(all, tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("spec %q: expected error, got %q", tc.spec, names(got))
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("spec %q: unexpected error %v", tc.spec, err)
+			continue
+		}
+		if names(got) != tc.want {
+			t.Errorf("spec %q: got %q, want %q", tc.spec, names(got), tc.want)
+		}
+	}
+}

@@ -298,6 +298,36 @@
 // -bench=. -run=NONE -count=10 | benchstat`. CHANGES.md records the
 // numbers for each PR.
 //
+// # Static invariants
+//
+// Several of the invariants above are load-bearing but invisible to the
+// compiler: the wire codec's sticky-error discipline, the frame pool's
+// ownership transfer, the counter/snapshot mirroring. cmd/swiftvet is a
+// stdlib-only analyzer suite (go/parser + go/types; no external
+// dependencies) that enforces them at vet time. `go run ./cmd/swiftvet
+// ./...` from the repo root exits nonzero on any violation; CI runs it
+// next to go vet. The analyzers and their contracts:
+//
+//   - codecdiscipline: every constructed wire decoder calls finish() on
+//     every non-error return path after a read (sticky decode errors and
+//     trailing bytes must be checked); encoder buffers leave the codec
+//     file only via frame(); a frame() error is never blank-discarded.
+//   - framerelease: every frame obtained from Comm.Recv/RecvTimeout that
+//     a path uses is Released exactly once on that path, unless its
+//     ownership is transferred (returned, stored, appended, or passed
+//     on); no use or escape after Release.
+//   - statsmirror: every exported atomic.Int64 counter in a Stats struct
+//     has a same-named int64 mirror in its StatsSnapshot sibling, no
+//     stale mirrors survive counter removal, and Snapshot() loads and
+//     assigns every counter. internal/statstest is the runtime backstop
+//     proving the copy actually happens.
+//   - atomiccopy: structs holding atomic counters or sync primitives
+//     move only by pointer — never copied by assignment, parameter,
+//     result, receiver, call argument, or range value.
+//   - faultsites: every faultinject crash point names a declared Site
+//     constant (no ad-hoc strings), site values are unique, and no
+//     declared site is dead.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduction of the paper's figures and claims.
 // The root-level bench_test.go regenerates every experiment.

@@ -1464,7 +1464,10 @@ func (s *server) terminate() {
 	for i := 1; i < s.l.Servers; i++ {
 		e := getEncoder()
 		e.u8(sopShutdown)
-		err := s.c.Send(s.l.ServerRank(i), tagServer, e.buf)
+		frame, err := e.frame()
+		if err == nil {
+			err = s.c.Send(s.l.ServerRank(i), tagServer, frame)
+		}
 		putEncoder(e)
 		if err != nil {
 			s.c.World().Abort(err)
@@ -1501,7 +1504,12 @@ func EncodeNotification(id int64) []byte {
 	e := &encoder{}
 	e.u8(notifyMagic)
 	e.i64(id)
-	return e.buf
+	frame, err := e.frame()
+	if err != nil {
+		// Two fixed-width scalars cannot fail to encode.
+		panic(err)
+	}
+	return frame
 }
 
 // DecodeNotification reports whether payload is a data-close notification
@@ -1512,7 +1520,7 @@ func DecodeNotification(payload []byte) (int64, bool) {
 	}
 	d := &decoder{buf: payload, off: 1}
 	id := d.i64()
-	if d.err != nil {
+	if d.finish("notification") != nil {
 		return 0, false
 	}
 	return id, true

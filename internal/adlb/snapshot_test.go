@@ -1,58 +1,19 @@
 package adlb
 
-// Reflection guard for the Stats/StatsSnapshot pair: every counter added
+// Runtime guard for the Stats/StatsSnapshot pair: every counter added
 // to Stats must appear in StatsSnapshot AND be copied by Snapshot().
 // Both halves have been forgotten before (a field added to Stats but not
-// the snapshot silently reports zero forever), so this test fails the
-// moment either is missed.
+// the snapshot silently reports zero forever). The statsmirror analyzer
+// catches the structural half at vet time; this test also proves the
+// copy happens.
 
 import (
-	"reflect"
-	"sync/atomic"
 	"testing"
+
+	"repro/internal/statstest"
 )
 
 func TestStatsSnapshotMirrorsEveryCounter(t *testing.T) {
-	counterType := reflect.TypeOf(atomic.Int64{})
-	statsType := reflect.TypeOf(Stats{})
-	snapType := reflect.TypeOf(StatsSnapshot{})
-
 	var st Stats
-	sv := reflect.ValueOf(&st).Elem()
-
-	// Give every counter a distinct non-zero value via its Add method.
-	for i := 0; i < statsType.NumField(); i++ {
-		f := statsType.Field(i)
-		if !f.IsExported() || f.Type != counterType {
-			continue
-		}
-		snapField, ok := snapType.FieldByName(f.Name)
-		if !ok {
-			t.Errorf("Stats.%s has no matching field in StatsSnapshot", f.Name)
-			continue
-		}
-		if snapField.Type.Kind() != reflect.Int64 {
-			t.Errorf("StatsSnapshot.%s is %v, want int64", f.Name, snapField.Type)
-			continue
-		}
-		sv.Field(i).Addr().MethodByName("Add").Call(
-			[]reflect.Value{reflect.ValueOf(int64(i + 1))})
-	}
-	if t.Failed() {
-		return
-	}
-
-	snap := st.Snapshot()
-	snapVal := reflect.ValueOf(snap)
-	for i := 0; i < statsType.NumField(); i++ {
-		f := statsType.Field(i)
-		if !f.IsExported() || f.Type != counterType {
-			continue
-		}
-		want := int64(i + 1)
-		got := snapVal.FieldByName(f.Name).Int()
-		if got != want {
-			t.Errorf("Snapshot() does not copy Stats.%s: got %d, want %d", f.Name, got, want)
-		}
-	}
+	statstest.AssertMirror(t, &st, func() any { return st.Snapshot() })
 }

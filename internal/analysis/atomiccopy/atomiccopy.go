@@ -1,0 +1,198 @@
+// Package atomiccopy is a copylocks-style check for the repo's counter
+// and synchronization structs: any struct that (directly or through
+// nested fields and arrays) contains a sync/atomic counter type or a
+// sync primitive must never be copied by value. A copied atomic.Int64
+// silently forks the counter; a copied sync.Mutex forks the lock state.
+//
+// Flagged shapes:
+//
+//   - assignment or short declaration whose right-hand side copies such
+//     a value (x := y, x = *p, x := s.Field) — composite literals are
+//     initialization, not copies, and stay legal;
+//   - by-value parameters, results, and method receivers of such types;
+//   - passing such a value as a call argument (including into fmt-style
+//     interface parameters);
+//   - range clauses whose value variable copies such an element.
+package atomiccopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// New returns a fresh analyzer instance.
+func New() *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "atomiccopy",
+		Doc:  "structs holding atomic counters or sync primitives must not be copied by value",
+		Run:  run,
+	}
+}
+
+type checker struct {
+	pass *driver.Pass
+	memo map[types.Type]bool
+}
+
+func run(pass *driver.Pass) {
+	c := &checker{pass: pass, memo: map[types.Type]bool{}}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.FuncDecl:
+				c.checkFuncType(n.Type)
+				if n.Recv != nil {
+					c.checkFieldList(n.Recv, "method receiver")
+				}
+			case *ast.FuncLit:
+				c.checkFuncType(n.Type)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					c.checkExprCopy(r, "returned by value")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// noCopy reports whether t transitively contains an atomic counter or a
+// sync primitive by value.
+func (c *checker) noCopy(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cycle guard; value cycles are impossible anyway
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if isGuardedType(u) {
+			result = true
+		} else {
+			result = c.noCopy(u.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if c.noCopy(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.noCopy(u.Elem())
+	}
+	c.memo[t] = result
+	return result
+}
+
+// isGuardedType reports whether named is one of the stdlib types whose
+// values must not be copied.
+func isGuardedType(named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map":
+			return true
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Value", "Pointer":
+			return true
+		}
+	}
+	return false
+}
+
+// copiesValue reports whether evaluating e as an rvalue copies an
+// existing value (as opposed to constructing a fresh one).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkExprCopy(e ast.Expr, how string) {
+	if !copiesValue(e) {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if c.noCopy(t) {
+		c.pass.Reportf(e.Pos(), "%s %s: it holds atomic counters or sync primitives and must not be copied", typeName(t), how)
+	}
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func (c *checker) checkAssign(a *ast.AssignStmt) {
+	for _, r := range a.Rhs {
+		c.checkExprCopy(r, "copied by assignment")
+	}
+}
+
+func (c *checker) checkFuncType(ft *ast.FuncType) {
+	if ft.Params != nil {
+		c.checkFieldList(ft.Params, "passed by value as a parameter")
+	}
+	if ft.Results != nil {
+		c.checkFieldList(ft.Results, "declared as a by-value result")
+	}
+}
+
+func (c *checker) checkFieldList(fl *ast.FieldList, how string) {
+	for _, f := range fl.List {
+		t := c.pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if c.noCopy(t) {
+			c.pass.Reportf(f.Type.Pos(), "%s %s: it holds atomic counters or sync primitives and must not be copied", typeName(t), how)
+		}
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Conversions of such values are copies too, but conversions appear
+	// as CallExpr; both paths land in checkExprCopy via the argument.
+	for _, a := range call.Args {
+		c.checkExprCopy(a, "passed by value in a call")
+	}
+}
+
+func (c *checker) checkRange(r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	t := c.pass.TypesInfo.TypeOf(r.Value)
+	if c.noCopy(t) {
+		c.pass.Reportf(r.Value.Pos(), "%s copied by range value: iterate by index instead", typeName(t))
+	}
+}

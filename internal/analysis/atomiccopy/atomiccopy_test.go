@@ -1,0 +1,20 @@
+package atomiccopy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomiccopy"
+	"repro/internal/analysis/driver"
+)
+
+// TestGoldenBad checks that every seeded violation is reported exactly
+// where its // want comment says, and nowhere else.
+func TestGoldenBad(t *testing.T) {
+	driver.RunGolden(t, "testdata/bad", atomiccopy.New())
+}
+
+// TestGoldenClean checks that a conforming package produces no
+// diagnostics.
+func TestGoldenClean(t *testing.T) {
+	driver.RunGolden(t, "testdata/clean", atomiccopy.New())
+}

@@ -1,0 +1,62 @@
+// Package bad copies structs holding atomic counters and sync
+// primitives in every way the analyzer flags.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counters struct {
+	N atomic.Int64
+}
+
+type Wrapper struct {
+	Inner Counters
+	Name  string
+}
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sink int64
+
+func assignCopy(p *Counters) {
+	c := *p // want `Counters copied by assignment: it holds atomic counters or sync primitives and must not be copied`
+	sink = c.N.Load()
+}
+
+func byValueParam(c Counters) int64 { // want `Counters passed by value as a parameter: it holds atomic counters or sync primitives and must not be copied`
+	return c.N.Load()
+}
+
+func (c Counters) byValueRecv() int64 { // want `Counters method receiver: it holds atomic counters or sync primitives and must not be copied`
+	return c.N.Load()
+}
+
+func callCopy(p *Counters) {
+	sink = byValueParam(*p) // want `Counters passed by value in a call: it holds atomic counters or sync primitives and must not be copied`
+}
+
+func rangeCopy(list []Counters) {
+	for _, c := range list { // want `Counters copied by range value: iterate by index instead`
+		sink += c.N.Load()
+	}
+}
+
+func returnCopy(p *Counters) Counters { // want `Counters declared as a by-value result: it holds atomic counters or sync primitives and must not be copied`
+	return *p // want `Counters returned by value: it holds atomic counters or sync primitives and must not be copied`
+}
+
+// The guard is transitive through embedding and arrays.
+func copyWrapper(w *Wrapper) {
+	v := *w // want `Wrapper copied by assignment: it holds atomic counters or sync primitives and must not be copied`
+	sink = v.Inner.N.Load()
+}
+
+func copyGuarded(g *Guarded) int {
+	v := *g // want `Guarded copied by assignment: it holds atomic counters or sync primitives and must not be copied`
+	return v.n
+}

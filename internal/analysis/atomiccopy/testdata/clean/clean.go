@@ -1,0 +1,49 @@
+// Package clean moves counter-bearing structs only by pointer or
+// initializes them in place; the analyzer must stay silent.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Counters struct {
+	N atomic.Int64
+}
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Composite literals are initialization, not copies.
+var global = Counters{}
+
+func fresh() *Counters { return &Counters{} }
+
+func byPointer(p *Counters) int64 { return p.N.Load() }
+
+func (c *Counters) Inc() { c.N.Add(1) }
+
+func (g *Guarded) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Index iteration avoids the range-value copy.
+func total(list []Counters) int64 {
+	var sum int64
+	for i := range list {
+		sum += list[i].N.Load()
+	}
+	return sum
+}
+
+// Plain structs copy freely.
+type Plain struct{ A, B int }
+
+func copyPlain(p Plain) Plain {
+	q := p
+	return q
+}

@@ -1,0 +1,29 @@
+package bad
+
+// decodeDrop reads and returns without finish on a non-error path.
+func decodeDrop(payload []byte) byte {
+	d := &decoder{buf: payload}
+	v := d.u8()
+	return v // want `wire decoder "d" read on this path but finish\(\) never called`
+}
+
+// branchy finishes on one path but not the other.
+func branchy(payload []byte, c bool) (byte, error) {
+	d := &decoder{buf: payload}
+	v := d.u8()
+	if c {
+		return v, nil // want `wire decoder "d" read on this path but finish\(\) never called`
+	}
+	return v, d.finish("branchy")
+}
+
+// rawBuf touches the encoder's raw buffer outside the codec file.
+func rawBuf(e *encoder) []byte {
+	return e.buf // want `raw access to encoder\.buf outside the codec file`
+}
+
+// blankFrame throws away the sticky encode error.
+func blankFrame(e *encoder) []byte {
+	f, _ := e.frame() // want `frame\(\) error discarded with blank identifier`
+	return f
+}

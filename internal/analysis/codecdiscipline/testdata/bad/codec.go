@@ -1,0 +1,36 @@
+// Package bad is a self-contained replica of the repo's wire-codec
+// shape: a decoder with a finish method and an encoder with a frame
+// method. The analyzer keys on that structure, so these golden packages
+// need no module imports.
+package bad
+
+import "errors"
+
+var errShort = errors.New("short frame")
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.err = errShort
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) finish(what string) error { return d.err }
+
+type encoder struct {
+	buf []byte
+	err error
+}
+
+func (e *encoder) u8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *encoder) frame() ([]byte, error) { return e.buf, e.err }

@@ -1,0 +1,56 @@
+package clean
+
+import "errors"
+
+// decodeOK finishes before the success return.
+func decodeOK(payload []byte) (byte, error) {
+	d := &decoder{buf: payload}
+	v := d.u8()
+	if err := d.finish("ok"); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// errorPath returns a non-nil error mid-decode: the error supersedes
+// finish, so the path is exempt.
+func errorPath(payload []byte) (byte, error) {
+	d := &decoder{buf: payload}
+	v := d.u8()
+	if v == 0 {
+		return 0, errors.New("zero tag")
+	}
+	return v, d.finish("error path")
+}
+
+// escape returns the decoder: ownership and obligation move to the
+// caller.
+func escape(payload []byte) *decoder {
+	d := &decoder{buf: payload}
+	d.u8()
+	return d
+}
+
+// helper borrows a decoder by parameter; parameters carry no obligation.
+func helper(d *decoder) byte { return d.u8() }
+
+// borrower lends its decoder to helper and still owns the finish.
+func borrower(payload []byte) (byte, error) {
+	d := &decoder{buf: payload}
+	v := helper(d)
+	return v, d.finish("borrower")
+}
+
+// deferred discharges via defer at every later return.
+func deferred(payload []byte) int {
+	d := &decoder{buf: payload}
+	defer d.finish("deferred")
+	return int(d.u8())
+}
+
+// framed builds frames only through frame().
+func framed() ([]byte, error) {
+	e := getEncoder()
+	e.u8(1)
+	return e.frame()
+}

@@ -1,0 +1,42 @@
+// Package clean holds only conforming codec usage; the analyzer must
+// stay silent here.
+package clean
+
+import "errors"
+
+var errShort = errors.New("short frame")
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.err = errShort
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) finish(what string) error { return d.err }
+
+type encoder struct {
+	buf []byte
+	err error
+}
+
+func (e *encoder) u8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *encoder) frame() ([]byte, error) { return e.buf, e.err }
+
+// getEncoder lives in the codec file, so its raw buf access is the
+// implementation, not a bypass.
+func getEncoder() *encoder {
+	e := &encoder{}
+	e.buf = e.buf[:0]
+	return e
+}

@@ -1,0 +1,233 @@
+// Package driver is the repo's dependency-free static-analysis
+// framework: it loads Go packages (via `go list` plus go/parser), type
+// checks them with the stdlib source importer, runs a set of analyzers
+// over the result, and renders diagnostics with file:line positions.
+//
+// It is a deliberately small re-creation of the golang.org/x/tools
+// analysis driver shape — Analyzer, Pass, diagnostics, a golden-test
+// harness driven by `// want "regexp"` comments — built only on the
+// standard library so go.mod keeps zero requirements. Analyzers receive
+// one type-checked package at a time; an optional Finish hook runs after
+// every package has been seen, for cross-package checks (declared but
+// unreferenced fault sites, for example).
+//
+// Only non-test files are analyzed: the contracts the analyzers enforce
+// (wire-codec finish discipline, frame ownership, counter mirrors) bind
+// production code, while tests intentionally construct half-decoded or
+// misused values to probe error paths.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through an analyzer's Run.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Reportf records a diagnostic at pos.
+	Reportf func(pos token.Pos, format string, args ...any)
+}
+
+// Analyzer is one named check. Run is invoked once per package; Finish,
+// if non-nil, once after all packages, for checks that need the whole
+// program (an analyzer holding cross-package state reports there).
+// Analyzers are stateful and single-use: construct a fresh one per run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+	// Finish reports diagnostics that can only be decided after every
+	// package has been analyzed. Positions must be absolute (already
+	// resolved), since no single package is current.
+	Finish func(reportf func(pos token.Position, format string, args ...any))
+}
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (as `go list` would, e.g. "./...") to packages
+// and type-checks each from source. The process working directory must
+// be inside the target module: the stdlib source importer resolves
+// module-path imports through the go command, which is module-aware
+// only relative to the current directory.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, f))
+		}
+		p, err := check(fset, imp, lp.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		p.ImportPath = lp.ImportPath
+		p.Dir = lp.Dir
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir,
+// without consulting `go list`. It is the golden-test loader: testdata
+// packages import only the standard library, so the source importer can
+// resolve everything regardless of module context.
+func LoadDir(dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	p, err := check(fset, imp, "swiftvet.test/"+filepath.Base(dir), matches)
+	if err != nil {
+		return nil, err
+	}
+	p.Dir = dir
+	p.ImportPath = "swiftvet.test/" + filepath.Base(dir)
+	return p, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	var astFiles []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("type checking %s: %v", path, err)
+	}
+	return &Package{Fset: fset, Files: astFiles, Pkg: pkg, Info: info}, nil
+}
+
+// Run executes every analyzer over every package, then the Finish hooks,
+// and returns all diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, p := range pkgs {
+			name := a.Name
+			fset := p.Fset
+			pass := &Pass{
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Reportf: func(pos token.Pos, format string, args ...any) {
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(pos),
+						Analyzer: name,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		name := a.Name
+		a.Finish(func(pos token.Position, format string, args ...any) {
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: name, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,108 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// countState is a trivial FlowState for exercising the walker.
+type countState struct{}
+
+func (countState) Clone() FlowState   { return countState{} }
+func (countState) Join(FlowState)     {}
+func (countState) CopyFrom(FlowState) {}
+
+func parseFuncs(t *testing.T, src string) (*token.FileSet, map[string]*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := map[string]*ast.FuncDecl{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fns[fd.Name.Name] = fd
+		}
+	}
+	return fset, fns
+}
+
+// TestFlowWalkerReturns checks path enumeration: explicit returns are
+// visited once each, an infinite loop terminates its path, and a panic
+// branch does not reach the implicit fall-off.
+func TestFlowWalkerReturns(t *testing.T) {
+	const src = `package p
+
+func branches(c bool) int {
+	if c {
+		return 1
+	}
+	for {
+		if c {
+			return 2
+		}
+	}
+}
+
+func fallsOff(c bool) {
+	if c {
+		panic("boom")
+	}
+}
+`
+	_, fns := parseFuncs(t, src)
+
+	run := func(name string) (explicit, implicit int) {
+		w := &FlowWalker{
+			AtReturn: func(pos token.Pos, ret *ast.ReturnStmt, st FlowState) {
+				if ret != nil {
+					explicit++
+				} else {
+					implicit++
+				}
+			},
+		}
+		w.Walk(fns[name].Body, countState{})
+		return
+	}
+
+	explicit, implicit := run("branches")
+	if explicit != 2 || implicit != 0 {
+		t.Errorf("branches: got %d explicit / %d implicit returns, want 2/0", explicit, implicit)
+	}
+	explicit, implicit = run("fallsOff")
+	if explicit != 0 || implicit != 1 {
+		t.Errorf("fallsOff: got %d explicit / %d implicit returns, want 0/1", explicit, implicit)
+	}
+}
+
+// TestLoadDirTypeError checks that a package that does not type-check is
+// reported as a load error, not analyzed.
+func TestLoadDirTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc f() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir accepted a package with type errors")
+	}
+}
+
+// TestDiagnosticString checks the file:line:col rendering swiftvet
+// prints.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "demo",
+		Message:  "bad thing",
+	}
+	if got, want := d.String(), "x.go:3:7: bad thing [demo]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,297 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FlowState is the analyzer-defined abstract state threaded along the
+// paths of one function body. Join must combine two states that reach
+// the same point along alternative paths ("must" facts AND together,
+// "may" facts OR together); CopyFrom overwrites the receiver with src.
+type FlowState interface {
+	Clone() FlowState
+	Join(other FlowState)
+	CopyFrom(src FlowState)
+}
+
+// FlowWalker drives a lightweight path-sensitive walk over a function
+// body without building a CFG: statements compose sequentially, the
+// branches of if/switch/select walk independently and join, and loop
+// bodies walk once with the result joined against the loop-skipped
+// state (so facts established inside a loop are "may", not "must").
+// break, continue, and goto are approximated as no-ops; the repo's
+// packages do not use them to carry codec or ownership obligations
+// across a join. Bodies of func literals are NOT entered — the caller
+// analyzes them as functions in their own right — but EvalExpr sees the
+// literal, so captures can be modeled as escapes.
+type FlowWalker struct {
+	// EvalExpr applies the effect of evaluating e on st.
+	EvalExpr func(e ast.Expr, st FlowState)
+	// EvalAssign, if non-nil, fully handles an assignment or short
+	// declaration (the hook owns evaluation order and alias tracking).
+	// When nil, the walker evaluates RHS then LHS expressions.
+	EvalAssign func(s *ast.AssignStmt, st FlowState)
+	// EvalDefer applies the effect of a deferred call: it runs at every
+	// subsequent return, not at the defer site, so analyzers typically
+	// record a weaker "discharged at exit" fact than for an inline call.
+	EvalDefer func(call *ast.CallExpr, st FlowState)
+	// AtReturn observes a path leaving the function: an explicit return
+	// (results already evaluated into st) or, with ret == nil, the
+	// implicit fall-off at the end of the body.
+	AtReturn func(pos token.Pos, ret *ast.ReturnStmt, st FlowState)
+}
+
+// Walk runs the walker over body starting from st.
+func (w *FlowWalker) Walk(body *ast.BlockStmt, st FlowState) {
+	if body == nil {
+		return
+	}
+	if w.EvalExpr == nil {
+		w.EvalExpr = func(ast.Expr, FlowState) {}
+	}
+	if w.AtReturn == nil {
+		w.AtReturn = func(token.Pos, *ast.ReturnStmt, FlowState) {}
+	}
+	if terminated := w.stmts(body.List, st); !terminated {
+		w.AtReturn(body.End()-1, nil, st)
+	}
+}
+
+// stmts walks a statement list, returning true if every path through it
+// leaves the function (return or panic) before reaching the end.
+func (w *FlowWalker) stmts(list []ast.Stmt, st FlowState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *FlowWalker) stmt(s ast.Stmt, st FlowState) (terminated bool) {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ExprStmt:
+		w.EvalExpr(s.X, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		if w.EvalAssign != nil {
+			w.EvalAssign(s, st)
+			return false
+		}
+		for _, e := range s.Rhs {
+			w.EvalExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.EvalExpr(e, st)
+		}
+		return false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt,
+		*ast.BranchStmt:
+		evalShallow(w, s, st)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.EvalExpr(e, st)
+		}
+		w.AtReturn(s.Pos(), s, st)
+		return true
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			w.EvalExpr(a, st)
+		}
+		if w.EvalDefer != nil {
+			w.EvalDefer(s.Call, st)
+		}
+		return false
+	case *ast.GoStmt:
+		w.EvalExpr(s.Call.Fun, st)
+		for _, a := range s.Call.Args {
+			w.EvalExpr(a, st)
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.EvalExpr(s.Cond, st)
+		thenSt := st.Clone()
+		thenTerm := w.stmts(s.Body.List, thenSt)
+		elseSt := st.Clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		return joinInto(st, []branch{{thenSt, thenTerm}, {elseSt, elseTerm}})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.EvalExpr(s.Tag, st)
+		}
+		return w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		var branches []branch
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			bst := st.Clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, bst)
+			}
+			branches = append(branches, branch{bst, w.stmts(cc.Body, bst)})
+		}
+		if !hasDefault {
+			branches = append(branches, branch{st.Clone(), false})
+		}
+		return joinInto(st, branches)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.EvalExpr(s.Cond, st)
+		}
+		bodySt := st.Clone()
+		bodyTerm := w.stmts(s.Body.List, bodySt)
+		if !bodyTerm && s.Post != nil {
+			w.stmt(s.Post, bodySt)
+		}
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// for{} with no break never falls through; the only exits are
+			// returns inside the body, already observed.
+			return true
+		}
+		if !bodyTerm {
+			st.Join(bodySt)
+		}
+		return false
+	case *ast.RangeStmt:
+		w.EvalExpr(s.X, st)
+		bodySt := st.Clone()
+		if !w.stmts(s.Body.List, bodySt) {
+			st.Join(bodySt)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// evalShallow feeds the top-level expressions of a simple statement to
+// EvalExpr (which recurses into subtrees itself).
+func evalShallow(w *FlowWalker, s ast.Stmt, st FlowState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if n == nil || n == s {
+			return true
+		}
+		if e, ok := n.(ast.Expr); ok {
+			w.EvalExpr(e, st)
+			return false
+		}
+		return true
+	})
+}
+
+// caseClauses joins the paths of a switch body; a missing default adds
+// the fall-past path.
+func (w *FlowWalker) caseClauses(body *ast.BlockStmt, st FlowState) bool {
+	var branches []branch
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bst := st.Clone()
+		for _, e := range cc.List {
+			w.EvalExpr(e, bst)
+		}
+		branches = append(branches, branch{bst, w.stmts(cc.Body, bst)})
+	}
+	if !hasDefault {
+		branches = append(branches, branch{st.Clone(), false})
+	}
+	return joinInto(st, branches)
+}
+
+type branch struct {
+	st         FlowState
+	terminated bool
+}
+
+// joinInto joins every non-terminated branch state into st, returning
+// true when all branches terminated (nothing falls through).
+func joinInto(st FlowState, branches []branch) bool {
+	first := true
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		if first {
+			st.CopyFrom(b.st)
+			first = false
+			continue
+		}
+		st.Join(b.st)
+	}
+	return first
+}
+
+// hasBreak reports whether body contains a break that could exit the
+// enclosing loop (ignores breaks inside nested loops/switches, which
+// bind tighter — but counts labeled breaks conservatively).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && (depth == 0 || n.Label != nil) {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			scanChildren(n, depth+1, scan)
+		case *ast.FuncLit:
+			return
+		default:
+			scanChildren(n, depth, scan)
+		}
+	}
+	scanChildren(body, 0, scan)
+	return found
+}
+
+func scanChildren(n ast.Node, depth int, scan func(ast.Node, int)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		scan(c, depth)
+		return false
+	})
+}

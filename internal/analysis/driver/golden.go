@@ -1,0 +1,114 @@
+package driver
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a `// want "regexp"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// RunGolden loads the testdata package at dir, runs the analyzers over
+// it, and checks the diagnostics against `// want "regexp"` comments:
+// every diagnostic must land on a line carrying a matching want, and
+// every want must be matched by at least one diagnostic. Multiple wants
+// may share a line (`// want "a" "b"`); each is matched independently.
+func RunGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, pkg, c)...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the want expectations from one comment.
+func parseWants(t *testing.T, pkg *Package, c *ast.Comment) []*want {
+	t.Helper()
+	text := c.Text
+	i := strings.Index(text, "want ")
+	if !strings.HasPrefix(text, "//") || i < 0 {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(text[i+len("want "):])
+	var out []*want
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := -1
+			for j := 1; j < len(rest); j++ {
+				if rest[j] == '\\' {
+					j++
+					continue
+				}
+				if rest[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want string: %s", pos.Filename, pos.Line, rest)
+			}
+			var err error
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, rest[:end+1], err)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want string: %s", pos.Filename, pos.Line, rest)
+			}
+			lit = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s:%d: malformed want clause: %s", pos.Filename, pos.Line, rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+	}
+	return out
+}

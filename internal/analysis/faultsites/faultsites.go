@@ -1,0 +1,188 @@
+// Package faultsites keeps the fault-injection site registry honest:
+//
+//   - every argument to faultinject.At, faultinject.Armed, or
+//     faultinject.Arm must be a declared constant of the named type Site
+//     — string literals and ad-hoc Site("...") conversions would create
+//     sites the harness's site list does not know about;
+//   - no two Site constants may share a string value (a duplicate makes
+//     Arm ambiguous);
+//   - every declared Site must be referenced by non-test code somewhere
+//     in the analyzed packages, so the registry cannot accumulate dead
+//     sites that tests keep arming to no effect.
+//
+// The never-referenced check is whole-program: it accumulates across all
+// analyzed packages and reports from the analyzer's Finish hook, so it
+// is only meaningful when swiftvet runs over ./... (the golden tests
+// exercise it within a single self-contained package). Sites are keyed
+// by qualified name, not object identity: the loader type-checks a
+// directly-listed package and its imported copy separately.
+package faultsites
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// New returns a fresh analyzer instance. The instance carries the
+// cross-package site registry, so one instance must see every package of
+// a run (driver.Run guarantees this).
+func New() *driver.Analyzer {
+	c := &checker{
+		declared: map[string]token.Position{},
+		byValue:  map[string]string{},
+		used:     map[string]bool{},
+	}
+	return &driver.Analyzer{
+		Name:   "faultsites",
+		Doc:    "fault-injection sites must be declared Site constants, unique, and referenced",
+		Run:    c.run,
+		Finish: c.finish,
+	}
+}
+
+type checker struct {
+	declared map[string]token.Position // qualified const name -> decl position
+	byValue  map[string]string         // site string value -> qualified const name
+	used     map[string]bool           // qualified const name -> referenced
+}
+
+func qualify(cn *types.Const) string {
+	if cn.Pkg() == nil {
+		return cn.Name()
+	}
+	return cn.Pkg().Path() + "." + cn.Name()
+}
+
+func (c *checker) run(pass *driver.Pass) {
+	c.collectDecls(pass)
+	c.collectUses(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			c.checkCall(pass, call)
+			return true
+		})
+	}
+}
+
+// isSiteType reports whether t is a named type called Site whose
+// underlying type is string.
+func isSiteType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Site" {
+		return false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// collectDecls registers every package-scope Site constant and reports
+// duplicate string values as they appear.
+func (c *checker) collectDecls(pass *driver.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isSiteType(cn.Type()) {
+			continue
+		}
+		q := qualify(cn)
+		val := cn.Val().String()
+		if prev, ok := c.byValue[val]; ok && prev != q {
+			pass.Reportf(cn.Pos(), "fault site %s duplicates the value of %s: Arm(%s) would be ambiguous", cn.Name(), prev, val)
+			continue
+		}
+		c.byValue[val] = q
+		c.declared[q] = pass.Fset.Position(cn.Pos())
+	}
+}
+
+// collectUses records every reference to a Site constant anywhere in the
+// package (argument positions, tables, switches all count as liveness).
+func (c *checker) collectUses(pass *driver.Pass) {
+	for _, obj := range pass.TypesInfo.Uses {
+		if cn, ok := obj.(*types.Const); ok && isSiteType(cn.Type()) {
+			c.used[qualify(cn)] = true
+		}
+	}
+}
+
+// checkCall enforces const-only arguments at faultinject entry points.
+func (c *checker) checkCall(pass *driver.Pass, call *ast.CallExpr) {
+	var funIdent *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		funIdent = fun
+	case *ast.SelectorExpr:
+		funIdent = fun.Sel
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[funIdent].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "faultinject" {
+		return
+	}
+	switch fn.Name() {
+	case "At", "Armed", "Arm":
+	default:
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	// A plain identifier or pkg.Name selector resolving to a Site const.
+	var argIdent *ast.Ident
+	switch a := arg.(type) {
+	case *ast.Ident:
+		argIdent = a
+	case *ast.SelectorExpr:
+		argIdent = a.Sel
+	}
+	if argIdent != nil {
+		if cn, ok := pass.TypesInfo.Uses[argIdent].(*types.Const); ok && isSiteType(cn.Type()) {
+			return
+		}
+	}
+
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		pass.Reportf(a.Pos(), "faultinject.%s called with a string literal; declare a Site constant so the site registry stays complete", fn.Name())
+	case *ast.CallExpr:
+		pass.Reportf(a.Pos(), "faultinject.%s called with an ad-hoc conversion; declare a Site constant instead", fn.Name())
+	default:
+		pass.Reportf(arg.Pos(), "faultinject.%s argument must be a declared Site constant, not a computed value", fn.Name())
+	}
+}
+
+// finish reports declared-but-never-referenced sites once all packages
+// have been seen.
+func (c *checker) finish(reportf func(pos token.Position, format string, args ...any)) {
+	for q, pos := range c.declared {
+		if !c.used[q] {
+			name := q
+			if i := lastDot(q); i >= 0 {
+				name = q[i+1:]
+			}
+			reportf(pos, "fault site %s is declared but never referenced by non-test code; remove it or wire it into a crash point", name)
+		}
+	}
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,26 @@
+// This golden package is itself named faultinject: the analyzer matches
+// crash-point calls by the defining package's name, so a self-contained
+// replica of the Site type and the At/Armed/Arm entry points exercises
+// the same code paths as the real registry.
+package faultinject
+
+type Site string
+
+const (
+	SiteGood   Site = "good.site"
+	SiteA      Site = "shared.value"
+	SiteB      Site = "shared.value" // want `fault site SiteB duplicates the value of swiftvet\.test/bad\.SiteA`
+	SiteUnused Site = "unused.site"  // want `fault site SiteUnused is declared but never referenced by non-test code`
+)
+
+func At(name Site) error { return nil }
+
+func Armed(name Site) bool { return false }
+
+func prod(v Site) {
+	_ = At(SiteGood)
+	_ = Armed(SiteA)
+	_ = At("raw.literal")            // want `faultinject\.At called with a string literal`
+	_ = At(Site("adhoc.conversion")) // want `faultinject\.At called with an ad-hoc conversion`
+	_ = At(v)                        // want `faultinject\.At argument must be a declared Site constant, not a computed value`
+}

@@ -1,0 +1,18 @@
+// A conforming faultinject replica: every site is a declared constant,
+// every constant is referenced, and every crash-point call names one.
+package faultinject
+
+type Site string
+
+const (
+	SiteOne Site = "site.one"
+	SiteTwo Site = "site.two"
+)
+
+func At(name Site) error { return nil }
+
+func Armed(name Site) bool { return false }
+
+func prodOne() error { return At(SiteOne) }
+
+func prodTwo() bool { return Armed(SiteTwo) }

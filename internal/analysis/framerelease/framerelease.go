@@ -1,0 +1,421 @@
+// Package framerelease enforces the pooled-frame ownership contract of
+// the PR 7 data plane: a buffer obtained from Comm.Recv / RecvTimeout
+// is owned by the receiving function, and within that function it must
+// either reach Comm.Release on every return path that used it, or have
+// its ownership visibly transferred (returned, stored into a field,
+// slice, or map, passed to another function, or captured by a closure).
+// After Release, the frame belongs to the pool: any further use of the
+// buffer or of a slice derived from it — including a second Release —
+// is a use-after-free the garbage collector will never catch, because
+// the next Send may already own the bytes.
+//
+// The analyzer keys on structure, not import paths: it tracks results
+// of methods named Recv/RecvTimeout on a named type `Comm` that also
+// has a `Release` method (internal/mpi today, a TCP transport handle
+// tomorrow). Copying builtins (len, cap, copy, append with ...,
+// string/byte conversions) count as uses, not transfers; appending the
+// slice header itself into a container is a transfer.
+package framerelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// New returns a fresh analyzer instance.
+func New() *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "framerelease",
+		Doc:  "frames from Comm.Recv must reach Comm.Release on every used path and never be touched after",
+		Run:  run,
+	}
+}
+
+func run(pass *driver.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// frameState is the per-path state of each tracked frame group. All
+// three facts are "may" facts OR'd at joins: outstanding means some
+// path reaching here used the frame with Release still due (a frame
+// bound and discharged wholly inside one branch contributes nothing to
+// the joined state, so the untaken branch cannot mask or fake a leak);
+// released and dead likewise record that some path released or
+// transferred the frame, arming the use-after-release checks.
+type frameState struct {
+	outstanding map[int]bool
+	released    map[int]bool
+	dead        map[int]bool
+}
+
+func newFrameState() *frameState {
+	return &frameState{
+		outstanding: map[int]bool{},
+		released:    map[int]bool{},
+		dead:        map[int]bool{},
+	}
+}
+
+func (s *frameState) Clone() driver.FlowState {
+	n := newFrameState()
+	n.CopyFrom(s)
+	return n
+}
+
+func (s *frameState) CopyFrom(src driver.FlowState) {
+	o := src.(*frameState)
+	s.outstanding = cloneSet(o.outstanding)
+	s.released = cloneSet(o.released)
+	s.dead = cloneSet(o.dead)
+}
+
+func (s *frameState) Join(other driver.FlowState) {
+	o := other.(*frameState)
+	orInto(s.outstanding, o.outstanding) // a leak on any path is a leak
+	orInto(s.released, o.released)       // a release on any path arms use-after
+	orInto(s.dead, o.dead)               // any transfer ends the obligation
+}
+
+func cloneSet(m map[int]bool) map[int]bool {
+	n := make(map[int]bool, len(m))
+	for k, v := range m {
+		n[k] = v
+	}
+	return n
+}
+
+func orInto(dst, src map[int]bool) {
+	for k, v := range src {
+		if v {
+			dst[k] = true
+		}
+	}
+}
+
+type checker struct {
+	pass *driver.Pass
+	// groups maps a variable to its frame group; aliases share a group.
+	groups map[types.Object]int
+	names  map[int]string
+	next   int
+	// deferred marks groups with a deferred Release. A defer discharges
+	// the obligation at every later return, so it is a property of the
+	// group, not of one path: defers sit next to the binding in practice.
+	deferred map[int]bool
+}
+
+func checkFunc(pass *driver.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, groups: map[types.Object]int{}, names: map[int]string{}, deferred: map[int]bool{}}
+	w := &driver.FlowWalker{
+		EvalExpr:   func(e ast.Expr, fs driver.FlowState) { c.evalExpr(e, fs.(*frameState)) },
+		EvalAssign: func(a *ast.AssignStmt, fs driver.FlowState) { c.evalAssign(a, fs.(*frameState)) },
+		EvalDefer:  func(call *ast.CallExpr, fs driver.FlowState) { c.evalDefer(call, fs.(*frameState)) },
+		AtReturn: func(pos token.Pos, ret *ast.ReturnStmt, fs driver.FlowState) {
+			s := fs.(*frameState)
+			for _, g := range c.liveGroups() {
+				if s.outstanding[g] && !s.dead[g] && !c.deferred[g] {
+					c.pass.Reportf(pos, "frame %q from Recv is used on this path but never Released: the pooled buffer leaks back to the garbage collector instead of the frame pool", c.names[g])
+					delete(s.outstanding, g) // one report per path suffices
+				}
+			}
+		},
+	}
+	w.Walk(body, newFrameState())
+}
+
+func (c *checker) liveGroups() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, g := range c.groups {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// isCommMethod reports whether call is a method call named name on a
+// value whose named type is Comm (with the receiver expr returned).
+func (c *checker) isCommMethod(call *ast.CallExpr, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	match := ""
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = n
+		}
+	}
+	if match == "" {
+		return "", false
+	}
+	t := c.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Comm" {
+		return "", false
+	}
+	return match, true
+}
+
+// frameGroup resolves e (through parens and slicing) to the frame group
+// it aliases, or -1.
+func (c *checker) frameGroup(e ast.Expr) int {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return -1
+			}
+			obj := c.pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return -1
+			}
+			if g, ok := c.groups[obj]; ok {
+				return g
+			}
+			return -1
+		}
+	}
+}
+
+// use marks a read of the group, reporting use-after-release.
+func (c *checker) use(g int, pos token.Pos, st *frameState) {
+	if g < 0 {
+		return
+	}
+	if st.released[g] {
+		c.pass.Reportf(pos, "frame %q used after Release: the pool may already have handed its bytes to an unrelated Send", c.names[g])
+		return
+	}
+	st.outstanding[g] = true
+}
+
+// transfer ends the obligation: ownership visibly moved elsewhere.
+func (c *checker) transfer(g int, pos token.Pos, st *frameState) {
+	if g < 0 {
+		return
+	}
+	if st.released[g] {
+		c.pass.Reportf(pos, "frame %q escapes after Release: the receiver would alias recycled pool memory", c.names[g])
+	}
+	st.dead[g] = true
+	delete(st.outstanding, g)
+}
+
+func (c *checker) evalExpr(e ast.Expr, st *frameState) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		c.evalCall(e, st)
+	case *ast.Ident:
+		c.transfer(c.frameGroup(e), e.Pos(), st)
+	case *ast.SliceExpr:
+		// A bare subslice outside a recognized copying context escapes
+		// conservatively only via its enclosing expression; slicing
+		// itself is a use.
+		c.use(c.frameGroup(e.X), e.Pos(), st)
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			c.evalExpr(idx, st)
+		}
+	case *ast.IndexExpr:
+		c.use(c.frameGroup(e.X), e.Pos(), st)
+		c.evalExpr(e.Index, st)
+	case *ast.FuncLit:
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if g := c.frameGroup(id); g >= 0 {
+					c.transfer(g, id.Pos(), st)
+				}
+			}
+			return true
+		})
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == e {
+				return true
+			}
+			if sub, ok := n.(ast.Expr); ok {
+				c.evalExpr(sub, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) evalCall(call *ast.CallExpr, st *frameState) {
+	// Release on a tracked frame discharges it (twice is an error).
+	if name, ok := c.isCommMethod(call, "Release"); ok && name == "Release" && len(call.Args) == 1 {
+		if g := c.frameGroup(call.Args[0]); g >= 0 {
+			if st.released[g] {
+				c.pass.Reportf(call.Pos(), "frame %q Released twice: the pool would hand the same buffer to two Sends", c.names[g])
+			}
+			st.released[g] = true
+			delete(st.outstanding, g)
+			return
+		}
+	}
+
+	// Type conversions (string(data), []byte(data)) copy: a use.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			if g := c.frameGroup(a); g >= 0 {
+				c.use(g, a.Pos(), st)
+				continue
+			}
+			c.evalExpr(a, st)
+		}
+		return
+	}
+
+	// Copying builtins are uses; appending a slice header is a transfer.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap", "copy":
+			for _, a := range call.Args {
+				if g := c.frameGroup(a); g >= 0 {
+					c.use(g, a.Pos(), st)
+					continue
+				}
+				c.evalExpr(a, st)
+			}
+			return
+		case "append":
+			for i, a := range call.Args {
+				g := c.frameGroup(a)
+				if g < 0 {
+					c.evalExpr(a, st)
+					continue
+				}
+				if i > 0 && call.Ellipsis == token.NoPos {
+					// append(list, frame): the header itself is stored.
+					c.transfer(g, a.Pos(), st)
+				} else {
+					c.use(g, a.Pos(), st)
+				}
+			}
+			return
+		}
+	}
+
+	// Any other call receiving the frame (or a subslice) transfers
+	// ownership to the callee.
+	c.evalExpr(call.Fun, st)
+	for _, a := range call.Args {
+		ae := a
+		for {
+			if p, ok := ae.(*ast.ParenExpr); ok {
+				ae = p.X
+				continue
+			}
+			break
+		}
+		if g := c.frameGroup(ae); g >= 0 {
+			c.transfer(g, ae.Pos(), st)
+			continue
+		}
+		c.evalExpr(a, st)
+	}
+}
+
+func (c *checker) evalAssign(a *ast.AssignStmt, st *frameState) {
+	// New frame: x, ... := comm.Recv(...) / RecvTimeout(...).
+	if len(a.Rhs) == 1 {
+		if call, ok := a.Rhs[0].(*ast.CallExpr); ok {
+			if _, ok := c.isCommMethod(call, "Recv", "RecvTimeout"); ok {
+				for _, arg := range call.Args {
+					c.evalExpr(arg, st)
+				}
+				if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					obj := c.defOrUse(id)
+					if obj != nil {
+						g := c.next
+						c.next++
+						c.groups[obj] = g
+						c.names[g] = id.Name
+					}
+				}
+				for _, l := range a.Lhs[1:] {
+					c.evalExpr(l, st)
+				}
+				return
+			}
+		}
+	}
+
+	// Alias: w := frame or w := frame[i:j].
+	if len(a.Lhs) == 1 && len(a.Rhs) == 1 {
+		if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if g := c.frameGroup(a.Rhs[0]); g >= 0 {
+				c.use(g, a.Rhs[0].Pos(), st)
+				if obj := c.defOrUse(id); obj != nil {
+					c.groups[obj] = g
+				}
+				return
+			}
+		}
+	}
+
+	for _, e := range a.Rhs {
+		c.evalExpr(e, st)
+	}
+	for _, e := range a.Lhs {
+		if id, ok := e.(*ast.Ident); ok {
+			// Rebinding a variable drops its alias relationship.
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				delete(c.groups, obj)
+			}
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				delete(c.groups, obj)
+			}
+			continue
+		}
+		c.evalExpr(e, st)
+	}
+}
+
+func (c *checker) defOrUse(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *checker) evalDefer(call *ast.CallExpr, st *frameState) {
+	if name, ok := c.isCommMethod(call, "Release"); ok && name == "Release" && len(call.Args) == 1 {
+		if g := c.frameGroup(call.Args[0]); g >= 0 {
+			// Deferred release satisfies the obligation at every later
+			// return without forbidding uses in between.
+			c.deferred[g] = true
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/framerelease"
+)
+
+// TestGoldenBad checks that every seeded violation is reported exactly
+// where its // want comment says, and nowhere else.
+func TestGoldenBad(t *testing.T) {
+	driver.RunGolden(t, "testdata/bad", framerelease.New())
+}
+
+// TestGoldenClean checks that a conforming package produces no
+// diagnostics.
+func TestGoldenClean(t *testing.T) {
+	driver.RunGolden(t, "testdata/clean", framerelease.New())
+}

@@ -1,0 +1,178 @@
+// Package statsmirror turns the repo's per-package Stats/Snapshot
+// reflection tests into a compile-time, all-packages guarantee. For
+// every named struct type S that carries sync/atomic.Int64 counters and
+// has a sibling type named S+"Snapshot" in the same package, it checks:
+//
+//   - field-name parity: every exported atomic.Int64 counter of S has a
+//     plain int64 field of the same name in the snapshot, and every
+//     int64 field of the snapshot corresponds to a counter of S (a
+//     removed counter must not keep reporting a stale zero);
+//   - the Snapshot() method exists and loads every counter: its body
+//     must both call .Load() on each counter field and assign each
+//     snapshot field, so a counter added to one side cannot silently
+//     read zero in /statsz forever.
+//
+// The runtime backstop for the same contract is internal/statstest,
+// kept because reflection also exercises Snapshot()'s copy semantics.
+package statsmirror
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// New returns a fresh analyzer instance.
+func New() *driver.Analyzer {
+	return &driver.Analyzer{
+		Name: "statsmirror",
+		Doc:  "atomic counter structs must mirror exactly into their Snapshot siblings",
+		Run:  run,
+	}
+}
+
+func run(pass *driver.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		stats, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		statsStruct, ok := stats.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		counters := atomicFields(statsStruct)
+		if len(counters) == 0 {
+			continue
+		}
+		snapObj, ok := scope.Lookup(name + "Snapshot").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		snap, ok := snapObj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		snapStruct, ok := snap.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		checkPair(pass, stats, statsStruct, snap, snapStruct, counters)
+	}
+}
+
+// atomicFields returns the exported sync/atomic.Int64 fields of s.
+func atomicFields(s *types.Struct) []*types.Var {
+	var out []*types.Var
+	for i := 0; i < s.NumFields(); i++ {
+		f := s.Field(i)
+		if f.Exported() && isAtomicInt64(f.Type()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func isAtomicInt64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Int64" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isInt64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+func checkPair(pass *driver.Pass, stats *types.Named, statsStruct *types.Struct, snap *types.Named, snapStruct *types.Struct, counters []*types.Var) {
+	snapFields := map[string]*types.Var{}
+	for i := 0; i < snapStruct.NumFields(); i++ {
+		f := snapStruct.Field(i)
+		snapFields[f.Name()] = f
+	}
+	counterNames := map[string]bool{}
+	for _, f := range counters {
+		counterNames[f.Name()] = true
+		sf, ok := snapFields[f.Name()]
+		if !ok {
+			pass.Reportf(f.Pos(), "counter %s.%s has no mirror field in %s", stats.Obj().Name(), f.Name(), snap.Obj().Name())
+			continue
+		}
+		if !isInt64(sf.Type()) {
+			pass.Reportf(sf.Pos(), "%s.%s mirrors an atomic counter but is %s, want int64", snap.Obj().Name(), sf.Name(), sf.Type())
+		}
+	}
+	for i := 0; i < snapStruct.NumFields(); i++ {
+		f := snapStruct.Field(i)
+		if isInt64(f.Type()) && !counterNames[f.Name()] {
+			pass.Reportf(f.Pos(), "%s.%s has no counter in %s: a removed counter must not keep reporting zero", snap.Obj().Name(), f.Name(), stats.Obj().Name())
+		}
+	}
+
+	decl := snapshotMethodDecl(pass, stats)
+	if decl == nil {
+		pass.Reportf(stats.Obj().Pos(), "%s has atomic counters and a %s sibling but no Snapshot() method", stats.Obj().Name(), snap.Obj().Name())
+		return
+	}
+	loaded := map[string]bool{}
+	assigned := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// <recv>.<Field>.Load()
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					loaded[inner.Sel.Name] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				assigned[id.Name] = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if sel, ok := l.(*ast.SelectorExpr); ok {
+					assigned[sel.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, f := range counters {
+		if !loaded[f.Name()] {
+			pass.Reportf(decl.Pos(), "%s.Snapshot() never loads counter %s", stats.Obj().Name(), f.Name())
+		} else if !assigned[f.Name()] {
+			pass.Reportf(decl.Pos(), "%s.Snapshot() never assigns mirror field %s", stats.Obj().Name(), f.Name())
+		}
+	}
+}
+
+// snapshotMethodDecl finds the AST of the Snapshot method declared on
+// stats (value or pointer receiver) in this package's files.
+func snapshotMethodDecl(pass *driver.Pass, stats *types.Named) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Snapshot" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == stats.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

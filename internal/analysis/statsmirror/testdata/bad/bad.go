@@ -1,0 +1,78 @@
+// Package bad exercises every statsmirror diagnostic: missing mirrors,
+// mistyped mirrors, stale mirrors, and Snapshot() methods that are
+// missing or incomplete.
+package bad
+
+import "sync/atomic"
+
+// AStats grew a counter whose mirror was never added.
+type AStats struct {
+	Puts atomic.Int64
+	Gets atomic.Int64 // want `counter AStats\.Gets has no mirror field in AStatsSnapshot`
+}
+
+type AStatsSnapshot struct {
+	Puts int64
+}
+
+func (s *AStats) Snapshot() AStatsSnapshot { // want `AStats\.Snapshot\(\) never loads counter Gets`
+	return AStatsSnapshot{Puts: s.Puts.Load()}
+}
+
+// BStatsSnapshot mirrors a counter with the wrong type.
+type BStats struct {
+	Hits atomic.Int64
+}
+
+type BStatsSnapshot struct {
+	Hits string // want `BStatsSnapshot\.Hits mirrors an atomic counter but is string, want int64`
+}
+
+func (s *BStats) Snapshot() BStatsSnapshot {
+	var out BStatsSnapshot
+	_ = s.Hits.Load()
+	out.Hits = ""
+	return out
+}
+
+// CStatsSnapshot kept a mirror after its counter was removed.
+type CStats struct {
+	Used atomic.Int64
+}
+
+type CStatsSnapshot struct {
+	Used  int64
+	Freed int64 // want `CStatsSnapshot\.Freed has no counter in CStats: a removed counter must not keep reporting zero`
+}
+
+func (s *CStats) Snapshot() CStatsSnapshot {
+	return CStatsSnapshot{Used: s.Used.Load()}
+}
+
+// DStats has the sibling but never grew a Snapshot method.
+type DStats struct { // want `DStats has atomic counters and a DStatsSnapshot sibling but no Snapshot\(\) method`
+	N atomic.Int64
+}
+
+type DStatsSnapshot struct {
+	N int64
+}
+
+// EStats loads a counter but drops the value instead of assigning its
+// mirror.
+type EStats struct {
+	A atomic.Int64
+	B atomic.Int64
+}
+
+type EStatsSnapshot struct {
+	A int64
+	B int64
+}
+
+func (s *EStats) Snapshot() EStatsSnapshot { // want `EStats\.Snapshot\(\) never assigns mirror field B`
+	var out EStatsSnapshot
+	out.A = s.A.Load()
+	_ = s.B.Load()
+	return out
+}

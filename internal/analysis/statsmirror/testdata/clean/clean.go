@@ -1,0 +1,48 @@
+// Package clean holds conforming Stats/StatsSnapshot pairs plus shapes
+// the analyzer must ignore.
+package clean
+
+import "sync/atomic"
+
+// PoolStats/PoolStatsSnapshot is a complete, well-typed pair.
+type PoolStats struct {
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+type PoolStatsSnapshot struct {
+	Hits   int64
+	Misses int64
+}
+
+func (s *PoolStats) Snapshot() PoolStatsSnapshot {
+	return PoolStatsSnapshot{
+		Hits:   s.Hits.Load(),
+		Misses: s.Misses.Load(),
+	}
+}
+
+// FieldStats uses assignment form rather than a composite literal.
+type FieldStats struct {
+	Opens atomic.Int64
+}
+
+type FieldStatsSnapshot struct {
+	Opens int64
+}
+
+func (s *FieldStats) Snapshot() FieldStatsSnapshot {
+	var out FieldStatsSnapshot
+	out.Opens = s.Opens.Load()
+	return out
+}
+
+// Loner has counters but no Snapshot sibling: out of scope.
+type Loner struct {
+	N atomic.Int64
+}
+
+// OrphanSnapshot has the suffix but no counter struct: out of scope.
+type OrphanSnapshot struct {
+	N int64
+}

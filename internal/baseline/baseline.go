@@ -61,6 +61,9 @@ func runMaster(c *mpi.Comm, tasks []Task) (map[int][]byte, error) {
 		}
 		switch st.Tag {
 		case tagReady:
+			// Ready pings carry no payload, but the envelope buffer is
+			// still pool-owned.
+			c.Release(data)
 			if next < len(tasks) {
 				t := tasks[next]
 				next++
@@ -79,12 +82,15 @@ func runMaster(c *mpi.Comm, tasks []Task) (map[int][]byte, error) {
 			}
 		case tagResult:
 			if len(data) < 4 {
+				c.Release(data)
 				return nil, fmt.Errorf("baseline: short result")
 			}
 			id := int(getU32(data))
 			results[id] = append([]byte(nil), data[4:]...)
+			c.Release(data)
 			outstanding--
 		default:
+			c.Release(data)
 			return nil, fmt.Errorf("baseline: master got unexpected tag %d", st.Tag)
 		}
 	}
@@ -104,17 +110,23 @@ func runWorker(c *mpi.Comm, work WorkFn) error {
 			return err
 		}
 		if st.Tag == tagStop {
+			c.Release(data)
 			return nil
 		}
 		if st.Tag != tagTask || len(data) < 8 {
+			c.Release(data)
 			return fmt.Errorf("baseline: worker got bad message tag %d", st.Tag)
 		}
 		id := getU32(data)
 		n := int(getU32(data[4:]))
 		if 8+n > len(data) {
+			c.Release(data)
 			return fmt.Errorf("baseline: truncated task payload")
 		}
 		out, err := work(Task{ID: int(id), Payload: data[8 : 8+n]})
+		// The task payload aliases the frame; work has returned, so the
+		// frame can go back to the pool before the result ships.
+		c.Release(data)
 		if err != nil {
 			return err
 		}
@@ -214,7 +226,9 @@ func bindMPI(py *pylite.Interp, c *mpi.Comm, stats *PyMPIStats) {
 		if stats != nil {
 			stats.Recvs.Add(1)
 		}
-		return string(data), nil
+		s := string(data)
+		c.Release(data)
+		return s, nil
 	})
 	set("mpi_barrier", func(in *pylite.Interp, args []pylite.Value) (pylite.Value, error) {
 		return nil, c.Barrier()

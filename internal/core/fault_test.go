@@ -146,7 +146,7 @@ func TestChaosHangWatchdogWhenAllWorkersDie(t *testing.T) {
 func TestChaosInjectionSiteMatrix(t *testing.T) {
 	cases := []struct {
 		name        string
-		site        string
+		site        faultinject.Site
 		plan        faultinject.Plan
 		wantErr     string // "" = run must recover cleanly
 		wantRetries int64

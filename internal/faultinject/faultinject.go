@@ -34,30 +34,37 @@ import (
 	"time"
 )
 
+// Site names one fault-injection point. Every call into the harness
+// (At, Armed, Arm, Hits) takes a Site, and the swiftvet faultsites
+// analyzer requires the argument to be one of the declared constants
+// below — an ad-hoc literal would create a site this registry does not
+// know about.
+type Site string
+
 // Named injection sites. Each constant is referenced by exactly one
 // production call point; tests arm them by name.
 const (
 	// SiteServerLoop fires in the ADLB server message loop, once per
 	// dispatched message. ActCrash makes the server rank exit its loop
 	// without draining, simulating silent server death.
-	SiteServerLoop = "adlb.server.loop"
+	SiteServerLoop Site = "adlb.server.loop"
 	// SiteGetDeliver fires on the ADLB server just before work is
 	// handed to a client (both the direct-serve and parked paths).
-	SiteGetDeliver = "adlb.get.deliver"
+	SiteGetDeliver Site = "adlb.get.deliver"
 	// SitePutTargeted fires when the ADLB server routes a targeted work
 	// item (notifications and targeted puts).
-	SitePutTargeted = "adlb.put.targeted"
+	SitePutTargeted Site = "adlb.put.targeted"
 	// SiteLangEvalPre fires inside lang.Install's contained evaluation
 	// region, just before the embedded engine evaluates a fragment.
 	// ActPanic here exercises engine panic containment.
-	SiteLangEvalPre = "lang.eval.pre"
+	SiteLangEvalPre Site = "lang.eval.pre"
 	// SiteDataPlaneStore fires in the turbine data plane before a typed
 	// result store (StoreAs / StoreVector).
-	SiteDataPlaneStore = "dataplane.store"
+	SiteDataPlaneStore Site = "dataplane.store"
 	// SiteWorkerTask fires in the turbine worker loop after a leaf task
 	// is received and before it is evaluated. ActCrash makes the worker
 	// rank die mid-task (its lease is reclaimed by the server).
-	SiteWorkerTask = "turbine.worker.task"
+	SiteWorkerTask Site = "turbine.worker.task"
 )
 
 // Action selects how an armed site fails.
@@ -120,13 +127,13 @@ type site struct {
 var (
 	armed atomic.Bool // fast path: anything armed anywhere?
 	mu    sync.Mutex
-	sites = map[string]*site{}
+	sites = map[Site]*site{}
 )
 
 // Arm schedules a fault at the named site. Multiple plans may be armed
 // at one site; the first plan covering a hit wins. Hit counting starts
 // at the first At call after the site is first armed.
-func Arm(name string, p Plan) {
+func Arm(name Site, p Plan) {
 	mu.Lock()
 	defer mu.Unlock()
 	st := sites[name]
@@ -142,14 +149,14 @@ func Arm(name string, p Plan) {
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	sites = map[string]*site{}
+	sites = map[Site]*site{}
 	armed.Store(false)
 }
 
 // Hits reports how many times the named site has been hit since the
 // harness was last armed (0 when nothing is armed: the disarmed fast
 // path does not count).
-func Hits(name string) int {
+func Hits(name Site) int {
 	mu.Lock()
 	defer mu.Unlock()
 	if st := sites[name]; st != nil {
@@ -163,7 +170,7 @@ func Hits(name string) int {
 // it counts the hit and applies the first covering plan: returns an
 // injected error (ActError), panics (ActPanic), returns an error
 // wrapping ErrCrash (ActCrash), or sleeps and returns nil (ActDelay).
-func At(name string) error {
+func At(name Site) error {
 	if !armed.Load() {
 		return nil
 	}
@@ -202,6 +209,19 @@ func At(name string) error {
 		return nil
 	}
 	return fmt.Errorf("faultinject: %s: injected error: %s", name, plan.Msg)
+}
+
+// Armed reports whether any plan is currently armed at the named site.
+// Production code can use it to gate expensive fault bookkeeping; tests
+// use it to assert arming state without tripping the hit counter.
+func Armed(name Site) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	st := sites[name]
+	return st != nil && len(st.plans) > 0
 }
 
 // IsCrash reports whether err is an ActCrash injection.

@@ -144,3 +144,29 @@ func TestConcurrentHits(t *testing.T) {
 		t.Fatalf("hits = %d, want 200", got)
 	}
 }
+
+func TestArmedReportsPerSite(t *testing.T) {
+	defer Reset()
+	Reset()
+	if Armed(SiteServerLoop) {
+		t.Fatal("Armed true on a fully disarmed harness")
+	}
+	Arm(SiteServerLoop, Plan{Hit: 1, Action: ActError, Msg: "x"})
+	if !Armed(SiteServerLoop) {
+		t.Fatal("Armed false after Arm")
+	}
+	if Armed(SiteGetDeliver) {
+		t.Fatal("Armed true for a site that was never armed")
+	}
+	// Armed must not consume hits: the plan still fires on the first At.
+	if got := Hits(SiteServerLoop); got != 0 {
+		t.Fatalf("Armed consumed %d hits", got)
+	}
+	if err := At(SiteServerLoop); err == nil {
+		t.Fatal("plan did not fire after Armed checks")
+	}
+	Reset()
+	if Armed(SiteServerLoop) {
+		t.Fatal("Armed survived Reset")
+	}
+}

@@ -3,8 +3,9 @@ package lang
 import (
 	"errors"
 	"io"
-	"reflect"
 	"testing"
+
+	"repro/internal/statstest"
 )
 
 // pyState sets a Python global for tenant, via the pool.
@@ -174,39 +175,11 @@ func TestPoolReinitPolicyResetsEachEval(t *testing.T) {
 	}
 }
 
-// TestPoolStatsSnapshotMirrors locks PoolStatsSnapshot to PoolStats: every
-// atomic counter must appear in the snapshot with the same name and be
-// copied by Snapshot() (same idiom as adlb's snapshot mirror test).
+// TestPoolStatsSnapshotMirrors locks PoolStatsSnapshot to PoolStats:
+// every atomic counter must appear in the snapshot with the same name
+// and be copied by Snapshot(). The statsmirror analyzer enforces the
+// structural half statically; this is the runtime backstop.
 func TestPoolStatsSnapshotMirrors(t *testing.T) {
 	var st PoolStats
-	sv := reflect.ValueOf(&st).Elem()
-	stT := sv.Type()
-	snapT := reflect.TypeOf(PoolStatsSnapshot{})
-	for i := 0; i < stT.NumField(); i++ {
-		f := stT.Field(i)
-		if f.Type.String() != "atomic.Int64" {
-			continue
-		}
-		sf, ok := snapT.FieldByName(f.Name)
-		if !ok {
-			t.Fatalf("PoolStatsSnapshot missing field %s", f.Name)
-		}
-		if sf.Type.Kind() != reflect.Int64 {
-			t.Fatalf("PoolStatsSnapshot.%s is %s, want int64", f.Name, sf.Type)
-		}
-		// Store a distinctive value and check Snapshot copies it.
-		sv.Field(i).Addr().Interface().(interface{ Store(int64) }).Store(int64(100 + i))
-	}
-	snap := st.Snapshot()
-	snapV := reflect.ValueOf(snap)
-	for i := 0; i < stT.NumField(); i++ {
-		f := stT.Field(i)
-		if f.Type.String() != "atomic.Int64" {
-			continue
-		}
-		got := snapV.FieldByName(f.Name).Int()
-		if got != int64(100+i) {
-			t.Fatalf("Snapshot().%s = %d, want %d (field not copied)", f.Name, got, 100+i)
-		}
-	}
+	statstest.AssertMirror(t, &st, func() any { return st.Snapshot() })
 }

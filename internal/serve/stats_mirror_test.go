@@ -1,53 +1,24 @@
 package serve
 
-// Mirror-locks for the serving counter structs, in the idiom of
-// internal/adlb's snapshot test: every atomic.Int64 field of a stats
-// struct must appear in its snapshot struct as an int64 of the same name
-// and be copied by Snapshot(). A counter added to one side without the
-// other fails here, not in production dashboards.
+// Mirror-locks for the serving counter structs: every atomic.Int64
+// field of a stats struct must appear in its snapshot struct as an
+// int64 of the same name and be copied by Snapshot(). A counter added
+// to one side without the other fails here, not in production
+// dashboards. (The statsmirror analyzer enforces the structural half
+// statically; this is the runtime backstop.)
 
 import (
-	"reflect"
 	"testing"
-)
 
-func assertMirror(t *testing.T, stats any, snapFn func() any) {
-	t.Helper()
-	sv := reflect.ValueOf(stats).Elem()
-	stT := sv.Type()
-	snapT := reflect.TypeOf(snapFn())
-	for i := 0; i < stT.NumField(); i++ {
-		f := stT.Field(i)
-		if f.Type.String() != "atomic.Int64" {
-			continue
-		}
-		sf, ok := snapT.FieldByName(f.Name)
-		if !ok {
-			t.Fatalf("%s missing mirror field %s", snapT.Name(), f.Name)
-		}
-		if sf.Type.Kind() != reflect.Int64 {
-			t.Fatalf("%s.%s is %s, want int64", snapT.Name(), f.Name, sf.Type)
-		}
-		sv.Field(i).Addr().Interface().(interface{ Store(int64) }).Store(int64(1000 + i))
-	}
-	snapV := reflect.ValueOf(snapFn())
-	for i := 0; i < stT.NumField(); i++ {
-		f := stT.Field(i)
-		if f.Type.String() != "atomic.Int64" {
-			continue
-		}
-		if got := snapV.FieldByName(f.Name).Int(); got != int64(1000+i) {
-			t.Fatalf("Snapshot().%s = %d, want %d (field not copied)", f.Name, got, 1000+i)
-		}
-	}
-}
+	"repro/internal/statstest"
+)
 
 func TestServeStatsSnapshotMirrors(t *testing.T) {
 	var st ServeStats
-	assertMirror(t, &st, func() any { return st.Snapshot() })
+	statstest.AssertMirror(t, &st, func() any { return st.Snapshot() })
 }
 
 func TestTenantStatsSnapshotMirrors(t *testing.T) {
 	var st TenantStats
-	assertMirror(t, &st, func() any { return st.Snapshot() })
+	statstest.AssertMirror(t, &st, func() any { return st.Snapshot() })
 }

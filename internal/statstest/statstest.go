@@ -1,0 +1,81 @@
+// Package statstest holds the shared runtime mirror check for the
+// repo's Stats/StatsSnapshot counter pairs: every exported atomic.Int64
+// counter must appear in the snapshot struct as an int64 of the same
+// name and be copied by Snapshot(), and every int64 snapshot field must
+// be backed by a live counter.
+//
+// The same contract is enforced statically by the statsmirror analyzer
+// (cmd/swiftvet); this package is the runtime backstop that additionally
+// proves Snapshot() copies real values, which no purely syntactic check
+// can.
+package statstest
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// AssertMirror checks one Stats/StatsSnapshot pair. stats must be a
+// pointer to the zero-valued counter struct; snapshot must call its
+// Snapshot() method and return the result. The counters are left
+// holding distinctive values afterwards, so pass a throwaway struct.
+func AssertMirror(t *testing.T, stats any, snapshot func() any) {
+	t.Helper()
+	counterType := reflect.TypeOf(atomic.Int64{})
+	sv := reflect.ValueOf(stats)
+	if sv.Kind() != reflect.Pointer || sv.Elem().Kind() != reflect.Struct {
+		t.Fatalf("statstest: stats must be a pointer to a struct, got %T", stats)
+	}
+	sv = sv.Elem()
+	statsType := sv.Type()
+	snapType := reflect.TypeOf(snapshot())
+	if snapType == nil || snapType.Kind() != reflect.Struct {
+		t.Fatalf("statstest: snapshot() must return a struct, got %v", snapType)
+	}
+
+	// Forward: every counter has a well-typed mirror; seed each with a
+	// distinct value.
+	counters := map[string]bool{}
+	for i := 0; i < statsType.NumField(); i++ {
+		f := statsType.Field(i)
+		if !f.IsExported() || f.Type != counterType {
+			continue
+		}
+		counters[f.Name] = true
+		sf, ok := snapType.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("%s.%s has no mirror field in %s", statsType.Name(), f.Name, snapType.Name())
+			continue
+		}
+		if sf.Type.Kind() != reflect.Int64 {
+			t.Errorf("%s.%s is %v, want int64", snapType.Name(), f.Name, sf.Type)
+			continue
+		}
+		sv.Field(i).Addr().Interface().(*atomic.Int64).Store(int64(1000 + i))
+	}
+
+	// Reverse: a snapshot field whose counter was removed would report
+	// zero forever.
+	for i := 0; i < snapType.NumField(); i++ {
+		f := snapType.Field(i)
+		if f.Type.Kind() == reflect.Int64 && !counters[f.Name] {
+			t.Errorf("%s.%s has no counter in %s", snapType.Name(), f.Name, statsType.Name())
+		}
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Copy: Snapshot() must surface the seeded values.
+	snapV := reflect.ValueOf(snapshot())
+	for i := 0; i < statsType.NumField(); i++ {
+		f := statsType.Field(i)
+		if !f.IsExported() || f.Type != counterType {
+			continue
+		}
+		if got, want := snapV.FieldByName(f.Name).Int(), int64(1000+i); got != want {
+			t.Errorf("Snapshot().%s = %d, want %d (counter not copied)", f.Name, got, want)
+		}
+	}
+}
