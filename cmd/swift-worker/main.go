@@ -1,0 +1,32 @@
+// Command swift-worker is the worker side of an out-of-process elastic
+// run: it dials a hub (cmd/turbine -listen, or any core.ServeElastic
+// caller), is assigned a worker rank, and pulls leased leaf tasks until
+// the run drains. Workers may join mid-run — queued work and steal
+// rebalancing cover redistribution — and a worker that is killed simply
+// vanishes: the hub's crash detection reclaims its leases.
+//
+// Usage:
+//
+//	swift-worker -addr 127.0.0.1:41833
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "", "hub address to join (host:port)")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "usage: swift-worker -addr host:port")
+		os.Exit(2)
+	}
+	if err := core.ElasticWorker(*addr, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "swift-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	turbine [-e engines] [-w workers] [-s servers] [-main proc] out.tic
+//
+// With -listen, the process instead becomes the hub of an out-of-process
+// elastic run: engines and ADLB servers run locally, and worker processes
+// (cmd/swift-worker) join over TCP, each taking one worker rank. The run
+// starts once -min-workers have connected and terminates against the
+// workers that actually joined.
+//
+//	turbine -listen 127.0.0.1:0 -worker-slots 8 -min-workers 2 out.tic
 package main
 
 import (
@@ -23,9 +31,12 @@ func main() {
 	workers := flag.Int("w", 4, "worker ranks")
 	servers := flag.Int("s", 1, "ADLB server ranks")
 	mainProc := flag.String("main", "", "seed proc (defaults to the '# seed:' comment or u:main)")
+	listen := flag.String("listen", "", "run as an elastic hub: TCP listen address for joining workers (e.g. 127.0.0.1:0)")
+	slots := flag.Int("worker-slots", 0, "elastic hub: maximum workers that may ever join (with -listen)")
+	minWorkers := flag.Int("min-workers", 1, "elastic hub: workers required before the run starts (with -listen)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: turbine [-e N] [-w N] [-s N] [-main proc] out.tic")
+		fmt.Fprintln(os.Stderr, "usage: turbine [-e N] [-w N] [-s N] [-main proc] [-listen addr [-worker-slots N] [-min-workers N]] out.tic")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -43,7 +54,29 @@ func main() {
 			}
 		}
 	}
-	res, err := core.RunCompiled(&stc.Output{Program: program, Main: seed}, core.Config{
+	compiled := &stc.Output{Program: program, Main: seed}
+	if *listen != "" {
+		_, err := core.ServeElastic(compiled, core.ElasticConfig{
+			Engines:     *engines,
+			Servers:     *servers,
+			WorkerSlots: *slots,
+			MinWorkers:  *minWorkers,
+			Addr:        *listen,
+			Out:         os.Stdout,
+			NativeLibs:  []*nativelib.Library{nativelib.NewSimLibrary()},
+			OnListen: func(addr string) {
+				// Workers (and launcher scripts) read this line to learn
+				// the bound address when -listen used port 0.
+				fmt.Fprintf(os.Stderr, "turbine: listening on %s\n", addr)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turbine:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := core.RunCompiled(compiled, core.Config{
 		Engines:    *engines,
 		Workers:    *workers,
 		Servers:    *servers,

@@ -209,6 +209,38 @@
 // store), and mutating a stale client view never corrupts a datum
 // (adlb.TestZeroCopyAliasingContract).
 //
+// # Transport
+//
+// The simulated MPI world (internal/mpi) has two transports under one
+// Comm surface. In-process, ranks are goroutines and Send moves a pooled
+// frame between mailboxes. Out-of-process, the same world spans OS
+// processes over TCP (mpi.ListenTCP / mpi.JoinTCP): a hub process holds
+// the engines, the ADLB servers, and the data store, and each worker
+// process joins with a length-prefixed handshake, is assigned a fresh
+// rank (monotonic, never reused — a replacement consumes a new slot),
+// and exchanges data frames that carry src/dest/tag exactly like local
+// envelopes. The frame pool and the zero-copy aliasing contract survive
+// the wire: inbound payloads are read directly into pooled frames, and
+// delivery into a local mailbox is the same ownership transfer as a
+// local Send. Ranks routed over a dead connection swallow sends (the
+// crash is the server's business, not the sender's), and hub relay
+// covers worker-to-worker traffic, so client code cannot tell which
+// transport a peer is on.
+//
+// Membership is elastic on top of this: adlb.Config.Elastic switches
+// the servers from the static layout roster to the set of clients that
+// actually registered (plus the pre-registered hub-local engines), so
+// termination, drain, and the hang watchdog close over the workers that
+// showed up — workers may join mid-run and pick up queued work.
+// Crash detection is two-sided: heartbeat frames with a server-side
+// timeout catch wedged peers, and EOF/read errors catch clean deaths;
+// either way the hub tombstones the route and adlb.NotifyCrashed
+// converts the loss into the same Leave the lease-reclaim path already
+// handles. core.ServeElastic / core.ElasticWorker (cmd/turbine -listen,
+// cmd/swift-worker) package the whole shape, and examples/elastic runs
+// the paper's §IV ensemble across real processes, SIGKILLing a worker
+// mid-lease and joining a replacement mid-run.
+//
 // # Failure model
 //
 // Leaf-task execution is fault-tolerant end to end. Workers take work
@@ -246,11 +278,14 @@
 // Every fault path is exercised deterministically through
 // internal/faultinject: named sites (adlb.get.deliver,
 // adlb.put.targeted, lang.eval.pre, dataplane.store, turbine.worker.task,
-// adlb.server.loop) with nth-hit error/panic/crash/delay plans and no
-// time-based randomness, plus the worker-kill knobs in core.Config
-// (KillWorkerRank/KillWorkerAfterTasks). The chaos regression matrix in
-// internal/core/fault_test.go and the lease lifecycle tests in
-// internal/adlb/lease_test.go run under -race in CI. Counters:
+// adlb.server.loop, and the transport sites mpi.tcp.conn.drop,
+// mpi.tcp.heartbeat, mpi.tcp.frame) with nth-hit error/panic/crash/delay
+// plans and no time-based randomness, plus the worker-kill knobs in
+// core.Config (KillWorkerRank/KillWorkerAfterTasks). The chaos
+// regression matrix in internal/core/fault_test.go, the lease lifecycle
+// tests in internal/adlb/lease_test.go, and the TCP matrix in
+// internal/mpi/tcp_test.go (SIGKILL mid-task, join mid-run, heartbeat
+// loss, torn frames) run under -race in CI. Counters:
 // Result.TaskRetries/TaskFailures, adlb Stats.Requeued/Poisoned/
 // LeasesIssued/LeasesReclaimed, and the UnfilledTDs gauge.
 //
@@ -315,7 +350,9 @@
 //   - framerelease: every frame obtained from Comm.Recv/RecvTimeout that
 //     a path uses is Released exactly once on that path, unless its
 //     ownership is transferred (returned, stored, appended, or passed
-//     on); no use or escape after Release.
+//     on); no use or escape after Release. The same discipline covers
+//     the transport's framePool directly: a buffer from framePool.get is
+//     put back exactly once unless ownership transfers.
 //   - statsmirror: every exported atomic.Int64 counter in a Stats struct
 //     has a same-named int64 mirror in its StatsSnapshot sibling, no
 //     stale mirrors survive counter removal, and Snapshot() loads and

@@ -35,6 +35,24 @@ type Config struct {
 	// before the server poisons it and aborts the run. Zero selects the
 	// default of 2 retries; a negative value disables retries entirely.
 	MaxTaskRetries int
+	// Elastic switches client membership from the static layout to a
+	// dynamic roster: instead of expecting every client rank of the
+	// layout to participate, each server counts only the clients that
+	// have actually spoken to it (registered on their first RPC to their
+	// home server). Termination, drain, and the hang watchdog then close
+	// over the registered roster, so worker ranks reserved for TCP joins
+	// that never arrive do not hold the run open. Used by the
+	// out-of-process transport, where the world is sized for the maximum
+	// worker count and joins happen mid-run.
+	Elastic bool
+	// StaticClients pre-registers client ranks [0, StaticClients) in the
+	// elastic roster: these clients run in the hub process and always
+	// participate, so termination must wait for their done handshake even
+	// before their first RPC arrives. Without this, a worker-only roster
+	// that goes quiet (workers joined and parked before the engine's
+	// first request) would look like a drained run. Ignored unless
+	// Elastic is set; Turbine sets it to its engine count.
+	StaticClients int
 	// WatchdogIdleTicks is the number of consecutive idle server-loop
 	// iterations after which a server with every assigned client parked
 	// (or departed) but work still queued declares the run hung and

@@ -63,7 +63,11 @@ type server struct {
 	l   Layout
 	idx int // server index in [0, Servers)
 
-	nClients int // clients assigned to this server
+	nClients int // clients assigned to this server (static layout)
+	// known is the dynamic client roster in elastic mode: clients
+	// register on their first RPC to their home server. nil when the
+	// config is not elastic.
+	known map[int]bool
 
 	untargeted map[int]*workQueue
 	targeted   map[targetKey]*workQueue
@@ -121,7 +125,31 @@ func newServer(c *mpi.Comm, cfg Config, l Layout) *server {
 		nextID:     int64(l.Servers + idx), // ids ≡ idx (mod Servers), skipping id 0
 		stealRR:    (idx + 1) % l.Servers,
 	}
+	if cfg.Elastic {
+		s.known = make(map[int]bool)
+		// Hub-local clients (engines) always run: pre-register them so a
+		// quiet worker-only roster can't satisfy termination before the
+		// first engine RPC arrives.
+		for r := 0; r < cfg.StaticClients && r < l.Clients(); r++ {
+			if l.ServerOf(r) == c.Rank() {
+				s.known[r] = true
+			}
+		}
+	}
 	return s
+}
+
+// clientCount is the number of clients this server is responsible for:
+// the static layout assignment normally, or the registered roster in
+// elastic mode. Every exit/termination condition (run-loop drain, the
+// hang watchdog, Safra quiescence) closes over it, so an elastic run
+// terminates against the clients that actually showed up rather than the
+// world's worker-slot capacity.
+func (s *server) clientCount() int {
+	if s.known != nil {
+		return len(s.known)
+	}
+	return s.nClients
 }
 
 func (s *server) stats() *Stats { return s.cfg.Stats }
@@ -153,7 +181,7 @@ func (s *server) run() error {
 				return err
 			}
 		}
-		if s.selfHalted && s.doneCount >= s.nClients {
+		if s.selfHalted && s.doneCount >= s.clientCount() {
 			s.gaugeUnfilled()
 			return nil
 		}
@@ -219,7 +247,7 @@ func (s *server) checkStalled() error {
 	if limit <= 0 || s.idle < limit {
 		return nil
 	}
-	if len(s.parked)+s.doneCount < s.nClients {
+	if len(s.parked)+s.doneCount < s.clientCount() {
 		// Someone is mid-task (e.g. a long-running leaf); not a hang.
 		s.idle = 0
 		return nil
@@ -280,7 +308,11 @@ func (s *server) housekeeping() {
 	if s.haveToken && s.quiet() {
 		s.forwardToken()
 	}
-	if s.idx == 0 && !s.roundOpen && s.quiet() {
+	if s.idx == 0 && !s.roundOpen && s.quiet() && (s.known == nil || len(s.known) > 0) {
+		// In elastic mode an empty roster is pre-start, not quiescence:
+		// rank 0 (an engine, home-served by the master) always registers
+		// before real work exists, so gating on a non-empty roster only
+		// delays the first token round past startup.
 		s.startTokenRound()
 	}
 }
@@ -298,7 +330,7 @@ func (s *server) quiet() bool {
 	if len(s.pinned) > 0 {
 		return false
 	}
-	if len(s.parked)+s.doneCount != s.nClients || s.stealOut {
+	if len(s.parked)+s.doneCount != s.clientCount() || s.stealOut {
 		return false
 	}
 	for _, q := range s.untargeted {
@@ -373,6 +405,13 @@ func (s *server) respondError(client int, msg string) error {
 func (s *server) handleRequest(op uint8, d *decoder, client int) error {
 	// Any client RPC is progress for the hang watchdog.
 	s.progress = true
+	// Elastic registration: a client joins this server's roster on its
+	// first RPC — but only on its home server. Data ops route by id owner
+	// and may land on any server; counting those would inflate rosters
+	// with clients whose Gets (and eventual departure) happen elsewhere.
+	if s.known != nil && s.l.ServerOf(client) == s.c.Rank() {
+		s.known[client] = true
+	}
 	switch op {
 	case opPut:
 		return s.handlePut(d, client)

@@ -12,9 +12,13 @@
 // The analyzer keys on structure, not import paths: it tracks results
 // of methods named Recv/RecvTimeout on a named type `Comm` that also
 // has a `Release` method (internal/mpi today, a TCP transport handle
-// tomorrow). Copying builtins (len, cap, copy, append with ...,
-// string/byte conversions) count as uses, not transfers; appending the
-// slice header itself into a container is a transfer.
+// tomorrow). The same ownership discipline covers the pool itself:
+// a buffer from framePool.get must reach framePool.put exactly once
+// unless ownership transfers — the TCP read loop draws frames straight
+// from the pool, so its acquire sites never pass through Recv. Copying
+// builtins (len, cap, copy, append with ..., string/byte conversions)
+// count as uses, not transfers; appending the slice header itself into
+// a container is a transfer.
 package framerelease
 
 import (
@@ -29,7 +33,7 @@ import (
 func New() *driver.Analyzer {
 	return &driver.Analyzer{
 		Name: "framerelease",
-		Doc:  "frames from Comm.Recv must reach Comm.Release on every used path and never be touched after",
+		Doc:  "frames from Comm.Recv (and buffers from framePool.get) must be released exactly once on every used path and never touched after",
 		Run:  run,
 	}
 }
@@ -107,11 +111,21 @@ func orInto(dst, src map[int]bool) {
 	}
 }
 
+// srcKind distinguishes where a tracked buffer was acquired, purely for
+// diagnostic wording: the ownership rules are identical.
+type srcKind int
+
+const (
+	srcRecv srcKind = iota // Comm.Recv / Comm.RecvTimeout, released by Comm.Release
+	srcPool                // framePool.get, released by framePool.put
+)
+
 type checker struct {
 	pass *driver.Pass
 	// groups maps a variable to its frame group; aliases share a group.
 	groups map[types.Object]int
 	names  map[int]string
+	origin map[int]srcKind
 	next   int
 	// deferred marks groups with a deferred Release. A defer discharges
 	// the obligation at every later return, so it is a property of the
@@ -120,7 +134,7 @@ type checker struct {
 }
 
 func checkFunc(pass *driver.Pass, body *ast.BlockStmt) {
-	c := &checker{pass: pass, groups: map[types.Object]int{}, names: map[int]string{}, deferred: map[int]bool{}}
+	c := &checker{pass: pass, groups: map[types.Object]int{}, names: map[int]string{}, origin: map[int]srcKind{}, deferred: map[int]bool{}}
 	w := &driver.FlowWalker{
 		EvalExpr:   func(e ast.Expr, fs driver.FlowState) { c.evalExpr(e, fs.(*frameState)) },
 		EvalAssign: func(a *ast.AssignStmt, fs driver.FlowState) { c.evalAssign(a, fs.(*frameState)) },
@@ -129,7 +143,11 @@ func checkFunc(pass *driver.Pass, body *ast.BlockStmt) {
 			s := fs.(*frameState)
 			for _, g := range c.liveGroups() {
 				if s.outstanding[g] && !s.dead[g] && !c.deferred[g] {
-					c.pass.Reportf(pos, "frame %q from Recv is used on this path but never Released: the pooled buffer leaks back to the garbage collector instead of the frame pool", c.names[g])
+					if c.origin[g] == srcPool {
+						c.pass.Reportf(pos, "buffer %q from framePool.get is used on this path but never put back: the pooled buffer leaks to the garbage collector instead of the pool", c.names[g])
+					} else {
+						c.pass.Reportf(pos, "frame %q from Recv is used on this path but never Released: the pooled buffer leaks back to the garbage collector instead of the frame pool", c.names[g])
+					}
 					delete(s.outstanding, g) // one report per path suffices
 				}
 			}
@@ -150,9 +168,9 @@ func (c *checker) liveGroups() []int {
 	return out
 }
 
-// isCommMethod reports whether call is a method call named name on a
-// value whose named type is Comm (with the receiver expr returned).
-func (c *checker) isCommMethod(call *ast.CallExpr, names ...string) (string, bool) {
+// isMethodOn reports whether call is a method call with one of the given
+// names on a value whose named type is typeName.
+func (c *checker) isMethodOn(call *ast.CallExpr, typeName string, names ...string) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -174,10 +192,37 @@ func (c *checker) isCommMethod(call *ast.CallExpr, names ...string) (string, boo
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Name() != "Comm" {
+	if !ok || named.Obj().Name() != typeName {
 		return "", false
 	}
 	return match, true
+}
+
+// acquireCall reports whether call mints a tracked buffer, and from
+// which source.
+func (c *checker) acquireCall(call *ast.CallExpr) (srcKind, bool) {
+	if _, ok := c.isMethodOn(call, "Comm", "Recv", "RecvTimeout"); ok {
+		return srcRecv, true
+	}
+	if _, ok := c.isMethodOn(call, "framePool", "get"); ok {
+		return srcPool, true
+	}
+	return 0, false
+}
+
+// releaseCall reports whether call is a release site (Comm.Release or
+// framePool.put with a single argument).
+func (c *checker) releaseCall(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	if _, ok := c.isMethodOn(call, "Comm", "Release"); ok {
+		return true
+	}
+	if _, ok := c.isMethodOn(call, "framePool", "put"); ok {
+		return true
+	}
+	return false
 }
 
 // frameGroup resolves e (through parens and slicing) to the frame group
@@ -212,7 +257,11 @@ func (c *checker) use(g int, pos token.Pos, st *frameState) {
 		return
 	}
 	if st.released[g] {
-		c.pass.Reportf(pos, "frame %q used after Release: the pool may already have handed its bytes to an unrelated Send", c.names[g])
+		if c.origin[g] == srcPool {
+			c.pass.Reportf(pos, "buffer %q used after put: the pool may already have handed its bytes to an unrelated get", c.names[g])
+		} else {
+			c.pass.Reportf(pos, "frame %q used after Release: the pool may already have handed its bytes to an unrelated Send", c.names[g])
+		}
 		return
 	}
 	st.outstanding[g] = true
@@ -224,7 +273,11 @@ func (c *checker) transfer(g int, pos token.Pos, st *frameState) {
 		return
 	}
 	if st.released[g] {
-		c.pass.Reportf(pos, "frame %q escapes after Release: the receiver would alias recycled pool memory", c.names[g])
+		if c.origin[g] == srcPool {
+			c.pass.Reportf(pos, "buffer %q escapes after put: the receiver would alias recycled pool memory", c.names[g])
+		} else {
+			c.pass.Reportf(pos, "frame %q escapes after Release: the receiver would alias recycled pool memory", c.names[g])
+		}
 	}
 	st.dead[g] = true
 	delete(st.outstanding, g)
@@ -273,11 +326,15 @@ func (c *checker) evalExpr(e ast.Expr, st *frameState) {
 }
 
 func (c *checker) evalCall(call *ast.CallExpr, st *frameState) {
-	// Release on a tracked frame discharges it (twice is an error).
-	if name, ok := c.isCommMethod(call, "Release"); ok && name == "Release" && len(call.Args) == 1 {
+	// A release on a tracked buffer discharges it (twice is an error).
+	if c.releaseCall(call) {
 		if g := c.frameGroup(call.Args[0]); g >= 0 {
 			if st.released[g] {
-				c.pass.Reportf(call.Pos(), "frame %q Released twice: the pool would hand the same buffer to two Sends", c.names[g])
+				if c.origin[g] == srcPool {
+					c.pass.Reportf(call.Pos(), "buffer %q put twice: the pool would hand the same buffer to two callers", c.names[g])
+				} else {
+					c.pass.Reportf(call.Pos(), "frame %q Released twice: the pool would hand the same buffer to two Sends", c.names[g])
+				}
 			}
 			st.released[g] = true
 			delete(st.outstanding, g)
@@ -348,10 +405,11 @@ func (c *checker) evalCall(call *ast.CallExpr, st *frameState) {
 }
 
 func (c *checker) evalAssign(a *ast.AssignStmt, st *frameState) {
-	// New frame: x, ... := comm.Recv(...) / RecvTimeout(...).
+	// New frame: x, ... := comm.Recv(...) / RecvTimeout(...), or a pool
+	// draw x := frames.get(n).
 	if len(a.Rhs) == 1 {
 		if call, ok := a.Rhs[0].(*ast.CallExpr); ok {
-			if _, ok := c.isCommMethod(call, "Recv", "RecvTimeout"); ok {
+			if kind, ok := c.acquireCall(call); ok {
 				for _, arg := range call.Args {
 					c.evalExpr(arg, st)
 				}
@@ -362,6 +420,7 @@ func (c *checker) evalAssign(a *ast.AssignStmt, st *frameState) {
 						c.next++
 						c.groups[obj] = g
 						c.names[g] = id.Name
+						c.origin[g] = kind
 					}
 				}
 				for _, l := range a.Lhs[1:] {
@@ -411,7 +470,7 @@ func (c *checker) defOrUse(id *ast.Ident) types.Object {
 }
 
 func (c *checker) evalDefer(call *ast.CallExpr, st *frameState) {
-	if name, ok := c.isCommMethod(call, "Release"); ok && name == "Release" && len(call.Args) == 1 {
+	if c.releaseCall(call) {
 		if g := c.frameGroup(call.Args[0]); g >= 0 {
 			// Deferred release satisfies the obligation at every later
 			// return without forbidding uses in between.

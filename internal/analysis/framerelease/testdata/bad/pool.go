@@ -1,0 +1,48 @@
+// A self-contained replica of the transport's pool shape: a named
+// framePool with get and put. The analyzer keys on that structure.
+package bad
+
+type framePool struct{}
+
+func (p *framePool) get(n int) []byte { return nil }
+func (p *framePool) put(buf []byte)   {}
+
+// leakPool uses a pooled buffer and drops it.
+func leakPool(p *framePool) int {
+	buf := p.get(64)
+	buf[0] = 1
+	return len(buf) // want `buffer "buf" from framePool.get is used on this path but never put back`
+}
+
+// branchLeakPool puts the buffer back on one branch only.
+func branchLeakPool(p *framePool, full bool) int {
+	buf := p.get(64)
+	n := len(buf)
+	if full {
+		p.put(buf)
+	}
+	return n // want `buffer "buf" from framePool.get is used on this path but never put back`
+}
+
+// useAfterPut touches the buffer after returning it to the pool.
+func useAfterPut(p *framePool) byte {
+	buf := p.get(8)
+	p.put(buf)
+	return buf[0] // want `buffer "buf" used after put`
+}
+
+// doublePut returns the same buffer twice.
+func doublePut(p *framePool) {
+	buf := p.get(8)
+	if len(buf) > 0 {
+		p.put(buf)
+	}
+	p.put(buf) // want `buffer "buf" put twice`
+}
+
+// escapeAfterPut hands a recycled buffer to a callee.
+func escapeAfterPut(p *framePool, sink func([]byte)) {
+	buf := p.get(8)
+	p.put(buf)
+	sink(buf) // want `buffer "buf" escapes after put`
+}

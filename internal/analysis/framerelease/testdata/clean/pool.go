@@ -1,0 +1,46 @@
+// A self-contained replica of the transport's pool shape: a named
+// framePool with get and put. The analyzer keys on that structure.
+package clean
+
+type framePool struct{}
+
+func (p *framePool) get(n int) []byte { return nil }
+func (p *framePool) put(buf []byte)   {}
+
+func fill(dst []byte) {}
+
+// roundTrip draws a buffer and puts it back on every path.
+func roundTrip(p *framePool) byte {
+	buf := p.get(8)
+	b := buf[0]
+	p.put(buf)
+	return b
+}
+
+// transferOut hands the buffer to a callee, ending the obligation — the
+// readFrame shape: get, fill from the connection, ownership moves on.
+func transferOut(p *framePool) {
+	buf := p.get(8)
+	fill(buf)
+}
+
+// putOnErrorPath mirrors readFrame's torn-read branch: the buffer goes
+// back to the pool on failure and transfers out on success.
+func putOnErrorPath(p *framePool, ok bool) []byte {
+	buf := p.get(8)
+	if !ok {
+		p.put(buf)
+		return nil
+	}
+	return buf
+}
+
+// deferredPut discharges the obligation at every return.
+func deferredPut(p *framePool, full bool) int {
+	buf := p.get(8)
+	defer p.put(buf)
+	if full {
+		return cap(buf)
+	}
+	return len(buf)
+}

@@ -1,0 +1,346 @@
+// Out-of-process elastic runs: one hub process holds the engines, the
+// ADLB servers, and the data store; worker processes join over TCP,
+// pull leased leaf tasks, and may crash or join mid-run. This is the
+// paper's distributed-memory setting (and the MP-NOW shape): interpreted
+// front-ends driving a network of workers, where membership is dynamic
+// and a vanished peer is just a departure the server infers.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/adlb"
+	"repro/internal/lang"
+	"repro/internal/mpi"
+	"repro/internal/nativelib"
+	"repro/internal/shell"
+	"repro/internal/stc"
+	"repro/internal/swig"
+	"repro/internal/tcl"
+	"repro/internal/turbine"
+)
+
+// ElasticConfig describes the hub side of an out-of-process run.
+type ElasticConfig struct {
+	// Engines and Servers run as goroutines inside the hub process.
+	// Both default to 1.
+	Engines int
+	Servers int
+	// WorkerSlots is the maximum number of workers that may ever join
+	// (ranks are assigned monotonically and never reused, so a crashed
+	// worker's replacement consumes a fresh slot). Defaults to 4.
+	WorkerSlots int
+	// MinWorkers gates the start of the run: local ranks launch only
+	// once this many workers are connected, so the first leaf tasks have
+	// somewhere to go before the hang watchdog starts counting.
+	// Defaults to 1.
+	MinWorkers int
+	// JoinTimeout bounds the wait for MinWorkers. Defaults to 60s.
+	JoinTimeout time.Duration
+	// Addr is the TCP listen address; empty selects 127.0.0.1:0. The
+	// chosen address is reported through OnListen.
+	Addr string
+	// OnListen, if non-nil, receives the bound listen address before any
+	// worker is awaited — the caller uses it to launch worker processes.
+	OnListen func(addr string)
+
+	// Out receives hub-side program output (engine printf/trace). Worker
+	// processes write leaf-task output to their own sinks.
+	Out io.Writer
+	// Policy is the embedded-interpreter state policy, shipped to
+	// workers in the welcome blob.
+	Policy InterpPolicy
+	// NativeLibs are SWIG-bound on hub-local ranks. Worker processes
+	// cannot receive Go objects over the wire; they always bind the
+	// simulated FFT library (nativelib.NewSimLibrary), matching the
+	// standalone CLI.
+	NativeLibs []*nativelib.Library
+
+	// Stats / TurbineStats collect hub-side runtime counters when
+	// non-nil. ADLB servers live in the hub, so queue/lease/reclaim
+	// counters are complete; LeafTasks count only hub-local execution
+	// (worker processes keep their own).
+	Stats        *adlb.Stats
+	TurbineStats *turbine.Stats
+	// Tick overrides the ADLB server housekeeping interval.
+	Tick time.Duration
+	// MaxTaskRetries and WatchdogIdleTicks forward to the ADLB config,
+	// as in Config.
+	MaxTaskRetries    int
+	WatchdogIdleTicks int
+
+	// HeartbeatInterval and HeartbeatTimeout tune the transport's crash
+	// detection (zero selects the transport defaults).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+}
+
+// elasticWelcome is the JSON blob the hub ships to each joining worker:
+// everything a worker process needs to reconstruct its side of the
+// deployment.
+type elasticWelcome struct {
+	Engines int    `json:"engines"`
+	Servers int    `json:"servers"`
+	Policy  int    `json:"policy"`
+	Program string `json:"program"`
+}
+
+func (c *ElasticConfig) withDefaults() ElasticConfig {
+	out := *c
+	if out.Engines <= 0 {
+		out.Engines = 1
+	}
+	if out.Servers <= 0 {
+		out.Servers = 1
+	}
+	if out.WorkerSlots <= 0 {
+		out.WorkerSlots = 4
+	}
+	if out.MinWorkers <= 0 {
+		out.MinWorkers = 1
+	}
+	if out.MinWorkers > out.WorkerSlots {
+		out.MinWorkers = out.WorkerSlots
+	}
+	if out.JoinTimeout <= 0 {
+		out.JoinTimeout = 60 * time.Second
+	}
+	return out
+}
+
+// ServeElastic runs compiled Turbine code as the hub of an elastic
+// deployment: engines and servers local, workers joining over TCP.
+// It blocks until the run terminates (or aborts) and returns the
+// assembled hub-side Result.
+func ServeElastic(compiled *stc.Output, cfg ElasticConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Stats == nil {
+		cfg.Stats = &adlb.Stats{}
+	}
+	if cfg.TurbineStats == nil {
+		cfg.TurbineStats = &turbine.Stats{}
+	}
+	sink := &lockedWriter{tee: cfg.Out}
+	sys := shell.NewSystem(shell.ModeCluster, nil)
+	counters := lang.NewCounters()
+	langs := lang.Registered()
+	programScript, err := compiled.Script()
+	if err != nil {
+		return nil, err
+	}
+	welcome, err := json.Marshal(elasticWelcome{
+		Engines: cfg.Engines,
+		Servers: cfg.Servers,
+		Policy:  int(cfg.Policy),
+		Program: compiled.Program,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	size := cfg.Engines + cfg.WorkerSlots + cfg.Servers
+	world, err := mpi.NewWorld(size)
+	if err != nil {
+		return nil, err
+	}
+
+	tcfg := &turbine.Config{
+		Engines:           cfg.Engines,
+		Servers:           cfg.Servers,
+		Elastic:           true,
+		Tick:              cfg.Tick,
+		Stats:             cfg.Stats,
+		TurbineStats:      cfg.TurbineStats,
+		MaxTaskRetries:    cfg.MaxTaskRetries,
+		WatchdogIdleTicks: cfg.WatchdogIdleTicks,
+		Program:           compiled.Program,
+		ProgramScript:     programScript,
+		Main:              compiled.Main,
+		Setup: func(in *tcl.Interp, env *turbine.Env) error {
+			in.Out = sink
+			host := lang.Host{Out: sink, Shell: sys}
+			dp := env.DataPlane()
+			for _, reg := range langs {
+				lang.Install(in, reg, host, cfg.Policy, counters, dp)
+			}
+			for _, lib := range cfg.NativeLibs {
+				if _, err := swig.Bind(in, lib); err != nil {
+					return err
+				}
+				if _, err := in.Eval("package provide " + lib.Name); err != nil {
+					return fmt.Errorf("core: providing native library %q: %w", lib.Name, err)
+				}
+			}
+			return nil
+		},
+	}
+
+	hub, err := world.ListenTCP(mpi.HubConfig{
+		Addr:              cfg.Addr,
+		FirstRank:         cfg.Engines,
+		Slots:             cfg.WorkerSlots,
+		Welcome:           welcome,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		OnLost: func(rank int) {
+			// A vanished worker is a Leave the server infers: its leases
+			// requeue and surviving workers pick the tasks up.
+			_ = adlb.NotifyCrashed(world, cfg.Servers, rank)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer hub.Close()
+	if cfg.OnListen != nil {
+		cfg.OnListen(hub.Addr())
+	}
+
+	// Gang start: hold the local ranks back until the minimum worker pool
+	// is connected. Worker RPCs that race ahead of the local launch just
+	// queue in the server mailboxes.
+	deadline := time.Now().Add(cfg.JoinTimeout)
+	for hub.Workers() < cfg.MinWorkers {
+		if world.AbortErr() != nil {
+			return nil, world.AbortErr()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: elastic run: only %d of %d required workers joined within %v",
+				hub.Workers(), cfg.MinWorkers, cfg.JoinTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Run the hub-local ranks: engines and servers. Worker-slot ranks are
+	// deliberately not launched — they live in other processes (or never
+	// join at all; elastic membership terminates without them). This
+	// mirrors World.Run's containment and error aggregation for a subset
+	// of ranks.
+	local := make([]int, 0, cfg.Engines+cfg.Servers)
+	for r := 0; r < cfg.Engines; r++ {
+		local = append(local, r)
+	}
+	for r := size - cfg.Servers; r < size; r++ {
+		local = append(local, r)
+	}
+	start := time.Now()
+	errs := make([]error, len(local))
+	var wg sync.WaitGroup
+	for i, rank := range local {
+		wg.Add(1)
+		go func(i, rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("core: rank %d panicked: %v", rank, p)
+					world.Abort(errs[i])
+				}
+			}()
+			c, err := world.Comm(rank)
+			if err != nil {
+				errs[i] = err
+				world.Abort(err)
+				return
+			}
+			if err := turbine.Run(c, tcfg); err != nil {
+				errs[i] = err
+				world.Abort(err)
+			}
+		}(i, rank)
+	}
+	wg.Wait()
+	hub.Close()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, mpi.ErrAborted) {
+			return nil, err
+		}
+	}
+	if cause := world.AbortErr(); cause != nil && !errors.Is(cause, mpi.ErrAborted) {
+		return nil, cause
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	evals := counters.Snapshot()
+	return &Result{
+		Stdout:       sink.buf.String(),
+		Elapsed:      time.Since(start),
+		ADLB:         cfg.Stats.Snapshot(),
+		LeafTasks:    cfg.TurbineStats.LeafTasks.Load(),
+		ControlTasks: cfg.TurbineStats.ControlTasks.Load(),
+		Evals:        evals,
+		PythonEvals:  evals["python"],
+		REvals:       evals["r"],
+		Spawns:       sys.Spawns(),
+		TaskRetries:  cfg.Stats.Requeued.Load(),
+		TaskFailures: cfg.TurbineStats.TaskFailures.Load(),
+	}, nil
+}
+
+// ElasticWorker joins the hub at addr and runs this process's single
+// worker rank until the run drains (NO_MORE_WORK) or aborts. Leaf-task
+// output (python print and friends) goes to out. A clean drain sends the
+// hub a goodbye; any failure is reported upstream so the hub aborts the
+// run rather than hanging on a wedged peer.
+func ElasticWorker(addr string, out io.Writer) error {
+	if out == nil {
+		out = io.Discard
+	}
+	wc, err := mpi.JoinTCP(addr)
+	if err != nil {
+		return err
+	}
+	var w elasticWelcome
+	if err := json.Unmarshal(wc.Welcome(), &w); err != nil {
+		err = fmt.Errorf("core: elastic worker: malformed welcome: %w", err)
+		wc.CloseWithError(err)
+		return err
+	}
+	sink := &lockedWriter{tee: out}
+	sys := shell.NewSystem(shell.ModeCluster, nil)
+	counters := lang.NewCounters()
+	langs := lang.Registered()
+	tcfg := &turbine.Config{
+		Engines: w.Engines,
+		Servers: w.Servers,
+		Elastic: true,
+		Program: w.Program,
+		Setup: func(in *tcl.Interp, env *turbine.Env) error {
+			in.Out = sink
+			host := lang.Host{Out: sink, Shell: sys}
+			dp := env.DataPlane()
+			for _, reg := range langs {
+				lang.Install(in, reg, host, lang.Policy(w.Policy), counters, dp)
+			}
+			lib := nativelib.NewSimLibrary()
+			if _, err := swig.Bind(in, lib); err != nil {
+				return err
+			}
+			if _, err := in.Eval("package provide " + lib.Name); err != nil {
+				return err
+			}
+			return nil
+		},
+	}
+	c, err := wc.World().Comm(wc.Rank())
+	if err != nil {
+		wc.CloseWithError(err)
+		return err
+	}
+	if err := turbine.Run(c, tcfg); err != nil {
+		wc.CloseWithError(err)
+		return err
+	}
+	// The hub may win the shutdown race and close the connection before
+	// the goodbye lands; a failed goodbye after a clean drain is
+	// indistinguishable from one that crossed the close in flight.
+	_ = wc.Close()
+	return nil
+}

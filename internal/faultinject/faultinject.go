@@ -65,6 +65,18 @@ const (
 	// is received and before it is evaluated. ActCrash makes the worker
 	// rank die mid-task (its lease is reclaimed by the server).
 	SiteWorkerTask Site = "turbine.worker.task"
+	// SiteTCPConnDrop fires in the TCP transport's per-connection read
+	// loop, once per received frame. ActError makes the reader treat the
+	// connection as dropped, simulating a mid-run network failure.
+	SiteTCPConnDrop Site = "mpi.tcp.conn.drop"
+	// SiteTCPHeartbeat fires in the worker-side heartbeat loop before
+	// each heartbeat frame is sent. ActError suppresses that heartbeat,
+	// simulating a wedged-but-connected peer the hub must time out.
+	SiteTCPHeartbeat Site = "mpi.tcp.heartbeat"
+	// SiteTCPFrame fires in the TCP transport's frame write path.
+	// ActError makes the writer emit a torn frame (a hostile length
+	// prefix) that the receiving codec must reject deterministically.
+	SiteTCPFrame Site = "mpi.tcp.frame"
 )
 
 // Action selects how an armed site fails.

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -118,18 +119,52 @@ type envelope struct {
 // mailbox holds undelivered messages for one rank.
 type mailbox struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	queue   []envelope
 	aborted bool
-	// recvWaits counts goroutines blocked in a matching wait; used by the
-	// watchdog to distinguish idle from deadlocked worlds.
-	recvWaits int
+	// waiters are the goroutines currently blocked in a matching wait.
+	// Each has its own condition variable so a RecvTimeout deadline can
+	// wake exactly the receiver it belongs to instead of broadcasting to
+	// every parked rank handle.
+	waiters []*waiter
+	// wakeups counts returns from a blocked wait across all waiters;
+	// tests pin the single-wakeup timer property of RecvTimeout with it.
+	wakeups uint64
+}
+
+// waiter is one goroutine parked in Recv or RecvTimeout. expired is set
+// only by the timer RecvTimeout arms for this specific waiter.
+type waiter struct {
+	cond    *sync.Cond
+	expired bool
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mailbox{}
+}
+
+// addWaiter registers the calling goroutine as blocked. mu must be held.
+func (mb *mailbox) addWaiter() *waiter {
+	w := &waiter{cond: sync.NewCond(&mb.mu)}
+	mb.waiters = append(mb.waiters, w)
+	return w
+}
+
+// removeWaiter unregisters w. mu must be held.
+func (mb *mailbox) removeWaiter(w *waiter) {
+	for i, x := range mb.waiters {
+		if x == w {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeAll signals every parked waiter; used on message arrival and on
+// abort, where any waiter might be eligible. mu must be held.
+func (mb *mailbox) wakeAll() {
+	for _, w := range mb.waiters {
+		w.cond.Signal()
+	}
 }
 
 // World is a set of communicating ranks. Create one with NewWorld, then
@@ -144,8 +179,49 @@ type World struct {
 	barrier *barrierState
 	frames  framePool
 
+	// routes maps ranks living in other OS processes to their transport
+	// links (see tcp.go). nil in purely in-process worlds. abortHooks run
+	// after Abort has unblocked local ranks, so a transport can propagate
+	// the abort to remote peers.
+	routesMu   sync.RWMutex
+	routes     map[int]*route
+	abortHooks []func(error)
+
 	abortOnce sync.Once
 	abortErr  error
+}
+
+// route describes how to reach a rank that lives in another OS process.
+// A dead route swallows sends silently: traffic addressed to a crashed
+// rank behaves like messages to a failed MPI process that the
+// fault-tolerance layer has already written off — in particular, the
+// response to a crash-synthesized departure must not error the server.
+type route struct {
+	link *tcpLink
+	dead atomic.Bool
+}
+
+func (w *World) routeFor(dest int) *route {
+	w.routesMu.RLock()
+	r := w.routes[dest]
+	w.routesMu.RUnlock()
+	return r
+}
+
+func (w *World) setRoute(rank int, r *route) {
+	w.routesMu.Lock()
+	if w.routes == nil {
+		w.routes = make(map[int]*route)
+	}
+	w.routes[rank] = r
+	w.routesMu.Unlock()
+}
+
+// onAbort registers a hook invoked (once) after the world aborts.
+func (w *World) onAbort(fn func(error)) {
+	w.routesMu.Lock()
+	w.abortHooks = append(w.abortHooks, fn)
+	w.routesMu.Unlock()
 }
 
 type barrierState struct {
@@ -240,13 +316,19 @@ func (w *World) Abort(cause error) {
 		for _, mb := range w.boxes {
 			mb.mu.Lock()
 			mb.aborted = true
-			mb.cond.Broadcast()
+			mb.wakeAll()
 			mb.mu.Unlock()
 		}
 		w.barrier.mu.Lock()
 		w.barrier.abort = true
 		w.barrier.cond.Broadcast()
 		w.barrier.mu.Unlock()
+		w.routesMu.RLock()
+		hooks := append([]func(error){}, w.abortHooks...)
+		w.routesMu.RUnlock()
+		for _, fn := range hooks {
+			fn(cause)
+		}
 	})
 }
 
@@ -293,6 +375,15 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 	if tag < 0 {
 		return fmt.Errorf("mpi: send with negative tag %d (tags must be >= 0)", tag)
 	}
+	if r := c.world.routeFor(dest); r != nil {
+		if r.dead.Load() {
+			// The destination process crashed. Swallow the send: the
+			// fault-tolerance layer has already inferred its departure,
+			// and replies addressed to it must not error the sender.
+			return nil
+		}
+		return r.link.sendData(c.rank, dest, tag, data)
+	}
 	buf := c.world.frames.get(len(data))
 	copy(buf, data)
 	env := envelope{source: c.rank, tag: tag, seq: c.world.nextSeq(), data: buf}
@@ -303,7 +394,30 @@ func (c *Comm) Send(dest, tag int, data []byte) error {
 		return ErrAborted
 	}
 	mb.queue = append(mb.queue, env)
-	mb.cond.Broadcast()
+	mb.wakeAll()
+	mb.mu.Unlock()
+	return nil
+}
+
+// inject delivers an already-pooled buffer to a local rank's mailbox. It is
+// the transport's entry point: buf must come from this world's frame pool
+// (the TCP read loop fills pool buffers directly), and ownership transfers
+// to the receiving rank exactly as with a local Send.
+func (w *World) inject(src, dest, tag int, buf []byte) error {
+	if dest < 0 || dest >= w.size || src < 0 || src >= w.size || tag < 0 {
+		w.frames.put(buf)
+		return fmt.Errorf("mpi: inject with invalid header src=%d dest=%d tag=%d", src, dest, tag)
+	}
+	env := envelope{source: src, tag: tag, seq: w.nextSeq(), data: buf}
+	mb := w.boxes[dest]
+	mb.mu.Lock()
+	if mb.aborted {
+		mb.mu.Unlock()
+		w.frames.put(buf)
+		return ErrAborted
+	}
+	mb.queue = append(mb.queue, env)
+	mb.wakeAll()
 	mb.mu.Unlock()
 	return nil
 }
@@ -341,18 +455,27 @@ func (c *Comm) Recv(source, tag int) ([]byte, Status, error) {
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	var w *waiter
 	for {
 		if mb.aborted {
+			if w != nil {
+				mb.removeWaiter(w)
+			}
 			return nil, Status{}, ErrAborted
 		}
 		if i := match(mb.queue, source, tag); i >= 0 {
 			env := mb.queue[i]
 			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			if w != nil {
+				mb.removeWaiter(w)
+			}
 			return env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)}, nil
 		}
-		mb.recvWaits++
-		mb.cond.Wait()
-		mb.recvWaits--
+		if w == nil {
+			w = mb.addWaiter()
+		}
+		w.cond.Wait()
+		mb.wakeups++
 	}
 }
 
@@ -360,10 +483,20 @@ func (c *Comm) Recv(source, tag int) ([]byte, Status, error) {
 // with no error. It is used by server loops that multiplex message
 // handling with periodic housekeeping (steal retries, termination tokens).
 func (c *Comm) RecvTimeout(source, tag int, d time.Duration) ([]byte, Status, bool, error) {
-	deadline := time.Now().Add(d)
 	mb := c.world.boxes[c.rank]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	var w *waiter
+	var timer *time.Timer
+	defer func() {
+		// Defers run LIFO, so both execute before the mutex unlock above.
+		if timer != nil {
+			timer.Stop()
+		}
+		if w != nil {
+			mb.removeWaiter(w)
+		}
+	}()
 	for {
 		if mb.aborted {
 			return nil, Status{}, false, ErrAborted
@@ -373,22 +506,38 @@ func (c *Comm) RecvTimeout(source, tag int, d time.Duration) ([]byte, Status, bo
 			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
 			return env.data, Status{Source: env.source, Tag: env.tag, Count: len(env.data)}, true, nil
 		}
-		remain := time.Until(deadline)
-		if remain <= 0 {
+		if d <= 0 {
 			return nil, Status{}, false, nil
 		}
-		// sync.Cond has no timed wait; emulate with a timer that wakes
-		// all waiters. Spurious wakeups are absorbed by the loop.
-		t := time.AfterFunc(remain, func() {
-			mb.mu.Lock()
-			mb.cond.Broadcast()
-			mb.mu.Unlock()
-		})
-		mb.recvWaits++
-		mb.cond.Wait()
-		mb.recvWaits--
-		t.Stop()
+		if w == nil {
+			// One timer per call, targeting only this waiter: the firing
+			// sets w.expired and signals w alone, so other parked ranks
+			// are not woken by deadlines that are not theirs.
+			w = mb.addWaiter()
+			ww := w
+			timer = time.AfterFunc(d, func() {
+				mb.mu.Lock()
+				ww.expired = true
+				ww.cond.Signal()
+				mb.mu.Unlock()
+			})
+		}
+		if w.expired {
+			return nil, Status{}, false, nil
+		}
+		w.cond.Wait()
+		mb.wakeups++
 	}
+}
+
+// mailboxWakeups reports how many times a blocked wait on rank's mailbox
+// has returned. Tests use it to pin that one expiring RecvTimeout does not
+// wake unrelated waiters.
+func (w *World) mailboxWakeups(rank int) uint64 {
+	mb := w.boxes[rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.wakeups
 }
 
 // Iprobe reports whether a message matching (source, tag) is available,

@@ -289,6 +289,13 @@ func (s *Server) EvalFragment(req FragmentRequest) (FragmentResult, error) {
 		return FragmentResult{}, fmt.Errorf("serve: submit: %w", err)
 	}
 
+	// A stopped Timer, not time.After: this is the per-fragment hot path,
+	// and time.After would pin a timer (and its channel) until
+	// RequestTimeout elapses even after the fragment completes — under
+	// sustained load that is thousands of live timers for requests that
+	// finished in microseconds.
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
 	select {
 	case r := <-ch:
 		if r.Err != "" {
@@ -296,7 +303,7 @@ func (s *Server) EvalFragment(req FragmentRequest) (FragmentResult, error) {
 			return FragmentResult{}, &EvalError{Msg: r.Err, Retriable: r.Retriable}
 		}
 		return FragmentResult{Value: r.Value, Output: r.Output}, nil
-	case <-time.After(s.cfg.RequestTimeout):
+	case <-timer.C:
 		s.stats.FragmentTimeouts.Add(1)
 		return FragmentResult{}, &TimeoutError{After: s.cfg.RequestTimeout}
 	case <-s.stop:

@@ -50,6 +50,11 @@ type Config struct {
 	// WatchdogIdleTicks forwards to adlb.Config.WatchdogIdleTicks (the
 	// hang watchdog; 0 = default, negative = disabled).
 	WatchdogIdleTicks int
+	// Elastic forwards to adlb.Config.Elastic: client membership is the
+	// dynamically registered roster rather than the static layout. Set by
+	// the out-of-process runtime, where worker ranks are TCP joins that
+	// may arrive mid-run or never.
+	Elastic bool
 	// KillWorkerRank, if non-zero, names a worker rank that dies
 	// mid-task: on receiving its (KillWorkerAfterTasks+1)-th leaf task it
 	// departs via Leave without evaluating it, leaving the task to be
@@ -109,6 +114,8 @@ func (c *Config) adlbConfig() adlb.Config {
 		DisableSteal:      c.DisableSteal,
 		MaxTaskRetries:    c.MaxTaskRetries,
 		WatchdogIdleTicks: c.WatchdogIdleTicks,
+		Elastic:           c.Elastic,
+		StaticClients:     c.Engines,
 	}
 }
 
